@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+The experiment benchmarks regenerate the paper's tables/figures; each runs
+exactly once per session (``benchmark.pedantic(rounds=1)``) on the shared
+artifact cache.  Select the suite scale with ``REPRO_SCALE``
+(tiny | small | medium; default small).
+"""
+
+import pytest
+
+from repro.bench import get_artifacts
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    return get_artifacts()
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

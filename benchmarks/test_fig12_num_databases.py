@@ -1,0 +1,31 @@
+"""Figure 12: zero-shot generalization by number of training databases.
+
+Paper: the generalization error on the unseen IMDB workloads shrinks as more
+training databases are observed, with diminishing returns after ~15 — the
+criterion of Section 4.1 for "enough training data collected".
+"""
+
+import numpy as np
+
+from repro.bench import exp_fig12_num_databases
+
+
+def test_fig12_num_databases(artifacts, run_once):
+    rows = run_once(exp_fig12_num_databases, artifacts)
+    counts = [row["n_databases"] for row in rows]
+    assert counts == sorted(counts)
+    assert counts[-1] == 19
+
+    def mean_error(row):
+        return np.mean([row["scale_deepdb"], row["synthetic_deepdb"],
+                        row["job_light_deepdb"]])
+
+    errors = [mean_error(row) for row in rows]
+
+    # More databases help: the final error beats the single-database error.
+    assert errors[-1] < errors[0]
+
+    # Diminishing returns: the last step improves far less than the first.
+    first_gain = errors[0] - errors[1]
+    last_gain = errors[-2] - errors[-1]
+    assert last_gain <= max(first_gain, 0.0) + 0.05

@@ -1,0 +1,26 @@
+"""Table 3: distributed cloud data warehouse (scale / synthetic / JOB-light).
+
+Paper: zero-shot cost models extended with shuffle operators and columnar
+scans beat the scaled cost estimates of the cloud DW's internal optimizer;
+exact cardinalities improve slightly over DeepDB-estimated ones.
+"""
+
+from repro.bench import exp_table3_distributed
+
+
+def test_table3_distributed(artifacts, run_once):
+    rows = run_once(exp_table3_distributed, artifacts)
+    assert {row["workload"] for row in rows} \
+        == {"scale", "synthetic", "job_light"}
+
+    for row in rows:
+        # Zero-shot at least matches the cloud optimizer's scaled costs per
+        # workload (Table 3; ties can occur at compressed simulator scales).
+        assert row["zero_shot_deepdb"] <= row["cloud_dw_optimizer"] * 1.05
+        # Exact cards are at least on par with estimated ones (small gap).
+        assert row["zero_shot_exact"] <= row["zero_shot_deepdb"] * 1.25
+
+    # Across the three workloads zero-shot is the more accurate model.
+    import numpy as np
+    assert np.mean([r["zero_shot_exact"] for r in rows]) \
+        <= np.mean([r["cloud_dw_optimizer"] for r in rows])

@@ -1,0 +1,67 @@
+"""A tour of the 20-database benchmark (Section 6).
+
+Prints the schema diversity of the benchmark, generates all three workload
+modes on one database, and shows trace statistics — the raw material every
+experiment in the paper consumes.
+
+Run with::
+
+    python examples/benchmark_tour.py
+"""
+
+import numpy as np
+
+from repro.bench import format_bars, format_table
+from repro.datagen import BENCHMARK_PROFILES, make_benchmark_database
+from repro.sql import PredOp, iter_predicate_nodes
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+def main():
+    # Schema diversity across the 20 databases.
+    rows = []
+    for name, (layout, n_tables, complexity, size) in BENCHMARK_PROFILES.items():
+        rows.append({"database": name, "layout": layout, "tables": n_tables,
+                     "complexity": complexity, "relative size": size})
+    print(format_table(rows, title="The 20 benchmark databases"))
+
+    # Generate one database and look at its workload modes.
+    db = make_benchmark_database("financial", base_rows=2000)
+    print(f"\nGenerated {db!r}")
+    for fk in db.schema.foreign_keys:
+        print(f"  FK: {fk.child_table}.{fk.child_column} -> "
+              f"{fk.parent_table}.{fk.parent_column}")
+
+    for mode in ("standard", "complex"):
+        generator = WorkloadGenerator(db, WorkloadConfig(mode=mode,
+                                                         max_joins=3), seed=1)
+        queries = generator.generate(200)
+        ops = {}
+        for query in queries:
+            for pred in query.filters.values():
+                for node in iter_predicate_nodes(pred):
+                    ops[node.op.value] = ops.get(node.op.value, 0) + 1
+        print(f"\nPredicate operator mix in '{mode}' mode (200 queries):")
+        print(format_bars(dict(sorted(ops.items(), key=lambda kv: -kv[1]))))
+
+    # Execute a trace and show its runtime distribution.
+    generator = WorkloadGenerator(db, WorkloadConfig(max_joins=3), seed=2)
+    trace = generate_trace(db, generator.generate(150))
+    runtimes = trace.runtimes()
+    print("\nTrace statistics (150 executed queries):")
+    print(format_table([{
+        "queries": len(trace),
+        "timeouts excluded": trace.excluded_timeouts,
+        "p50 (ms)": float(np.median(runtimes)),
+        "p95 (ms)": float(np.percentile(runtimes, 95)),
+        "max (ms)": float(runtimes.max()),
+        "total hours": trace.total_execution_hours(),
+    }]))
+
+    record = max(trace, key=lambda r: r.runtime_ms)
+    print(f"\nSlowest query: {record.query.describe()}")
+    print(record.plan.explain(use_true=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: train a zero-shot cost model and predict on an unseen database.
+
+This walks the full paper pipeline end to end at toy scale:
+
+1. generate a handful of benchmark databases,
+2. execute training workloads on them (the traces),
+3. train a zero-shot cost model on all databases *except* one,
+4. predict query runtimes on the held-out (unseen) database — out of the
+   box, without a single training query on it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import TrainingConfig, ZeroShotCostModel
+from repro.datagen import make_benchmark_databases
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+def main():
+    # 1. A slice of the 20-database benchmark (kept small for the example).
+    names = ["accidents", "airline", "baseball", "financial", "movielens",
+             "imdb"]
+    print(f"Generating {len(names)} benchmark databases ...")
+    dbs = make_benchmark_databases(base_rows=2000, subset=names)
+
+    # 2. Execute a standard SPAJ workload on every *training* database.
+    print("Executing training workloads (plans + true cardinalities + "
+          "simulated runtimes) ...")
+    traces = []
+    for name in names:
+        if name == "imdb":
+            continue  # IMDB stays unseen!
+        generator = WorkloadGenerator(dbs[name],
+                                      WorkloadConfig(max_joins=3),
+                                      seed=hash(name) % 1000)
+        traces.append(generate_trace(dbs[name], generator.generate(120)))
+
+    # 3. Train the zero-shot model (transferable features, Q-error loss).
+    print("Training the zero-shot cost model ...")
+    config = TrainingConfig(hidden_dim=48, epochs=30, seed=0)
+    model = ZeroShotCostModel.train(traces, dbs, cards="exact", config=config)
+
+    # 4. Predict runtimes on the unseen IMDB database.
+    generator = WorkloadGenerator(dbs["imdb"], WorkloadConfig(max_joins=3),
+                                  seed=99)
+    unseen_trace = generate_trace(dbs["imdb"], generator.generate(60))
+    metrics = model.evaluate(unseen_trace, dbs, cards="deepdb")
+
+    print("\nZero-shot accuracy on the UNSEEN imdb database "
+          "(no training queries on it):")
+    print(format_table([{
+        "median q-error": metrics["median"],
+        "p95 q-error": metrics["p95"],
+        "max q-error": metrics["max"],
+        "queries": metrics["count"],
+    }]))
+
+    # Bonus: inspect one prediction.
+    record = unseen_trace[0]
+    predicted = model.predict_records([record], dbs, cards="deepdb")[0]
+    print(f"\nExample query: {record.query.describe()}")
+    print(f"predicted {predicted:8.2f} ms   vs   actual {record.runtime_ms:8.2f} ms")
+    print("\nPhysical plan:")
+    print(record.plan.explain(use_true=True))
+
+
+if __name__ == "__main__":
+    main()

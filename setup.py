@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` in offline environments where the
+PEP 660 editable-wheel path is unavailable (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""repro — reproduction of "Zero-Shot Cost Models for Out-of-the-box Learned
+Cost Prediction" (Hilprecht & Binnig, VLDB 2022).
+
+The package implements the paper's zero-shot cost model together with every
+substrate it depends on: a numpy autograd neural-network framework, an
+in-memory relational engine with a Postgres-style optimizer and a runtime
+simulator, data-driven cardinality estimation, the workload-driven baselines
+(E2E, MSCN, flattened plans + GBDT), the 20-database benchmark with its
+workload generator, and the distributed/physical-design extensions.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn", "storage", "datagen", "sql", "optimizer", "executor",
+    "workloads", "cardest", "featurization", "core", "baselines",
+    "ml", "robustness", "distributed", "design", "bench",
+]

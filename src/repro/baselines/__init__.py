@@ -1,0 +1,14 @@
+"""Baseline cost models: scaled optimizer costs, workload-driven E2E and
+MSCN, and the flattened-plan + GBDT ablation."""
+
+from .scaled_optimizer import ScaledOptimizerModel
+from .flattened import FlattenedPlanModel, flatten_plan
+from .e2e import E2EModel, E2EFeaturizer
+from .mscn import MSCNModel, MSCNFeaturizer
+
+__all__ = [
+    "ScaledOptimizerModel",
+    "FlattenedPlanModel", "flatten_plan",
+    "E2EModel", "E2EFeaturizer",
+    "MSCNModel", "MSCNFeaturizer",
+]

@@ -1,0 +1,70 @@
+"""Shared Q-error training loop for the neural baseline models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..featurization import TargetScaler
+from ..nn import Adam, QErrorLoss, clip_grad_norm, no_grad
+
+__all__ = ["fit_neural_regressor", "predict_neural_regressor"]
+
+
+def fit_neural_regressor(model, build_batch, n_samples, runtimes_ms,
+                         epochs=60, learning_rate=1e-3, batch_size=32,
+                         weight_decay=1e-5, grad_clip=5.0, seed=0):
+    """Generic trainer: ``build_batch(indices)`` feeds the model's forward.
+
+    Returns ``(target_scaler, history)``; the model is trained in place.
+    """
+    runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
+    if n_samples != len(runtimes_ms):
+        raise ValueError("sample count and runtimes must align")
+    if n_samples == 0:
+        raise ValueError("cannot train on an empty dataset")
+    rng = np.random.default_rng(seed)
+    target_scaler = TargetScaler().fit(runtimes_ms)
+    true_log = np.log(np.maximum(runtimes_ms, 1e-3))
+    loss_fn = QErrorLoss()
+    optimizer = Adam(model.parameters(), lr=learning_rate,
+                     weight_decay=weight_decay)
+
+    # Materialize batches once, shuffle only the batch order per epoch
+    # (batch construction is python-level work that would dominate training).
+    order = rng.permutation(n_samples)
+    batches = []
+    for start in range(0, n_samples, batch_size):
+        indices = order[start:start + batch_size]
+        batches.append((build_batch(indices), true_log[indices]))
+
+    history = []
+    for _ in range(epochs):
+        model.train()
+        losses = []
+        for batch_index in rng.permutation(len(batches)):
+            batch, targets = batches[batch_index]
+            optimizer.zero_grad()
+            output = model(batch)
+            pred_log = output * target_scaler.std + target_scaler.mean
+            loss = loss_fn(pred_log, targets)
+            loss.backward()
+            clip_grad_norm(model.parameters(), grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+    model.eval()
+    return target_scaler, history
+
+
+def predict_neural_regressor(model, build_batch, n_samples, target_scaler,
+                             batch_size=256):
+    """Predicted runtimes (ms)."""
+    if n_samples == 0:
+        return np.array([])
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, n_samples, batch_size):
+            indices = np.arange(start, min(start + batch_size, n_samples))
+            outputs.append(model(build_batch(indices)).numpy())
+    return target_scaler.to_runtime_ms(np.concatenate(outputs))

@@ -1,0 +1,75 @@
+"""Flattened-plan baseline (Ganapathi et al.; the Fig. 11 ablation).
+
+A query plan is reduced to a flat vector with two entries per physical
+operator type — how often it occurs and the (log) sum of its output
+cardinalities — and a gradient-boosted regressor predicts the runtime.
+Interactions between operators cannot be expressed, which is exactly why the
+paper's graph encoding beats it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cardest import annotate_cardinalities
+from ..ml import GradientBoostedTrees
+from ..nn import q_error_metrics
+from ..optimizer import OPERATOR_NAMES
+
+__all__ = ["flatten_plan", "FlattenedPlanModel"]
+
+
+def flatten_plan(plan, cards):
+    """Flat vector: per operator type, [count, log1p(sum of cardinalities)]."""
+    counts = np.zeros(len(OPERATOR_NAMES))
+    sums = np.zeros(len(OPERATOR_NAMES))
+    for node in plan.iter_nodes():
+        index = OPERATOR_NAMES.index(node.op_name)
+        counts[index] += 1.0
+        sums[index] += max(cards.get(id(node), node.est_rows), 0.0)
+    return np.concatenate([counts, np.log1p(sums)])
+
+
+class FlattenedPlanModel:
+    """GBDT over flattened plan vectors (transferable but structure-blind)."""
+
+    def __init__(self, cards="exact", n_estimators=150, max_depth=5, seed=0):
+        self.cards = cards
+        self._gbdt = GradientBoostedTrees(n_estimators=n_estimators,
+                                          max_depth=max_depth, seed=seed)
+        self.fitted = False
+
+    def _featurize(self, records, dbs, estimator_cache=None):
+        rows = []
+        for record in records:
+            db = dbs[record.db_name]
+            estimator = (estimator_cache.get(db)
+                         if estimator_cache is not None and self.cards == "deepdb"
+                         else None)
+            card_map = annotate_cardinalities(db, record.plan, self.cards,
+                                              estimator=estimator)
+            rows.append(flatten_plan(record.plan, card_map))
+        return np.stack(rows)
+
+    def fit(self, traces, dbs, estimator_cache=None):
+        if not isinstance(traces, (list, tuple)):
+            traces = [traces]
+        records = [r for trace in traces for r in trace]
+        features = self._featurize(records, dbs, estimator_cache)
+        runtimes = np.array([r.runtime_ms for r in records])
+        self._gbdt.fit(features, np.log(np.maximum(runtimes, 1e-3)))
+        self.fitted = True
+        return self
+
+    def predict(self, records, dbs, estimator_cache=None):
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        records = list(records)
+        features = self._featurize(records, dbs, estimator_cache)
+        return np.exp(self._gbdt.predict(features))
+
+    def evaluate(self, trace, dbs, estimator_cache=None):
+        records = list(trace)
+        predictions = self.predict(records, dbs, estimator_cache)
+        actuals = np.array([r.runtime_ms for r in records])
+        return q_error_metrics(predictions, actuals)

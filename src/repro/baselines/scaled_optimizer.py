@@ -1,0 +1,52 @@
+"""The "Scaled Optimizer Costs" baseline (Section 7.1).
+
+Postgres reports abstract cost units, so the paper fits a simple linear
+model mapping optimizer costs to runtimes, trained on the same traces as the
+zero-shot models.  We fit in log-log space, which keeps predictions positive
+and is much more robust for the Q-error metric than a raw linear fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml import LinearRegression
+from ..nn import q_error_metrics
+
+__all__ = ["ScaledOptimizerModel"]
+
+
+class ScaledOptimizerModel:
+    """log(runtime) ~ a * log(optimizer cost) + b."""
+
+    def __init__(self):
+        self._model = LinearRegression()
+        self.fitted = False
+
+    @staticmethod
+    def _features(records):
+        return np.log1p(np.array([r.plan.est_cost for r in records]))
+
+    def fit(self, traces):
+        """Fit on one trace or a list of traces (e.g. the 19 training DBs)."""
+        if not isinstance(traces, (list, tuple)):
+            traces = [traces]
+        records = [r for trace in traces for r in trace]
+        if not records:
+            raise ValueError("no training records")
+        runtimes = np.array([r.runtime_ms for r in records])
+        self._model.fit(self._features(records), np.log(np.maximum(runtimes, 1e-3)))
+        self.fitted = True
+        return self
+
+    def predict(self, records):
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        records = list(records)
+        return np.exp(self._model.predict(self._features(records)))
+
+    def evaluate(self, trace):
+        records = list(trace)
+        predictions = self.predict(records)
+        actuals = np.array([r.runtime_ms for r in records])
+        return q_error_metrics(predictions, actuals)

@@ -1,0 +1,22 @@
+"""Experiment harness: benchmark suite, cached artifacts, the experiment
+functions regenerating every evaluation table/figure, and ASCII reporting."""
+
+from .suite import SuiteConfig, Artifacts, get_artifacts, scale_from_env
+from .reporting import format_table, format_bars, print_experiment
+from .experiments import (
+    exp_fig1_motivation, exp_fig5_zero_shot_accuracy,
+    exp_fig6_vs_workload_driven, exp_fig7_job_full, exp_fig8_updates,
+    exp_fig9_join_drift, exp_table3_distributed, exp_sec74_physical_design,
+    exp_fig10a_amortization, exp_fig10b_throughput, exp_fig11_ablation,
+    exp_fig12_num_databases,
+)
+
+__all__ = [
+    "SuiteConfig", "Artifacts", "get_artifacts", "scale_from_env",
+    "format_table", "format_bars", "print_experiment",
+    "exp_fig1_motivation", "exp_fig5_zero_shot_accuracy",
+    "exp_fig6_vs_workload_driven", "exp_fig7_job_full", "exp_fig8_updates",
+    "exp_fig9_join_drift", "exp_table3_distributed",
+    "exp_sec74_physical_design", "exp_fig10a_amortization",
+    "exp_fig10b_throughput", "exp_fig11_ablation", "exp_fig12_num_databases",
+]

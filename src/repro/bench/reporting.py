@@ -1,0 +1,64 @@
+"""ASCII reporting for benchmark experiments (tables and bar charts).
+
+Experiment tables are printed to stdout *and* appended to a report file
+(``REPRO_REPORT_FILE``, default ``experiment_report.txt`` in the working
+directory) so the regenerated paper tables survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["format_table", "format_bars", "print_experiment"]
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows, columns=None, title=None):
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0])
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(values, width=40, title=None):
+    """Horizontal ASCII bar chart for a ``{label: value}`` mapping."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {_fmt(float(value))}")
+    return "\n".join(lines)
+
+
+def print_experiment(title, body):
+    banner = "=" * max(len(title), 30)
+    text = f"\n{banner}\n{title}\n{banner}\n{body}\n"
+    print(text, flush=True)
+    report_path = os.environ.get("REPRO_REPORT_FILE", "experiment_report.txt")
+    if report_path:
+        with open(report_path, "a") as report:
+            report.write(text)

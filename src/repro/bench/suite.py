@@ -1,0 +1,181 @@
+"""Benchmark suite construction and artifact caching.
+
+The experiments share expensive artifacts — the 20 databases, their executed
+traces, featurized graphs, and the main zero-shot model trained on the 19
+non-IMDB databases.  :func:`get_artifacts` memoizes them per scale so the
+whole benchmark session builds each exactly once.
+
+Scales (select with ``REPRO_SCALE`` or an explicit :class:`SuiteConfig`):
+
+========  ==========  ===============  ======  ==========
+scale     base rows   queries per DB   epochs  hidden dim
+========  ==========  ===============  ======  ==========
+tiny      1500        60               15      32
+small     6000        150              30      48
+medium    14000       250              50      64
+========  ==========  ===============  ======  ==========
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import EstimatorCache, TrainingConfig, ZeroShotCostModel, featurize_records
+from ..datagen import BENCHMARK_NAMES, make_benchmark_database
+from ..workloads import (WorkloadConfig, WorkloadGenerator, generate_trace,
+                         imdb_workload)
+
+__all__ = ["SuiteConfig", "Artifacts", "get_artifacts", "scale_from_env"]
+
+_SCALES = {
+    "tiny": dict(base_rows=1500, queries_per_db=60, epochs=15, hidden_dim=32),
+    "small": dict(base_rows=6000, queries_per_db=120, epochs=24, hidden_dim=48),
+    "medium": dict(base_rows=14000, queries_per_db=250, epochs=50, hidden_dim=64),
+}
+
+
+def scale_from_env(default="small"):
+    scale = os.environ.get("REPRO_SCALE", default)
+    if scale not in _SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(_SCALES)}")
+    return scale
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Parameters of one benchmark-suite instantiation."""
+
+    scale: str = "small"
+    seed: int = 0
+    max_joins: int = 4
+    database_names: tuple = tuple(BENCHMARK_NAMES)
+
+    @property
+    def base_rows(self):
+        return _SCALES[self.scale]["base_rows"]
+
+    @property
+    def queries_per_db(self):
+        return _SCALES[self.scale]["queries_per_db"]
+
+    @property
+    def training_config(self):
+        preset = _SCALES[self.scale]
+        return TrainingConfig(hidden_dim=preset["hidden_dim"],
+                              epochs=preset["epochs"], batch_size=64,
+                              seed=self.seed)
+
+
+class Artifacts:
+    """Lazily built, cached benchmark artifacts."""
+
+    def __init__(self, config: SuiteConfig):
+        self.config = config
+        self._databases = None
+        self._traces = {}
+        self._imdb_eval = {}
+        self._graphs = {}
+        self._main_model = None
+        self.estimator_cache = EstimatorCache(sample_size=1024,
+                                              seed=config.seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def databases(self):
+        if self._databases is None:
+            self._databases = {
+                name: make_benchmark_database(name, self.config.base_rows)
+                for name in self.config.database_names
+            }
+        return self._databases
+
+    @property
+    def training_names(self):
+        """The 19 databases used for pre-training (all but IMDB)."""
+        return [n for n in self.config.database_names if n != "imdb"]
+
+    # ------------------------------------------------------------------
+    def trace(self, db_name, mode="standard", n=None, seed_offset=0,
+              max_joins=None):
+        """Standard/complex/index workload trace for one database (cached)."""
+        key = (db_name, mode, n, seed_offset, max_joins)
+        if key not in self._traces:
+            db = self.databases[db_name]
+            config = WorkloadConfig(
+                mode="standard" if mode == "index" else mode,
+                max_joins=max_joins if max_joins is not None
+                else self.config.max_joins)
+            generator = WorkloadGenerator(
+                db, config,
+                seed=self.config.seed + seed_offset
+                + 1000 * self.config.database_names.index(db_name))
+            queries = generator.generate(n or self.config.queries_per_db)
+            self._traces[key] = generate_trace(
+                db, queries, seed=self.config.seed,
+                index_mode=(mode == "index"))
+        return self._traces[key]
+
+    def training_traces(self, mode="standard", max_joins=None):
+        return [self.trace(name, mode=mode, max_joins=max_joins)
+                for name in self.training_names]
+
+    def imdb_eval_trace(self, workload_name):
+        """Named IMDB evaluation workload executed on the IMDB database."""
+        if workload_name not in self._imdb_eval:
+            db = self.databases["imdb"]
+            queries = imdb_workload(db, workload_name)
+            self._imdb_eval[workload_name] = generate_trace(
+                db, queries, seed=self.config.seed)
+        return self._imdb_eval[workload_name]
+
+    # ------------------------------------------------------------------
+    def graphs(self, trace, cards):
+        """Featurized graphs for a trace, cached per (trace, card source)."""
+        key = (id(trace), cards)
+        if key not in self._graphs:
+            self._graphs[key] = featurize_records(
+                list(trace), self.databases, cards=cards,
+                estimator_cache=self.estimator_cache)
+        return self._graphs[key]
+
+    def runtimes(self, trace):
+        return np.array([r.runtime_ms for r in trace])
+
+    # ------------------------------------------------------------------
+    def train_zero_shot(self, traces, cards="exact", config=None):
+        """Train a zero-shot model on the given traces (graphs cached)."""
+        config = config or self.config.training_config
+        graphs, runtimes = [], []
+        for trace in traces:
+            graphs.extend(self.graphs(trace, cards))
+            runtimes.append(self.runtimes(trace))
+        return ZeroShotCostModel.train(
+            traces, self.databases, cards=cards, config=config,
+            graphs=graphs, runtimes=np.concatenate(runtimes))
+
+    @property
+    def main_model(self):
+        """Zero-shot model pre-trained on the 19 non-IMDB databases."""
+        if self._main_model is None:
+            self._main_model = self.train_zero_shot(
+                self.training_traces(), cards="exact")
+        return self._main_model
+
+    def evaluate_model(self, model, trace, cards):
+        return model.evaluate(trace, self.databases, cards=cards,
+                              graphs=self.graphs(trace, cards))
+
+
+_ARTIFACT_CACHE = {}
+
+
+def get_artifacts(scale=None, seed=0):
+    """Process-wide artifact cache (one entry per scale/seed)."""
+    scale = scale or scale_from_env()
+    key = (scale, seed)
+    if key not in _ARTIFACT_CACHE:
+        _ARTIFACT_CACHE[key] = Artifacts(SuiteConfig(scale=scale, seed=seed))
+    return _ARTIFACT_CACHE[key]

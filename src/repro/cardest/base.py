@@ -1,0 +1,44 @@
+"""Common interface for cardinality estimators.
+
+Three implementations mirror Table 2 of the paper:
+
+* :class:`~repro.cardest.traditional.TraditionalEstimator` — histogram/MCV
+  statistics with independence assumptions (what the optimizer uses),
+* :class:`~repro.cardest.datadriven.DataDrivenEstimator` — DeepDB-style
+  models learned from the data alone (no query executions),
+* :class:`~repro.cardest.exact.ExactEstimator` — true cardinalities from the
+  executor (the paper's upper-bound oracle).
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["CardinalityEstimator"]
+
+
+class CardinalityEstimator(abc.ABC):
+    """Estimates output cardinalities of scans and join subsets."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def scan_rows(self, db, table, predicate):
+        """Estimated rows produced by scanning ``table`` under ``predicate``."""
+
+    @abc.abstractmethod
+    def join_rows(self, db, tables, joins, filters):
+        """Estimated rows of joining ``tables`` via ``joins`` under ``filters``.
+
+        ``tables`` is an iterable of table names, ``joins`` the JoinEdges
+        whose tables are all inside the subset, ``filters`` a mapping
+        ``table -> predicate``.
+        """
+
+    def query_rows(self, db, query):
+        """Estimated rows of the query's join result (before aggregation)."""
+        if len(query.tables) == 1:
+            table = query.tables[0]
+            return self.scan_rows(db, table, query.filters.get(table))
+        return self.join_rows(db, set(query.tables), list(query.joins),
+                              dict(query.filters))

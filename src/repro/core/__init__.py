@@ -1,0 +1,10 @@
+"""The zero-shot cost model: architecture, training, few-shot mode, API."""
+
+from .model import ZeroShotModel
+from .training import TrainingConfig, train_model, predict_runtimes
+from .api import ZeroShotCostModel, featurize_records, EstimatorCache
+
+__all__ = [
+    "ZeroShotModel", "TrainingConfig", "train_model", "predict_runtimes",
+    "ZeroShotCostModel", "featurize_records", "EstimatorCache",
+]

@@ -1,0 +1,181 @@
+"""Public API: :class:`ZeroShotCostModel`.
+
+The model is trained once on traces from many databases and then predicts
+runtimes on unseen databases out of the box.  Cardinality inputs are
+pluggable (``"exact"`` / ``"deepdb"`` / ``"optimizer"``), mirroring the
+variants evaluated in the paper; few-shot fine-tuning continues training on
+a handful of queries from the target database.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..cardest import DataDrivenEstimator, annotate_cardinalities
+from ..featurization import FeatureScalers, TargetScaler, build_query_graph
+from ..nn import load_state, q_error_metrics, save_state
+from .model import ZeroShotModel
+from .training import TrainingConfig, predict_runtimes, train_model
+
+__all__ = ["ZeroShotCostModel", "featurize_records", "EstimatorCache"]
+
+
+class EstimatorCache:
+    """Lazily built, shared :class:`DataDrivenEstimator` per database."""
+
+    def __init__(self, sample_size=1024, seed=0):
+        self.sample_size = sample_size
+        self.seed = seed
+        self._cache = {}
+
+    def get(self, db):
+        if db.name not in self._cache:
+            self._cache[db.name] = DataDrivenEstimator(
+                db, sample_size=self.sample_size, seed=self.seed)
+        return self._cache[db.name]
+
+    def invalidate(self, db_name):
+        self._cache.pop(db_name, None)
+
+
+def featurize_records(records, dbs, cards="exact", estimator_cache=None,
+                      storage_formats=None):
+    """Build query graphs for trace records.
+
+    ``dbs`` maps database names to :class:`~repro.storage.Database` objects;
+    ``cards`` chooses the cardinality source for the ``cardout`` features.
+    """
+    estimator_cache = estimator_cache or EstimatorCache()
+    graphs = []
+    for record in records:
+        db = dbs[record.db_name]
+        estimator = estimator_cache.get(db) if cards == "deepdb" else None
+        card_map = annotate_cardinalities(db, record.plan, cards,
+                                          estimator=estimator)
+        graphs.append(build_query_graph(db, record.plan, card_map,
+                                        storage_formats=storage_formats))
+    return graphs
+
+
+class ZeroShotCostModel:
+    """A trained zero-shot cost model with its scalers and configuration."""
+
+    def __init__(self, model, feature_scalers, target_scaler, config):
+        self.model = model
+        self.feature_scalers = feature_scalers
+        self.target_scaler = target_scaler
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(cls, traces, dbs, cards="exact", config=None,
+              estimator_cache=None, graphs=None, runtimes=None):
+        """Train on a list of traces (typically from many databases).
+
+        Pre-featurized ``graphs``/``runtimes`` can be passed to skip
+        featurization (the benchmark harness caches them).
+        """
+        config = config or TrainingConfig()
+        if graphs is None:
+            records = [r for trace in traces for r in trace]
+            graphs = featurize_records(records, dbs, cards=cards,
+                                       estimator_cache=estimator_cache)
+            runtimes = np.array([r.runtime_ms for r in records])
+        model = ZeroShotModel(hidden_dim=config.hidden_dim,
+                              dropout=config.dropout, seed=config.seed)
+        scalers, target_scaler, history = train_model(
+            model, graphs, runtimes, config)
+        trained = cls(model, scalers, target_scaler, config)
+        trained.history = history
+        return trained
+
+    def fine_tune(self, records, dbs, cards="exact", epochs=15,
+                  learning_rate=4e-4, estimator_cache=None, graphs=None,
+                  runtimes=None):
+        """Few-shot mode: continue training on queries of the target database.
+
+        Returns a *new* model; the original is unchanged.
+        """
+        if graphs is None:
+            graphs = featurize_records(records, dbs, cards=cards,
+                                       estimator_cache=estimator_cache)
+            runtimes = np.array([r.runtime_ms for r in records])
+        clone = copy.deepcopy(self)
+        few_config = self.config.few_shot(epochs=epochs,
+                                          learning_rate=learning_rate)
+        train_model(clone.model, graphs, runtimes, few_config,
+                    feature_scalers=clone.feature_scalers,
+                    target_scaler=clone.target_scaler)
+        clone.config = few_config
+        return clone
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_records(self, records, dbs, cards="deepdb",
+                        estimator_cache=None, graphs=None):
+        """Predicted runtimes (ms) for trace records on any database."""
+        if graphs is None:
+            graphs = featurize_records(records, dbs, cards=cards,
+                                       estimator_cache=estimator_cache)
+        return predict_runtimes(self.model, graphs, self.feature_scalers,
+                                self.target_scaler)
+
+    def predict_trace(self, trace, dbs, cards="deepdb", estimator_cache=None):
+        return self.predict_records(list(trace), dbs, cards=cards,
+                                    estimator_cache=estimator_cache)
+
+    def evaluate(self, trace, dbs, cards="deepdb", estimator_cache=None,
+                 graphs=None):
+        """Q-error summary of predictions against the trace's true runtimes."""
+        records = list(trace)
+        predictions = self.predict_records(records, dbs, cards=cards,
+                                           estimator_cache=estimator_cache,
+                                           graphs=graphs)
+        actuals = np.array([r.runtime_ms for r in records])
+        return q_error_metrics(predictions, actuals)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path):
+        state = self.model.state_dict()
+        for node_type, scaler_state in self.feature_scalers.state().items():
+            state[f"__scaler__{node_type}__mean"] = scaler_state["mean"]
+            state[f"__scaler__{node_type}__std"] = scaler_state["std"]
+        state["__target__"] = np.array([self.target_scaler.mean,
+                                        self.target_scaler.std])
+        save_state(path, state, metadata={
+            "hidden_dim": self.config.hidden_dim,
+            "dropout": self.config.dropout,
+            "seed": self.config.seed,
+        })
+
+    @classmethod
+    def load(cls, path):
+        state, metadata = load_state(path)
+        config = TrainingConfig(hidden_dim=int(metadata["hidden_dim"]),
+                                dropout=float(metadata["dropout"]),
+                                seed=int(metadata["seed"]))
+        scaler_states = {}
+        target = state.pop("__target__")
+        model_state = {}
+        for key, value in state.items():
+            if key.startswith("__scaler__"):
+                _, _, rest = key.partition("__scaler__")
+                node_type, _, which = rest.partition("__")
+                scaler_states.setdefault(node_type, {})[which] = value
+            else:
+                model_state[key] = value
+        model = ZeroShotModel(hidden_dim=config.hidden_dim,
+                              dropout=config.dropout, seed=config.seed)
+        model.load_state_dict(model_state)
+        model.eval()
+        return cls(model,
+                   FeatureScalers.from_state(scaler_states),
+                   TargetScaler(mean=float(target[0]), std=float(target[1])),
+                   config)

@@ -1,0 +1,84 @@
+"""The zero-shot cost model architecture (Section 3, Algorithm 1).
+
+Three stages, exactly as in the paper:
+
+1. **Node encoding** — a node-type-specific MLP maps each node's transferable
+   feature vector to an initial hidden state ``h_v`` (Fig. 3, step 2).
+2. **Bottom-up message passing** — in topological order, each node combines
+   the *sum* of its children's updated states (DeepSets-style) concatenated
+   with its own initial state through a node-type-specific combine MLP:
+   ``h'_v = MLP'_T(v)( sum_u h'_u  ⊕  h_v )`` (Fig. 3, step 3).
+3. **Estimation** — the updated root state feeds the estimation MLP, which
+   outputs the (standardized log) runtime (Fig. 3, step 4).
+
+All stages are differentiable and trained end-to-end with the Q-error loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..featurization import FEATURE_DIMS, GraphBatch, NODE_TYPES
+from ..nn import MLP, Module, Tensor, concat, scatter_sum
+
+__all__ = ["ZeroShotModel"]
+
+
+class ZeroShotModel(Module):
+    """Node-type MLP encoders + bottom-up message passing + estimation MLP."""
+
+    def __init__(self, hidden_dim=64, n_encoder_layers=1, n_combine_layers=1,
+                 dropout=0.0, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.hidden_dim = hidden_dim
+        self.encoders = {
+            node_type: MLP(FEATURE_DIMS[node_type],
+                           [hidden_dim] * n_encoder_layers, hidden_dim,
+                           dropout=dropout, rng=rng)
+            for node_type in NODE_TYPES
+        }
+        self.combiners = {
+            node_type: MLP(2 * hidden_dim,
+                           [hidden_dim] * n_combine_layers, hidden_dim,
+                           dropout=dropout, rng=rng)
+            for node_type in NODE_TYPES
+        }
+        self.estimator = MLP(hidden_dim, [hidden_dim, hidden_dim // 2], 1,
+                             dropout=dropout, rng=rng)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        """Predict one (standardized log) runtime per graph in the batch."""
+        # Step 2: initial hidden states, one encoder per node type.  Global
+        # node ids are grouped by type, so concatenating per-type blocks in
+        # NODE_TYPES order yields the global hidden-state matrix.
+        blocks = []
+        for node_type in NODE_TYPES:
+            if batch.type_counts.get(node_type, 0):
+                blocks.append(self.encoders[node_type](
+                    Tensor(batch.features[node_type])))
+        initial = concat(blocks, axis=0)
+
+        # Step 3: bottom-up pass, level by level.  ``updated`` accumulates
+        # h' for all processed nodes (zeros elsewhere); gathers at level L
+        # only read nodes of levels < L, which are already filled in.
+        updated = Tensor(np.zeros((batch.n_nodes, self.hidden_dim)))
+        for level_groups in batch.levels:
+            for group in level_groups:
+                n_group = len(group.node_indices)
+                if group.edge_children.size:
+                    child_states = updated.gather_rows(group.edge_children)
+                    child_sum = scatter_sum(child_states,
+                                            group.edge_parent_slots, n_group)
+                else:
+                    child_sum = Tensor(np.zeros((n_group, self.hidden_dim)))
+                own = initial.gather_rows(group.node_indices)
+                new_states = self.combiners[group.node_type](
+                    concat([child_sum, own], axis=1))
+                updated = updated + scatter_sum(new_states,
+                                                group.node_indices,
+                                                batch.n_nodes)
+
+        # Step 4: estimation MLP on the root states.
+        root_states = updated.gather_rows(batch.roots)
+        return self.estimator(root_states).reshape(-1)

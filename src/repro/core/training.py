@@ -1,0 +1,150 @@
+"""Training loop for zero-shot (and few-shot) cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..featurization import FeatureScalers, TargetScaler, make_batch
+from ..nn import Adam, QErrorLoss, clip_grad_norm, no_grad
+
+__all__ = ["TrainingConfig", "train_model", "predict_runtimes"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters for zero-shot training."""
+
+    hidden_dim: int = 64
+    epochs: int = 40
+    batch_size: int = 64
+    learning_rate: float = 1.5e-3
+    weight_decay: float = 1e-5
+    dropout: float = 0.05
+    grad_clip: float = 5.0
+    validation_fraction: float = 0.1
+    early_stopping_patience: int = 8
+    seed: int = 0
+    verbose: bool = False
+
+    def few_shot(self, epochs=15, learning_rate=4e-4):
+        """Config variant for fine-tuning (lower LR, fewer epochs)."""
+        return replace(self, epochs=epochs, learning_rate=learning_rate,
+                       validation_fraction=0.0, early_stopping_patience=epochs)
+
+
+def _epoch_batches(n, batch_size, rng):
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield order[start:start + batch_size]
+
+
+def train_model(model, graphs, runtimes_ms, config, feature_scalers=None,
+                target_scaler=None):
+    """Train ``model`` on (graph, runtime) pairs with the Q-error loss.
+
+    Scalers are fitted here when not supplied (fine-tuning passes the ones
+    from pre-training so the feature space stays consistent).  Returns
+    ``(feature_scalers, target_scaler, history)``.
+    """
+    runtimes_ms = np.asarray(runtimes_ms, dtype=np.float64)
+    if len(graphs) != len(runtimes_ms):
+        raise ValueError("graphs and runtimes must align")
+    if len(graphs) == 0:
+        raise ValueError("cannot train on an empty dataset")
+
+    rng = np.random.default_rng(config.seed)
+    if feature_scalers is None:
+        feature_scalers = FeatureScalers().fit(graphs)
+    if target_scaler is None:
+        target_scaler = TargetScaler().fit(runtimes_ms)
+
+    n = len(graphs)
+    n_val = int(n * config.validation_fraction)
+    order = rng.permutation(n)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    if len(train_idx) == 0:
+        train_idx, val_idx = order, order[:0]
+
+    log_targets = np.log(np.maximum(runtimes_ms, 1e-3))
+    loss_fn = QErrorLoss()
+    optimizer = Adam(model.parameters(), lr=config.learning_rate,
+                     weight_decay=config.weight_decay)
+
+    # Batches are materialized once and reused across epochs (shuffling the
+    # batch *order* per epoch): batch construction costs python-level loops,
+    # which would otherwise dominate the training wall-clock.
+    train_batches = []
+    for indices in _epoch_batches(len(train_idx), config.batch_size, rng):
+        batch_indices = train_idx[indices]
+        train_batches.append((
+            make_batch([graphs[i] for i in batch_indices], feature_scalers),
+            log_targets[batch_indices]))
+    val_batch = None
+    if len(val_idx):
+        val_batch = (make_batch([graphs[i] for i in val_idx], feature_scalers),
+                     log_targets[val_idx])
+
+    def batch_loss(batch_and_targets):
+        batch, target_log = batch_and_targets
+        output = model(batch)
+        pred_log = output * target_scaler.std + target_scaler.mean
+        return loss_fn(pred_log, target_log)
+
+    history = {"train_loss": [], "val_loss": []}
+    best_val = np.inf
+    best_state = None
+    patience_left = config.early_stopping_patience
+
+    for epoch in range(config.epochs):
+        model.train()
+        epoch_losses = []
+        for batch_index in rng.permutation(len(train_batches)):
+            optimizer.zero_grad()
+            loss = batch_loss(train_batches[batch_index])
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history["train_loss"].append(float(np.mean(epoch_losses)))
+
+        if val_batch is not None:
+            model.eval()
+            with no_grad():
+                val_loss = batch_loss(val_batch).item()
+            history["val_loss"].append(val_loss)
+            if val_loss < best_val - 1e-4:
+                best_val = val_loss
+                best_state = model.state_dict()
+                patience_left = config.early_stopping_patience
+            else:
+                patience_left -= 1
+                if patience_left <= 0:
+                    break
+        if config.verbose:
+            val_text = (f" val={history['val_loss'][-1]:.3f}"
+                        if history["val_loss"] else "")
+            print(f"epoch {epoch:3d} train={history['train_loss'][-1]:.3f}"
+                  f"{val_text}")
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    model.eval()
+    return feature_scalers, target_scaler, history
+
+
+def predict_runtimes(model, graphs, feature_scalers, target_scaler,
+                     batch_size=256):
+    """Predicted runtimes in milliseconds (inference mode)."""
+    if not graphs:
+        return np.array([])
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, len(graphs), batch_size):
+            batch = make_batch(graphs[start:start + batch_size],
+                               feature_scalers)
+            outputs.append(model(batch).numpy())
+    scaled = np.concatenate(outputs)
+    return target_scaler.to_runtime_ms(scaled)

@@ -1,0 +1,18 @@
+"""Synthetic database generation: distributions, schema specs, and the
+20-database benchmark of Section 6."""
+
+from .distributions import (zipf_codes, mixture_floats, correlated_from,
+                            make_vocabulary, apply_nulls, sorted_fraction)
+from .schema_gen import ColumnSpec, TableSpec, DatabaseSpec, random_database_spec
+from .generator import generate_database, grow_database
+from .benchmark20 import (BENCHMARK_PROFILES, BENCHMARK_NAMES, benchmark_spec,
+                          make_benchmark_database, make_benchmark_databases)
+
+__all__ = [
+    "zipf_codes", "mixture_floats", "correlated_from", "make_vocabulary",
+    "apply_nulls", "sorted_fraction",
+    "ColumnSpec", "TableSpec", "DatabaseSpec", "random_database_spec",
+    "generate_database", "grow_database",
+    "BENCHMARK_PROFILES", "BENCHMARK_NAMES", "benchmark_spec",
+    "make_benchmark_database", "make_benchmark_databases",
+]

@@ -1,0 +1,121 @@
+"""Materialize :class:`DatabaseSpec` specifications into databases."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage import Column, Database, DataType, ForeignKey, NULL_CODE, Schema, Table
+from .distributions import (apply_nulls, correlated_from, make_vocabulary,
+                            mixture_floats, sorted_fraction, zipf_codes)
+from .schema_gen import ColumnSpec, DatabaseSpec, TableSpec
+
+__all__ = ["generate_database", "grow_database"]
+
+
+def _generate_payload_column(rng, spec: ColumnSpec, n_rows, generated):
+    """Generate one payload column according to its spec."""
+    if spec.kind == "int_zipf":
+        offset = int(rng.integers(0, 1000))
+        codes = zipf_codes(rng, n_rows, spec.n_distinct, spec.skew)
+        values = (codes + offset).astype(np.float64)
+        values = sorted_fraction(rng, values, spec.sorted_frac)
+        values = apply_nulls(rng, values, spec.null_frac, np.nan)
+        return Column(spec.name, DataType.INT, values)
+
+    if spec.kind == "float_mix":
+        values = mixture_floats(rng, n_rows, n_modes=spec.n_modes)
+        values = apply_nulls(rng, values, spec.null_frac, np.nan)
+        return Column(spec.name, DataType.FLOAT, values)
+
+    if spec.kind == "int_correlated":
+        base = generated[spec.correlates_with].values
+        base_filled = np.where(np.isnan(base), np.nanmean(base), base) \
+            if np.isnan(base).any() else base
+        raw = correlated_from(rng, base_filled, spec.correlation_strength)
+        # Discretize into n_distinct integer buckets.
+        lo, hi = raw.min(), raw.max()
+        span = (hi - lo) or 1.0
+        values = np.floor((raw - lo) / span * (spec.n_distinct - 1)).astype(np.float64)
+        values = apply_nulls(rng, values, spec.null_frac, np.nan)
+        return Column(spec.name, DataType.INT, values)
+
+    if spec.kind in ("categorical", "string"):
+        vocab = make_vocabulary(rng, spec.n_distinct)
+        codes = zipf_codes(rng, n_rows, spec.n_distinct, spec.skew).astype(np.int64)
+        codes = apply_nulls(rng, codes, spec.null_frac, NULL_CODE)
+        dtype = DataType.CATEGORICAL if spec.kind == "categorical" else DataType.STRING
+        return Column(spec.name, dtype, codes, dictionary=vocab)
+
+    raise ValueError(f"unknown column kind {spec.kind!r}")
+
+
+def _parent_popularity(base_seed, parent_index, n_parent):
+    """Shared popularity permutation of one parent table's rows.
+
+    Children referencing this parent map zipf frequency ranks through the
+    same permutation, so the popular parent rows are popular in *every*
+    child table (correlated fanouts -> realistic M:N join expansion).
+    """
+    rng = np.random.default_rng([base_seed, 999_983, parent_index])
+    return rng.permutation(n_parent)
+
+
+def _generate_table(base_seed, table_index, spec: TableSpec, parent_rows,
+                    table_indexes):
+    """Generate one table: PK, FK columns referencing parents, payload.
+
+    Every column draws from its own RNG stream seeded by (database seed,
+    table index, column index).  Row counts therefore do not perturb *other*
+    columns' streams, so scaling a spec up (``grow_database``, Fig. 8)
+    yields identically distributed data.
+    """
+    columns = [Column("id", DataType.INT, np.arange(spec.n_rows, dtype=np.float64))]
+    for fk_index, (fk_column, parent) in enumerate(spec.parents):
+        rng = np.random.default_rng([base_seed, table_index, 1000 + fk_index])
+        n_parent = parent_rows[parent]
+        popularity = _parent_popularity(base_seed, table_indexes[parent],
+                                        n_parent)
+        refs = zipf_codes(rng, spec.n_rows, n_parent, spec.fk_skew,
+                          permutation=popularity).astype(np.float64)
+        refs = apply_nulls(rng, refs, spec.fk_null_frac, np.nan)
+        columns.append(Column(fk_column, DataType.INT, refs))
+    generated = {}
+    for col_index, column_spec in enumerate(spec.columns):
+        rng = np.random.default_rng([base_seed, table_index, col_index])
+        column = _generate_payload_column(rng, column_spec, spec.n_rows,
+                                          generated)
+        generated[column.name] = column
+        columns.append(column)
+    return Table(spec.name, columns)
+
+
+def generate_database(spec: DatabaseSpec) -> Database:
+    """Generate the full database for ``spec`` (deterministic in the seed)."""
+    parent_rows = {t.name: t.n_rows for t in spec.tables}
+    table_indexes = {t.name: i for i, t in enumerate(spec.tables)}
+    tables = [_generate_table(spec.seed, index, table_spec, parent_rows,
+                              table_indexes)
+              for index, table_spec in enumerate(spec.tables)]
+    foreign_keys = [
+        ForeignKey(t.name, fk_column, parent, "id")
+        for t in spec.tables for fk_column, parent in t.parents
+    ]
+    schema = Schema([t.name for t in spec.tables], foreign_keys)
+    return Database(spec.name, schema, tables, genspec=spec)
+
+
+def grow_database(db: Database, factor) -> Database:
+    """The database after updates grew it to ``factor`` times its size.
+
+    Regenerates from the stored genspec with scaled row counts — i.e. the new
+    rows follow the same distributions as the old ones (bulk inserts of
+    similar data), which is the Fig. 8 update scenario.  Indexes present on
+    the original database are recreated.
+    """
+    if db.genspec is None:
+        raise ValueError(f"database {db.name!r} has no genspec; cannot grow")
+    grown = generate_database(db.genspec.scaled(factor))
+    grown.name = db.name
+    for table_name, column_name in db.indexes:
+        grown.create_index(table_name, column_name)
+    return grown

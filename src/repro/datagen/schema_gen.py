@@ -1,0 +1,205 @@
+"""Specifications for generated databases.
+
+A :class:`DatabaseSpec` fully determines a database (given its seed): the
+table layout (star / snowflake / chain / random), per-table sizes and the
+column mix.  Keeping the spec on the generated :class:`~repro.storage.Database`
+lets the update experiments regenerate a grown version with identical
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["ColumnSpec", "TableSpec", "DatabaseSpec", "random_database_spec"]
+
+LAYOUTS = ("star", "snowflake", "chain", "random")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One payload column: its type and distribution parameters."""
+
+    name: str
+    kind: str  # "int_zipf" | "float_mix" | "int_correlated" | "categorical" | "string"
+    n_distinct: int = 100
+    skew: float = 0.0
+    null_frac: float = 0.0
+    correlates_with: str = None
+    correlation_strength: float = 0.0
+    sorted_frac: float = 0.0
+    n_modes: int = 2
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One table: size, FK parents, and payload columns."""
+
+    name: str
+    n_rows: int
+    columns: tuple
+    parents: tuple = ()  # tuple of (fk_column_name, parent_table_name)
+    fk_skew: float = 0.0
+    fk_null_frac: float = 0.0
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """A complete database specification."""
+
+    name: str
+    seed: int
+    tables: tuple
+    layout: str = "random"
+
+    def scaled(self, factor):
+        """Spec for the same database grown to ``factor`` times the rows."""
+        tables = tuple(replace(t, n_rows=max(1, int(t.n_rows * factor)))
+                       for t in self.tables)
+        return replace(self, tables=tables)
+
+    @property
+    def table_names(self):
+        return [t.name for t in self.tables]
+
+
+def _payload_columns(rng, n_cols, complexity):
+    """Random payload column mix.
+
+    ``complexity`` in [0, 1] scales how much skew / correlation / NULLs the
+    table carries (real-world databases are high, synthetic ones low).
+    """
+    columns = []
+    previous_numeric = None
+    for i in range(n_cols):
+        roll = rng.random()
+        null_frac = float(rng.uniform(0, 0.25) * complexity * (rng.random() < 0.4))
+        if roll < 0.35:
+            spec = ColumnSpec(
+                name=f"c{i}_num", kind="int_zipf",
+                n_distinct=int(rng.integers(8, 2000)),
+                skew=float(rng.uniform(0, 1.6) * complexity),
+                null_frac=null_frac,
+                sorted_frac=float(rng.choice([0.0, 0.0, 0.5, 1.0])),
+            )
+            previous_numeric = spec.name
+        elif roll < 0.55:
+            spec = ColumnSpec(
+                name=f"c{i}_val", kind="float_mix",
+                n_modes=int(rng.integers(1, 4)),
+                null_frac=null_frac,
+            )
+            previous_numeric = spec.name
+        elif roll < 0.75 and previous_numeric is not None and complexity > 0.3:
+            spec = ColumnSpec(
+                name=f"c{i}_corr", kind="int_correlated",
+                correlates_with=previous_numeric,
+                correlation_strength=float(rng.uniform(0.6, 0.95)),
+                n_distinct=int(rng.integers(10, 500)),
+                null_frac=null_frac,
+            )
+        elif roll < 0.9:
+            spec = ColumnSpec(
+                name=f"c{i}_cat", kind="categorical",
+                n_distinct=int(rng.integers(3, 60)),
+                skew=float(rng.uniform(0.2, 1.4) * max(complexity, 0.2)),
+                null_frac=null_frac,
+            )
+        else:
+            spec = ColumnSpec(
+                name=f"c{i}_str", kind="string",
+                n_distinct=int(rng.integers(30, 800)),
+                skew=float(rng.uniform(0, 1.2) * max(complexity, 0.2)),
+                null_frac=null_frac,
+            )
+        columns.append(spec)
+    return columns
+
+
+def random_database_spec(name, seed, layout=None, base_rows=5000,
+                         n_tables=None, complexity=0.7):
+    """Create a random :class:`DatabaseSpec`.
+
+    ``base_rows`` sizes the largest (fact) table; dimension tables are
+    fractions of it. ``complexity`` tunes skew/correlation/NULL richness.
+    """
+    rng = np.random.default_rng(seed)
+    layout = layout or str(rng.choice(LAYOUTS))
+    if layout not in LAYOUTS:
+        raise ValueError(f"unknown layout {layout!r}")
+    n_tables = n_tables or int(rng.integers(3, 9))
+    n_tables = max(2, n_tables)
+
+    tables = []
+    # Table 0 is the fact/root table; others become parents per layout.
+    for t in range(n_tables):
+        table_name = f"t{t}" if t else "fact"
+        if t == 0:
+            n_rows = base_rows
+        elif layout == "random":
+            # Random layouts wire later tables as *children* of earlier hubs
+            # (IMDB-style: several large fact-like tables reference shared
+            # hub tables), so these tables must be comparable in size to the
+            # root for M:N join expansion to occur.
+            n_rows = max(20, int(base_rows * float(rng.uniform(0.3, 1.3))))
+        else:
+            n_rows = max(20, int(base_rows * float(rng.uniform(0.02, 0.4))))
+
+        n_cols = int(rng.integers(2, 7))
+        tables.append(TableSpec(
+            name=table_name,
+            n_rows=n_rows,
+            columns=tuple(_payload_columns(rng, n_cols, complexity)),
+            parents=(),
+            fk_skew=float(rng.uniform(0.4, 1.6) * complexity),
+            fk_null_frac=float(rng.uniform(0, 0.08) * complexity),
+        ))
+
+    # Wire up foreign keys according to the layout.
+    def with_parents(spec, parent_names):
+        parents = tuple((f"{p}_id", p) for p in parent_names)
+        return replace(spec, parents=parents)
+
+    wired = [tables[0]]
+    names = [t.name for t in tables]
+    if layout == "star":
+        wired[0] = with_parents(tables[0], names[1:])
+        wired.extend(tables[1:])
+    elif layout == "chain":
+        # fact -> t1 -> t2 -> ...
+        for i, spec in enumerate(tables):
+            if i + 1 < len(tables):
+                wired_spec = with_parents(spec, [names[i + 1]])
+            else:
+                wired_spec = spec
+            if i == 0:
+                wired[0] = wired_spec
+            else:
+                wired.append(wired_spec)
+    elif layout == "snowflake":
+        # fact references first-level dims; those reference second-level dims.
+        first = names[1:1 + max(1, (n_tables - 1) // 2)]
+        second = names[1 + len(first):]
+        wired[0] = with_parents(tables[0], first)
+        leftover = list(second)
+        for i, dim in enumerate(first):
+            spec = tables[names.index(dim)]
+            mine = leftover[i::len(first)]
+            wired.append(with_parents(spec, mine) if mine else spec)
+        for dim in second:
+            wired.append(tables[names.index(dim)])
+    else:
+        # random: each later table references a random earlier one.  A parent
+        # may thus be referenced by *several* children, so queries joining
+        # two children through their shared parent expand M:N — the
+        # heavy-tailed intermediate results real schemas exhibit.
+        refs = {n: [] for n in names}
+        for i in range(1, n_tables):
+            parent = names[int(rng.integers(0, i))]
+            refs[names[i]].append(parent)
+        wired = [with_parents(spec, refs[spec.name]) if refs[spec.name] else spec
+                 for spec in tables]
+
+    return DatabaseSpec(name=name, seed=seed, tables=tuple(wired), layout=layout)

@@ -1,0 +1,12 @@
+"""Physical-design extension (§5.2): index workloads and the design advisor.
+
+Index-mode *training* workloads are produced by
+:func:`repro.workloads.generate_trace` with ``index_mode=True`` (random
+indexes created/dropped during execution); this package adds the design
+advisor that exploits a trained zero-shot model to evaluate candidate
+designs without executing queries.
+"""
+
+from .advisor import AdvisorChoice, IndexAdvisor
+
+__all__ = ["AdvisorChoice", "IndexAdvisor"]

@@ -1,0 +1,112 @@
+"""Physical design advisor driven by zero-shot cost estimates (§5.2).
+
+The advisor enumerates candidate single-column indexes, re-plans the
+workload under each candidate design, and asks the zero-shot model for the
+predicted total runtime — *without executing anything* on the target
+database.  Greedy selection keeps adding the index with the largest
+predicted saving.  This is the design-advisor use case the paper motivates:
+such tools crucially depend on cost estimates for configurations that do
+not exist yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..optimizer import PlannerConfig, plan_query
+from ..sql import predicate_columns
+
+__all__ = ["AdvisorChoice", "IndexAdvisor"]
+
+
+@dataclass
+class _PseudoRecord:
+    """Record-shaped wrapper for unexecuted plans (prediction only)."""
+
+    query: object
+    plan: object
+    db_name: str
+    runtime_ms: float = float("nan")
+
+
+@dataclass
+class AdvisorChoice:
+    """One greedy advisor step."""
+
+    index: tuple                 # (table, column)
+    predicted_total_ms: float
+    baseline_total_ms: float
+
+    @property
+    def predicted_saving_ms(self):
+        return self.baseline_total_ms - self.predicted_total_ms
+
+
+class IndexAdvisor:
+    """Greedy index selection using zero-shot cost predictions."""
+
+    def __init__(self, cost_model, planner_config=None, cards="deepdb",
+                 estimator_cache=None):
+        self.cost_model = cost_model
+        self.planner_config = planner_config or PlannerConfig()
+        self.cards = cards
+        self.estimator_cache = estimator_cache
+
+    # ------------------------------------------------------------------
+    def candidate_indexes(self, db, queries):
+        """Columns worth indexing: FK join keys and filtered columns."""
+        candidates = set()
+        for fk in db.schema.foreign_keys:
+            candidates.add((fk.child_table, fk.child_column))
+        for query in queries:
+            for predicate in query.filters.values():
+                for table, column in predicate_columns(predicate):
+                    if db.column(table, column).dtype.is_numeric:
+                        candidates.add((table, column))
+        return sorted(candidates - set(db.indexes))
+
+    def predicted_workload_ms(self, db, queries):
+        """Total predicted runtime of the workload under the current design."""
+        records = []
+        for query in queries:
+            plan = plan_query(db, query, config=self.planner_config)
+            records.append(_PseudoRecord(query=query, plan=plan,
+                                         db_name=db.name))
+        predictions = self.cost_model.predict_records(
+            records, {db.name: db}, cards=self.cards,
+            estimator_cache=self.estimator_cache)
+        return float(np.sum(predictions))
+
+    # ------------------------------------------------------------------
+    def recommend(self, db, queries, max_indexes=3, min_saving_fraction=0.02):
+        """Greedily choose up to ``max_indexes`` indexes for the workload.
+
+        Returns the list of :class:`AdvisorChoice` steps taken.  The database
+        is left with the recommended indexes created; callers that only want
+        the recommendation can drop them afterwards.
+        """
+        choices = []
+        baseline = self.predicted_workload_ms(db, queries)
+        for _ in range(max_indexes):
+            best = None
+            for table, column in self.candidate_indexes(db, queries):
+                db.create_index(table, column)
+                try:
+                    predicted = self.predicted_workload_ms(db, queries)
+                finally:
+                    db.drop_index(table, column)
+                if best is None or predicted < best[1]:
+                    best = ((table, column), predicted)
+            if best is None:
+                break
+            index, predicted = best
+            if baseline - predicted < min_saving_fraction * baseline:
+                break
+            db.create_index(*index)
+            choices.append(AdvisorChoice(index=index,
+                                         predicted_total_ms=predicted,
+                                         baseline_total_ms=baseline))
+            baseline = predicted
+        return choices

@@ -1,0 +1,12 @@
+"""Distributed cloud-DW extension of zero-shot cost models (§5.1)."""
+
+from .cluster import ClusterConfig, DEFAULT_CLUSTER
+from .planner import plan_distributed_query, distributed_storage_formats
+from .runtime_model import simulate_distributed_runtime_ms
+from .trace import generate_distributed_trace
+
+__all__ = [
+    "ClusterConfig", "DEFAULT_CLUSTER",
+    "plan_distributed_query", "distributed_storage_formats",
+    "simulate_distributed_runtime_ms", "generate_distributed_trace",
+]

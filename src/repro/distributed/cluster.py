@@ -1,0 +1,26 @@
+"""Cluster configuration for the distributed cloud DW simulator (§5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig", "DEFAULT_CLUSTER"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A shared-nothing cluster of identical compute nodes."""
+
+    n_nodes: int = 8
+    network_bytes_per_us: float = 1200.0   # ~ 9.6 Gbit/s effective
+    shuffle_latency_us: float = 350.0      # per-shuffle fixed round-trip
+    coordinator_overhead_us: float = 2500.0
+    scale_efficiency: float = 0.9          # speedup = n_nodes ** efficiency
+    broadcast_threshold_bytes: float = 256 * 1024
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+
+DEFAULT_CLUSTER = ClusterConfig()

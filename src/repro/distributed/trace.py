@@ -1,0 +1,29 @@
+"""Trace generation on the distributed cluster simulator."""
+
+from __future__ import annotations
+
+from ..executor import execute_plan
+from ..workloads import Trace, TraceRecord, TIMEOUT_MS
+from .cluster import DEFAULT_CLUSTER
+from .planner import plan_distributed_query
+from .runtime_model import simulate_distributed_runtime_ms
+
+__all__ = ["generate_distributed_trace"]
+
+
+def generate_distributed_trace(db, queries, cluster=None, hardware=None,
+                               seed=0, timeout_ms=TIMEOUT_MS):
+    """Plan, execute and time queries on the simulated cloud DW."""
+    cluster = cluster or DEFAULT_CLUSTER
+    trace = Trace(db_name=db.name)
+    for query in queries:
+        plan = plan_distributed_query(db, query, cluster)
+        execute_plan(db, plan)
+        runtime = simulate_distributed_runtime_ms(db, plan, cluster,
+                                                  hardware=hardware, seed=seed)
+        if runtime > timeout_ms:
+            trace.excluded_timeouts += 1
+            continue
+        trace.records.append(TraceRecord(query=query, plan=plan,
+                                         runtime_ms=runtime, db_name=db.name))
+    return trace

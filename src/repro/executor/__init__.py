@@ -1,0 +1,14 @@
+"""Execution engine: exact plan execution plus the runtime simulator that
+substitutes the paper's physical Postgres testbed."""
+
+from .executor import Intermediate, ExecutionResult, execute_plan, equi_join
+from .profiles import HardwareProfile, DEFAULT_HARDWARE, CLOUD_DW_NODE
+from .runtime_model import (predicate_row_cost_ns, simulate_runtime_ms,
+                            plan_signature, node_time_us)
+
+__all__ = [
+    "Intermediate", "ExecutionResult", "execute_plan", "equi_join",
+    "HardwareProfile", "DEFAULT_HARDWARE", "CLOUD_DW_NODE",
+    "predicate_row_cost_ns", "simulate_runtime_ms", "plan_signature",
+    "node_time_us",
+]

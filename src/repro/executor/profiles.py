@@ -1,0 +1,84 @@
+"""Hardware profiles for the runtime simulator.
+
+One fixed profile plays the role of the paper's identical cloudlab c8220
+nodes: every database's traces are "executed" on the same simulated machine,
+so runtimes are a function of plan + data characteristics only (plus noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HardwareProfile", "DEFAULT_HARDWARE", "CLOUD_DW_NODE"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Latency constants of the simulated machine (ns / us granularity)."""
+
+    # Fixed per-query overhead: parse, plan, executor startup (us).
+    query_overhead_us: float = 140.0
+    # Sequential page read (8 KiB), warm-ish storage (us).
+    seq_page_us: float = 18.0
+    random_page_us: float = 65.0
+    # Per-tuple CPU costs (ns).
+    tuple_ns: float = 95.0
+    width_ns_per_byte: float = 0.9
+    emit_ns: float = 85.0
+    # Predicate evaluation (ns per row).
+    pred_numeric_ns: float = 7.0
+    pred_dict_eq_ns: float = 9.0
+    pred_in_base_ns: float = 12.0
+    pred_in_per_value_ns: float = 2.0
+    pred_like_base_ns: float = 55.0
+    pred_like_per_complexity_ns: float = 26.0
+    pred_null_ns: float = 4.0
+    # Hash join (ns / bytes).
+    hash_build_ns: float = 175.0
+    hash_build_ns_per_byte: float = 0.45
+    hash_probe_ns: float = 135.0
+    # Memory hierarchy.  Sized so joins at benchmark scale regularly leave
+    # the cache and occasionally spill — the non-linear regimes a linear
+    # cost abstraction cannot track.
+    work_mem_bytes: float = 256 * 1024
+    cache_bytes: float = 128 * 1024
+    cache_miss_factor: float = 0.38
+    spill_factor: float = 0.85
+    spill_io_bytes_per_us: float = 900.0
+    # Index access.
+    index_descend_us: float = 1.1
+    index_fetch_random_ns: float = 1900.0
+    index_fetch_seq_ns: float = 240.0
+    # Sort.
+    sort_compare_ns: float = 24.0
+    sort_width_ns_per_byte: float = 0.2
+    external_sort_factor: float = 2.1
+    # Aggregation.
+    agg_ns_per_agg: float = 34.0
+    agg_row_ns: float = 22.0
+    hashagg_row_ns: float = 105.0
+    group_emit_ns: float = 160.0
+    # Parallelism (the nonlinearity Postgres' linear costing misses).
+    parallel_startup_us: float = 2400.0
+    parallel_tuple_ns: float = 28.0
+    parallel_efficiency: float = 0.82   # speedup = workers ** efficiency
+    # Nested loop bookkeeping.
+    nl_loop_ns: float = 140.0
+    # Noise (multiplicative log-normal sigma).
+    noise_sigma: float = 0.07
+
+
+DEFAULT_HARDWARE = HardwareProfile()
+
+# The "commercial cloud data warehouse" node of Section 5.1: faster storage,
+# more memory, columnar-friendly, plus network constants used by the
+# distributed runtime extension.
+CLOUD_DW_NODE = HardwareProfile(
+    query_overhead_us=2600.0,
+    seq_page_us=9.0,
+    random_page_us=40.0,
+    work_mem_bytes=2 * 1024 * 1024,
+    cache_bytes=512 * 1024,
+    parallel_startup_us=1500.0,
+    noise_sigma=0.11,
+)

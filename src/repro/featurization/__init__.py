@@ -1,0 +1,19 @@
+"""Transferable query featurization: typed graphs, Table-1 features, batching
+and scalers for the zero-shot model."""
+
+from .graph import NODE_TYPES, QueryGraph
+from .features import (FEATURE_DIMS, PLAN_NUMERIC_DIMS, plan_features,
+                       predicate_features, table_features, attribute_features,
+                       output_features)
+from .zero_shot import build_query_graph
+from .scalers import StandardScaler, FeatureScalers, TargetScaler
+from .batching import GraphBatch, LevelGroup, make_batch
+
+__all__ = [
+    "NODE_TYPES", "QueryGraph",
+    "FEATURE_DIMS", "PLAN_NUMERIC_DIMS", "plan_features", "predicate_features",
+    "table_features", "attribute_features", "output_features",
+    "build_query_graph",
+    "StandardScaler", "FeatureScalers", "TargetScaler",
+    "GraphBatch", "LevelGroup", "make_batch",
+]

@@ -1,0 +1,134 @@
+"""Batching of query graphs for vectorized message passing.
+
+Multiple :class:`QueryGraph` objects are merged into one disjoint union with
+globally renumbered nodes.  The batch precomputes everything the model's
+forward pass needs:
+
+* per-node-type feature matrices (scaled) and the global position of every
+  node (nodes are grouped by type, so a global hidden-state matrix is the
+  concatenation of per-type blocks),
+* message-passing *levels*: for each level and node type, the node indices
+  at that level plus the (child, parent-slot) edge arrays feeding them,
+* root indices (one per graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import NODE_TYPES
+
+__all__ = ["GraphBatch", "make_batch"]
+
+
+@dataclass
+class LevelGroup:
+    """Nodes of one (level, node type) cell of the batch."""
+
+    node_type: str
+    node_indices: np.ndarray       # global indices of the nodes updated here
+    edge_children: np.ndarray      # global indices of their children
+    edge_parent_slots: np.ndarray  # position of each child's parent inside
+                                   # ``node_indices`` (for scatter_sum)
+
+
+@dataclass
+class GraphBatch:
+    """A batched disjoint union of query graphs."""
+
+    features: dict                 # node type -> (n_t, dim_t) matrix
+    type_offsets: dict             # node type -> offset in the global matrix
+    type_counts: dict
+    init_positions: dict           # node type -> global indices of its nodes
+    levels: list = field(default_factory=list)  # list[list[LevelGroup]]
+    roots: np.ndarray = None
+    n_nodes: int = 0
+
+    @property
+    def n_graphs(self):
+        return len(self.roots)
+
+
+def make_batch(graphs, scalers=None) -> GraphBatch:
+    """Merge graphs into one batch (optionally scaling features)."""
+    if not graphs:
+        raise ValueError("cannot batch zero graphs")
+
+    # Global ids: grouped by node type so hidden states can be assembled by
+    # concatenating per-type encoder outputs.
+    per_type_nodes = {t: [] for t in NODE_TYPES}   # (graph_idx, local_idx)
+    for g_idx, graph in enumerate(graphs):
+        for local, node_type in enumerate(graph.node_types):
+            per_type_nodes[node_type].append((g_idx, local))
+
+    type_offsets, type_counts = {}, {}
+    global_of = {}  # (graph_idx, local_idx) -> global id
+    cursor = 0
+    for node_type in NODE_TYPES:
+        type_offsets[node_type] = cursor
+        nodes = per_type_nodes[node_type]
+        type_counts[node_type] = len(nodes)
+        for position, key in enumerate(nodes):
+            global_of[key] = cursor + position
+        cursor += len(nodes)
+    n_nodes = cursor
+
+    features = {}
+    init_positions = {}
+    for node_type in NODE_TYPES:
+        nodes = per_type_nodes[node_type]
+        if not nodes:
+            continue
+        matrix = np.stack([graphs[g].features[i] for g, i in nodes])
+        if scalers is not None:
+            matrix = scalers.transform(node_type, matrix)
+        features[node_type] = matrix
+        init_positions[node_type] = np.array(
+            [global_of[key] for key in nodes], dtype=np.int64)
+
+    # Levels across the whole batch.
+    level_of = np.zeros(n_nodes, dtype=np.int64)
+    children_global = {}
+    for g_idx, graph in enumerate(graphs):
+        local_levels = graph.levels()
+        for local in range(graph.n_nodes):
+            level_of[global_of[(g_idx, local)]] = local_levels[local]
+        for child, parent in graph.edges:
+            children_global.setdefault(global_of[(g_idx, parent)], []).append(
+                global_of[(g_idx, child)])
+
+    max_level = int(level_of.max()) if n_nodes else 0
+    node_type_of = np.empty(n_nodes, dtype=object)
+    for node_type in NODE_TYPES:
+        for key in per_type_nodes[node_type]:
+            node_type_of[global_of[key]] = node_type
+
+    levels = []
+    for level in range(max_level + 1):
+        groups = []
+        at_level = np.nonzero(level_of == level)[0]
+        for node_type in NODE_TYPES:
+            nodes = np.array([n for n in at_level
+                              if node_type_of[n] == node_type], dtype=np.int64)
+            if nodes.size == 0:
+                continue
+            slot_of = {int(n): slot for slot, n in enumerate(nodes)}
+            edge_children, edge_slots = [], []
+            for node in nodes:
+                for child in children_global.get(int(node), []):
+                    edge_children.append(child)
+                    edge_slots.append(slot_of[int(node)])
+            groups.append(LevelGroup(
+                node_type=node_type,
+                node_indices=nodes,
+                edge_children=np.array(edge_children, dtype=np.int64),
+                edge_parent_slots=np.array(edge_slots, dtype=np.int64)))
+        levels.append(groups)
+
+    roots = np.array([global_of[(g_idx, graph.root)]
+                      for g_idx, graph in enumerate(graphs)], dtype=np.int64)
+    return GraphBatch(features=features, type_offsets=type_offsets,
+                      type_counts=type_counts, init_positions=init_positions,
+                      levels=levels, roots=roots, n_nodes=n_nodes)

@@ -1,0 +1,93 @@
+"""Transferable feature vectors (the paper's Table 1).
+
+Every feature has the same semantics on any database: operator identities are
+one-hot over a fixed physical-operator vocabulary, cardinalities and page
+counts enter as ``log1p``, data types as one-hot over the four logical types.
+Literals never appear — only their complexity (``literal_feat``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..optimizer import OPERATOR_NAMES
+from ..sql import PredOp
+from ..storage import DataType
+
+__all__ = ["FEATURE_DIMS", "plan_features", "predicate_features",
+           "table_features", "attribute_features", "output_features",
+           "PLAN_NUMERIC_DIMS"]
+
+_OPERATOR_INDEX = {name: i for i, name in enumerate(OPERATOR_NAMES)}
+_PRED_OPS = list(PredOp)
+_PRED_INDEX = {op: i for i, op in enumerate(_PRED_OPS)}
+_DTYPES = list(DataType)
+_DTYPE_INDEX = {dtype: i for i, dtype in enumerate(_DTYPES)}
+_AGGS = ("none", "count", "sum", "avg", "min", "max")
+_AGG_INDEX = {name: i for i, name in enumerate(_AGGS)}
+_STORAGE_FORMATS = ("row", "column")
+
+# Number of leading numeric (non-one-hot) feature slots of plan nodes;
+# used by tests and the flattened baseline.
+PLAN_NUMERIC_DIMS = 4
+
+FEATURE_DIMS = {
+    "plan": PLAN_NUMERIC_DIMS + len(OPERATOR_NAMES),
+    "predicate": 1 + len(_PRED_OPS),
+    "table": 2 + len(_STORAGE_FORMATS),
+    "attribute": 4 + len(_DTYPES),
+    "output": len(_AGGS),
+}
+
+
+def _one_hot(index, size):
+    vec = np.zeros(size)
+    vec[index] = 1.0
+    return vec
+
+
+def plan_features(op_name, card_out, card_prod, width, workers):
+    """Plan-operator node: cardout, card_prod, width, workers + opname."""
+    numeric = np.array([
+        np.log1p(max(card_out, 0.0)),
+        np.log1p(max(card_prod, 0.0)),
+        np.log1p(max(width, 0.0)),
+        float(workers),
+    ])
+    return np.concatenate([numeric, _one_hot(_OPERATOR_INDEX[op_name],
+                                             len(OPERATOR_NAMES))])
+
+
+def predicate_features(op, literal_feature):
+    """Predicate node: operator one-hot + literal complexity (never values)."""
+    return np.concatenate([
+        np.array([np.log1p(max(literal_feature, 0.0))]),
+        _one_hot(_PRED_INDEX[op], len(_PRED_OPS)),
+    ])
+
+
+def table_features(reltuples, relpages, storage_format="row"):
+    """Table node: log rows, log pages, storage format."""
+    fmt = _STORAGE_FORMATS.index(storage_format)
+    return np.concatenate([
+        np.array([np.log1p(max(reltuples, 0.0)), np.log1p(max(relpages, 0.0))]),
+        _one_hot(fmt, len(_STORAGE_FORMATS)),
+    ])
+
+
+def attribute_features(width, correlation, ndistinct, null_frac, dtype):
+    """Attribute node: width, correlation, ndistinct, null_frac, data type."""
+    numeric = np.array([
+        np.log1p(max(width, 0.0)),
+        float(correlation),
+        np.log1p(max(ndistinct, 0.0)),
+        float(null_frac),
+    ])
+    return np.concatenate([numeric, _one_hot(_DTYPE_INDEX[dtype], len(_DTYPES))])
+
+
+def output_features(aggregation):
+    """Output-column node: aggregation function one-hot."""
+    if aggregation not in _AGG_INDEX:
+        raise ValueError(f"unknown aggregation {aggregation!r}")
+    return _one_hot(_AGG_INDEX[aggregation], len(_AGGS))

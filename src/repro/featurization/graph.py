@@ -1,0 +1,76 @@
+"""Typed query graphs: the data structure behind Figure 3.
+
+A :class:`QueryGraph` holds one query plan encoded as a DAG of typed nodes
+(plan operators, predicates, tables, attributes, output columns) with
+per-node transferable feature vectors.  Edges point child -> parent in the
+direction of the bottom-up message passing; nodes are created children-first
+so node indices are already a topological order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["NODE_TYPES", "QueryGraph"]
+
+NODE_TYPES = ("plan", "predicate", "table", "attribute", "output")
+
+
+@dataclass
+class QueryGraph:
+    """One encoded query plan."""
+
+    node_types: list = field(default_factory=list)      # per node: type name
+    features: list = field(default_factory=list)        # per node: np.ndarray
+    edges: list = field(default_factory=list)           # (child_idx, parent_idx)
+    root: int = -1
+
+    def add_node(self, node_type, feature_vector):
+        if node_type not in NODE_TYPES:
+            raise ValueError(f"unknown node type {node_type!r}")
+        self.node_types.append(node_type)
+        self.features.append(np.asarray(feature_vector, dtype=np.float64))
+        return len(self.node_types) - 1
+
+    def add_edge(self, child, parent):
+        if not (0 <= child < len(self.node_types)) \
+                or not (0 <= parent < len(self.node_types)):
+            raise IndexError("edge endpoints out of range")
+        if child == parent:
+            raise ValueError("self edges are not allowed")
+        self.edges.append((child, parent))
+
+    @property
+    def n_nodes(self):
+        return len(self.node_types)
+
+    def children_of(self, node):
+        return [c for c, p in self.edges if p == node]
+
+    def levels(self):
+        """Longest-path level per node (leaves=0); children precede parents."""
+        level = np.zeros(self.n_nodes, dtype=np.int64)
+        for child, parent in sorted(self.edges, key=lambda e: e[1]):
+            # Node indices are topological (children created first), so a
+            # single pass in parent order suffices.
+            level[parent] = max(level[parent], level[child] + 1)
+        return level
+
+    def validate(self):
+        """Sanity checks used by tests and the builder."""
+        if self.root < 0 or self.root >= self.n_nodes:
+            raise ValueError("graph has no valid root")
+        for child, parent in self.edges:
+            if child >= parent:
+                raise ValueError("edges must point from earlier to later nodes "
+                                 "(topological construction)")
+        # Root must be reachable from every node by following parents.
+        reach = {self.root}
+        for child, parent in sorted(self.edges, key=lambda e: -e[1]):
+            if parent in reach:
+                reach.add(child)
+        if len(reach) != self.n_nodes:
+            raise ValueError("graph has nodes disconnected from the root")
+        return True

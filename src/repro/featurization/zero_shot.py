@@ -1,0 +1,133 @@
+"""Builder for the zero-shot query-graph encoding (Figure 3).
+
+Translates an annotated physical plan into a :class:`QueryGraph`:
+
+* every plan operator becomes a plan node (gray in Fig. 3),
+* scans hang their table node (blue) and their predicate tree (red) below
+  them; predicate leaves reference attribute nodes (green),
+* joins get an equality predicate node over the two join-key attributes,
+* aggregate operators get output-column nodes (one per aggregate) whose
+  children are the aggregated attributes.
+
+Attribute nodes are shared within a query (one per table.column), as in the
+paper's encoding.
+"""
+
+from __future__ import annotations
+
+from ..sql import BooleanPredicate, Comparison, PredOp
+from .features import (attribute_features, output_features, plan_features,
+                       predicate_features, table_features)
+from .graph import QueryGraph
+
+__all__ = ["build_query_graph"]
+
+
+class _GraphBuilder:
+    def __init__(self, db, cards, storage_formats=None):
+        self.db = db
+        self.cards = cards
+        self.graph = QueryGraph()
+        self._attributes = {}
+        self._storage_formats = storage_formats or {}
+
+    # ------------------------------------------------------------------
+    def attribute_node(self, table, column):
+        key = (table, column)
+        if key not in self._attributes:
+            stats = self.db.column_stats(table, column)
+            node = self.graph.add_node("attribute", attribute_features(
+                width=stats.width, correlation=stats.correlation,
+                ndistinct=stats.ndistinct, null_frac=stats.null_frac,
+                dtype=stats.dtype))
+            self._attributes[key] = node
+        return self._attributes[key]
+
+    def table_node(self, table):
+        stats = self.db.table_stats(table)
+        fmt = self._storage_formats.get(table, "row")
+        return self.graph.add_node("table", table_features(
+            reltuples=stats.reltuples, relpages=stats.relpages,
+            storage_format=fmt))
+
+    def predicate_node(self, predicate, parent_table=None):
+        """Encode a predicate tree; returns the root predicate node index."""
+        if isinstance(predicate, Comparison):
+            attr = self.attribute_node(predicate.table, predicate.column)
+            node = self.graph.add_node("predicate", predicate_features(
+                predicate.op, predicate.literal_feature))
+            self.graph.add_edge(attr, node)
+            return node
+        if isinstance(predicate, BooleanPredicate):
+            children = [self.predicate_node(child)
+                        for child in predicate.children]
+            node = self.graph.add_node("predicate", predicate_features(
+                predicate.op, predicate.literal_feature))
+            for child in children:
+                self.graph.add_edge(child, node)
+            return node
+        raise TypeError(f"unknown predicate {type(predicate)!r}")
+
+    def join_predicate_node(self, join):
+        """Equality predicate over the two join-key attributes."""
+        child_attr = self.attribute_node(join.child_table, join.child_column)
+        parent_attr = self.attribute_node(join.parent_table, join.parent_column)
+        node = self.graph.add_node("predicate",
+                                   predicate_features(PredOp.EQ, 1.0))
+        self.graph.add_edge(child_attr, node)
+        self.graph.add_edge(parent_attr, node)
+        return node
+
+    def output_node(self, aggregate):
+        attr = None
+        if aggregate.column is not None:
+            attr = self.attribute_node(aggregate.table, aggregate.column)
+        node = self.graph.add_node("output", output_features(aggregate.func))
+        if attr is not None:
+            self.graph.add_edge(attr, node)
+        return node
+
+    # ------------------------------------------------------------------
+    def plan_node(self, node):
+        child_plan_ids = [self.plan_node(child) for child in node.children]
+
+        extra_children = []
+        if node.is_scan:
+            extra_children.append(self.table_node(node.table))
+            if node.filter_predicate is not None:
+                extra_children.append(self.predicate_node(node.filter_predicate))
+        if node.is_join and node.join is not None:
+            extra_children.append(self.join_predicate_node(node.join))
+        if node.op_name in ("Aggregate", "HashAggregate"):
+            for aggregate in node.aggregates:
+                extra_children.append(self.output_node(aggregate))
+            for table, column in node.group_by:
+                extra_children.append(self.attribute_node(table, column))
+        if node.op_name == "Sort":
+            for table, column in node.sort_keys:
+                extra_children.append(self.attribute_node(table, column))
+
+        card_out = self.cards.get(id(node), node.est_rows)
+        card_prod = 1.0
+        for child in node.children:
+            card_prod *= max(self.cards.get(id(child), child.est_rows), 1.0)
+        plan_id = self.graph.add_node("plan", plan_features(
+            op_name=node.op_name, card_out=card_out, card_prod=card_prod,
+            width=node.width, workers=node.workers))
+        for child_id in child_plan_ids + extra_children:
+            self.graph.add_edge(child_id, plan_id)
+        return plan_id
+
+
+def build_query_graph(db, plan, cards, storage_formats=None) -> QueryGraph:
+    """Encode an annotated plan as a transferable query graph.
+
+    ``cards`` maps ``id(plan_node) -> cardinality`` (see
+    :func:`repro.cardest.annotate_cardinalities`); the choice of source is
+    how the exact / DeepDB / optimizer variants of the paper are realized.
+    """
+    builder = _GraphBuilder(db, cards, storage_formats)
+    root = builder.plan_node(plan)
+    builder.graph.root = root
+    builder.graph.validate()
+    return builder.graph

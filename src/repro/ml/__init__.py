@@ -1,0 +1,7 @@
+"""Classic-ML substrate: linear regression, regression trees, GBDT."""
+
+from .linear import LinearRegression
+from .tree import RegressionTree
+from .gbdt import GradientBoostedTrees
+
+__all__ = ["LinearRegression", "RegressionTree", "GradientBoostedTrees"]

@@ -1,0 +1,42 @@
+"""Ordinary least squares (with optional ridge term)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """OLS/ridge linear regression ``y = X w + b``."""
+
+    def __init__(self, ridge=0.0):
+        self.ridge = float(ridge)
+        self.weights = None
+        self.intercept = 0.0
+
+    def fit(self, features, targets):
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        y = np.asarray(targets, dtype=np.float64)
+        if len(x) != len(y):
+            raise ValueError("features and targets must align")
+        design = np.hstack([x, np.ones((len(x), 1))])
+        gram = design.T @ design
+        if self.ridge:
+            penalty = self.ridge * np.eye(gram.shape[0])
+            penalty[-1, -1] = 0.0  # do not penalize the intercept
+            gram = gram + penalty
+        solution = np.linalg.lstsq(gram, design.T @ y, rcond=None)[0]
+        self.weights = solution[:-1]
+        self.intercept = float(solution[-1])
+        return self
+
+    def predict(self, features):
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        return x @ self.weights + self.intercept

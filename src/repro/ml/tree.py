@@ -1,0 +1,102 @@
+"""Regression trees with histogram-based splits.
+
+The building block of :mod:`repro.ml.gbdt`, which replaces LightGBM for the
+paper's flattened-plan baseline (Ganapathi et al. representation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RegressionTree"]
+
+
+@dataclass
+class _Node:
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node" = None
+    right: "_Node" = None
+
+    @property
+    def is_leaf(self):
+        return self.left is None
+
+
+class RegressionTree:
+    """CART-style regression tree, variance-reduction splits on quantile bins."""
+
+    def __init__(self, max_depth=4, min_samples_leaf=8, max_bins=32):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_bins = max_bins
+        self._root = None
+
+    def fit(self, features, targets):
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if len(x) != len(y):
+            raise ValueError("features and targets must align")
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _candidate_thresholds(self, column):
+        uniques = np.unique(column)
+        if len(uniques) <= 1:
+            return np.array([])
+        if len(uniques) <= self.max_bins:
+            return (uniques[:-1] + uniques[1:]) / 2.0
+        quantiles = np.quantile(column, np.linspace(0, 1, self.max_bins + 1)[1:-1])
+        return np.unique(quantiles)
+
+    def _best_split(self, x, y):
+        n = len(y)
+        base_sse = ((y - y.mean()) ** 2).sum()
+        best = None  # (gain, feature, threshold)
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            for threshold in self._candidate_thresholds(column):
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or n - n_left < self.min_samples_leaf:
+                    continue
+                left, right = y[mask], y[~mask]
+                sse = (((left - left.mean()) ** 2).sum()
+                       + ((right - right.mean()) ** 2).sum())
+                gain = base_sse - sse
+                if best is None or gain > best[0]:
+                    best = (gain, feature, threshold)
+        return best
+
+    def _grow(self, x, y, depth):
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf \
+                or np.allclose(y, y[0]):
+            return node
+        best = self._best_split(x, y)
+        if best is None or best[0] <= 1e-12:
+            return node
+        _, feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, features):
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(features, dtype=np.float64)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out

@@ -1,0 +1,79 @@
+"""Loss functions and error metrics for cost models.
+
+The paper trains all models with the Q-error loss ``max(c/chat, chat/c)``
+(Section 3.3).  Our models predict *log* runtimes for numerical stability, so
+the loss is computed as ``exp(|pred_log - true_log|)`` (identical value,
+well-behaved gradients), with an optional cap that keeps early-training
+outliers from exploding the gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, maximum
+
+__all__ = ["q_error", "q_error_metrics", "QErrorLoss", "mse_loss", "huber_loss"]
+
+
+def q_error(predicted, actual, eps=1e-9):
+    """Vectorized Q-error metric ``max(actual/pred, pred/actual)`` (numpy).
+
+    Both arguments are runtimes in *linear* space (e.g. milliseconds).  Values
+    are floored at ``eps`` to avoid division by zero; the result is always
+    >= 1.
+    """
+    predicted = np.maximum(np.asarray(predicted, dtype=np.float64), eps)
+    actual = np.maximum(np.asarray(actual, dtype=np.float64), eps)
+    return np.maximum(predicted / actual, actual / predicted)
+
+
+def q_error_metrics(predicted, actual):
+    """Summary statistics used throughout the paper's evaluation."""
+    errors = q_error(predicted, actual)
+    return {
+        "median": float(np.median(errors)),
+        "mean": float(np.mean(errors)),
+        "p90": float(np.percentile(errors, 90)),
+        "p95": float(np.percentile(errors, 95)),
+        "p99": float(np.percentile(errors, 99)),
+        "max": float(np.max(errors)),
+        "count": int(errors.size),
+    }
+
+
+class QErrorLoss:
+    """Differentiable Q-error loss over log-space predictions.
+
+    ``loss = mean(max(exp(p - t), exp(t - p)))`` where ``p``/``t`` are
+    predicted/true log-runtimes. Differences are clamped at ``log_cap`` so a
+    single terrible prediction cannot produce an overflowing gradient.
+    """
+
+    def __init__(self, log_cap=np.log(1e4)):
+        self.log_cap = float(log_cap)
+
+    def __call__(self, pred_log, true_log):
+        if not isinstance(true_log, Tensor):
+            true_log = Tensor(np.asarray(true_log, dtype=np.float64))
+        diff = pred_log - true_log
+        diff = diff.clamp(-self.log_cap, self.log_cap)
+        q = maximum(diff.exp(), (-diff).exp())
+        return q.mean()
+
+
+def mse_loss(pred, target):
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float64))
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def huber_loss(pred, target, delta=1.0):
+    """Huber loss, occasionally useful for pre-training warmup."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float64))
+    diff = (pred - target).abs()
+    clipped = diff.clamp(0.0, delta)
+    # 0.5*c^2 + delta*(d - c): quadratic inside delta, linear outside.
+    return (clipped * clipped * 0.5 + (diff - clipped) * delta).mean()

@@ -1,0 +1,199 @@
+"""Neural-network modules built on :mod:`repro.nn.tensor`.
+
+Provides the layers the zero-shot architecture needs: linear layers, small
+multi-layer perceptrons with configurable activations, and dropout.  Modules
+follow a simplified PyTorch-like protocol (``parameters()``, ``train()`` /
+``eval()``, ``state_dict()`` / ``load_state_dict()``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Module", "Linear", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
+           "Dropout", "Sequential", "MLP"]
+
+
+class Module:
+    """Base class for all neural modules."""
+
+    def __init__(self):
+        self.training = True
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def _children(self):
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        yield f"{name}.{key}", item
+
+    def parameters(self):
+        """Yield all trainable tensors of this module and its children."""
+        for value in vars(self).values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield value
+        for _, child in self._children():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix=""):
+        for name, value in vars(self).items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield prefix + name, value
+        for name, child in self._children():
+            yield from child.named_parameters(prefix + name + ".")
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self, mode=True):
+        self.training = mode
+        for _, child in self._children():
+            child.train(mode)
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def num_parameters(self):
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self):
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            param = own[name]
+            if param.data.shape != values.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.data.shape} vs {values.shape}")
+            param.data = np.array(values, dtype=np.float64, copy=True)
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with He/Xavier initialization."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None, init="he"):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if init == "he":
+            scale = np.sqrt(2.0 / in_features)
+        elif init == "xavier":
+            scale = np.sqrt(2.0 / (in_features + out_features))
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(rng.normal(0.0, scale, size=(in_features, out_features)),
+                             requires_grad=True, name="weight")
+        self.bias = None
+        if bias:
+            self.bias = Tensor(np.zeros(out_features), requires_grad=True, name="bias")
+
+    def forward(self, x):
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope=0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p=0.1, seed=0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x):
+        return x.dropout(self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+_ACTIVATIONS = {"relu": ReLU, "leaky_relu": LeakyReLU, "tanh": Tanh, "sigmoid": Sigmoid}
+
+
+class MLP(Module):
+    """Multi-layer perceptron: the basic building block of all paper models.
+
+    ``MLP(10, [64, 64], 32)`` maps 10 inputs through two hidden layers of 64
+    units to 32 outputs, with the chosen activation between layers (none after
+    the final layer) and optional dropout after each hidden activation.
+    """
+
+    def __init__(self, in_features, hidden_sizes, out_features,
+                 activation="leaky_relu", dropout=0.0, rng=None, seed=0):
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        sizes = [in_features] + list(hidden_sizes) + [out_features]
+        layers = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(n_in, n_out, rng=rng))
+            if i < len(sizes) - 2:
+                layers.append(_ACTIVATIONS[activation]())
+                if dropout > 0.0:
+                    layers.append(Dropout(dropout, seed=int(rng.integers(1 << 31))))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x):
+        return self.net(x)

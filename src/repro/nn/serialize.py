@@ -1,0 +1,28 @@
+"""Model state persistence (``.npz`` based)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(path, state_dict, metadata=None):
+    """Save a ``state_dict`` (name -> ndarray) plus optional string metadata."""
+    payload = {f"param::{name}": values for name, values in state_dict.items()}
+    if metadata:
+        for key, value in metadata.items():
+            payload[f"meta::{key}"] = np.asarray(str(value))
+    np.savez(path, **payload)
+
+
+def load_state(path):
+    """Load ``(state_dict, metadata)`` previously written by :func:`save_state`."""
+    archive = np.load(path, allow_pickle=False)
+    state, metadata = {}, {}
+    for key in archive.files:
+        if key.startswith("param::"):
+            state[key[len("param::"):]] = archive[key]
+        elif key.startswith("meta::"):
+            metadata[key[len("meta::"):]] = str(archive[key])
+    return state, metadata

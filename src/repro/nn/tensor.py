@@ -1,0 +1,439 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the neural-network substrate of the reproduction: the paper
+trains its zero-shot cost model (node-type MLPs + message passing) with
+PyTorch, which is not available here, so we implement the required tensor
+operations with hand-written backward passes.
+
+The design follows the classic define-by-run tape: every operation returns a
+new :class:`Tensor` holding references to its parents and a closure that
+propagates gradients to them.  Calling :meth:`Tensor.backward` performs a
+topological sort of the graph and accumulates gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "maximum", "scatter_sum", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (for inference)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled():
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` so that it has ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were size 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value):
+    if isinstance(value, Tensor):
+        raise TypeError("expected array-like, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autograd history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(self, data, requires_grad=False, _parents=(), _backward=None, name=None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = _parents if self.requires_grad else ()
+        self._backward = _backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def item(self):
+        return float(self.data)
+
+    def numpy(self):
+        return self.data
+
+    def detach(self):
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self):
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data, parents, backward):
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data + other.data
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad, a.data.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(grad, b.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        return self + (-other)
+
+    def __rsub__(self, other):
+        return Tensor(_as_array(other)) + (-self)
+
+    def __mul__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data * other.data
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad * b.data, a.data.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(grad * a.data, b.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data / other.data
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad / b.data, a.data.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(-grad * a.data / (b.data ** 2), b.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor(_as_array(other)) / self
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad, a=self, e=exponent):
+            if a.requires_grad:
+                a._accumulate(grad * e * a.data ** (e - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other):
+        if not isinstance(other, Tensor):
+            other = Tensor(_as_array(other))
+        data = self.data @ other.data
+
+        def backward(grad, a=self, b=other):
+            if a.requires_grad:
+                a._accumulate(grad @ b.data.T)
+            if b.requires_grad:
+                b._accumulate(a.data.T @ grad)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self):
+        data = np.exp(self.data)
+
+        def backward(grad, a=self, d=data):
+            if a.requires_grad:
+                a._accumulate(grad * d)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self):
+        data = np.log(self.data)
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad / a.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def abs(self):
+        data = np.abs(self.data)
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad * np.sign(a.data))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad, a=self, m=mask):
+            if a.requires_grad:
+                a._accumulate(grad * m)
+
+        return Tensor._make(data, (self,), backward)
+
+    def leaky_relu(self, negative_slope=0.01):
+        mask = self.data > 0
+        data = np.where(mask, self.data, negative_slope * self.data)
+
+        def backward(grad, a=self, m=mask, s=negative_slope):
+            if a.requires_grad:
+                a._accumulate(grad * np.where(m, 1.0, s))
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self):
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+
+        def backward(grad, a=self, d=data):
+            if a.requires_grad:
+                a._accumulate(grad * d * (1.0 - d))
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self):
+        data = np.tanh(self.data)
+
+        def backward(grad, a=self, d=data):
+            if a.requires_grad:
+                a._accumulate(grad * (1.0 - d ** 2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def clamp(self, min_value=None, max_value=None):
+        data = np.clip(self.data, min_value, max_value)
+        mask = np.ones_like(self.data)
+        if min_value is not None:
+            mask = mask * (self.data >= min_value)
+        if max_value is not None:
+            mask = mask * (self.data <= max_value)
+
+        def backward(grad, a=self, m=mask):
+            if a.requires_grad:
+                a._accumulate(grad * m)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and reshaping
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad, a=self, ax=axis, kd=keepdims):
+            if not a.requires_grad:
+                return
+            g = np.asarray(grad)
+            if ax is not None and not kd:
+                g = np.expand_dims(g, ax)
+            a._accumulate(np.broadcast_to(g, a.data.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        n = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad.reshape(a.data.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self):
+        data = self.data.T
+
+        def backward(grad, a=self):
+            if a.requires_grad:
+                a._accumulate(grad.T)
+
+        return Tensor._make(data, (self,), backward)
+
+    def gather_rows(self, index):
+        """Select rows ``self[index]`` (first axis); repeats are allowed."""
+        index = np.asarray(index, dtype=np.int64)
+        data = self.data[index]
+
+        def backward(grad, a=self, idx=index):
+            if a.requires_grad:
+                acc = np.zeros_like(a.data)
+                np.add.at(acc, idx, grad)
+                a._accumulate(acc)
+
+        return Tensor._make(data, (self,), backward)
+
+    def dropout(self, p, rng, training=True):
+        """Inverted dropout: zero entries with probability ``p`` and rescale."""
+        if not training or p <= 0.0:
+            return self
+        keep = (rng.random(self.data.shape) >= p) / (1.0 - p)
+        return self * Tensor(keep)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad=None):
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def concat(tensors, axis=0):
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, parts=tensors, offs=offsets, ax=axis):
+        for tensor, start, stop in zip(parts, offs[:-1], offs[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[ax] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def maximum(a, b):
+    """Elementwise maximum; gradient flows to the larger input (ties split)."""
+    a = a if isinstance(a, Tensor) else Tensor(_as_array(a))
+    b = b if isinstance(b, Tensor) else Tensor(_as_array(b))
+    data = np.maximum(a.data, b.data)
+    a_wins = a.data > b.data
+    tie = a.data == b.data
+
+    def backward(grad, x=a, y=b, aw=a_wins, t=tie):
+        ga = grad * (aw + 0.5 * t)
+        gb = grad * (~aw & ~t) + grad * 0.5 * t
+        if x.requires_grad:
+            x._accumulate(_unbroadcast(ga, x.data.shape))
+        if y.requires_grad:
+            y._accumulate(_unbroadcast(gb, y.data.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def scatter_sum(source, index, num_segments):
+    """Sum rows of ``source`` into ``num_segments`` buckets given by ``index``.
+
+    The workhorse of bottom-up message passing: child hidden states are
+    scattered into their parents' slots. ``out[j] = sum_{i: index[i]=j} src[i]``.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1 or len(index) != len(source.data):
+        raise ValueError("index must be 1-D and match the number of source rows")
+    data = np.zeros((num_segments,) + source.data.shape[1:], dtype=np.float64)
+    np.add.at(data, index, source.data)
+
+    def backward(grad, src=source, idx=index):
+        if src.requires_grad:
+            src._accumulate(grad[idx])
+
+    return Tensor._make(data, (source,), backward)

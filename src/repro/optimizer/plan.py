@@ -1,0 +1,117 @@
+"""Physical query plans.
+
+A plan is a tree of :class:`PlanNode` objects.  Each node carries the
+optimizer's estimates (rows, width, abstract cost) and, once executed, the
+true output cardinality and simulated runtime — the quantities the paper's
+featurization consumes (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PlanNode", "OPERATOR_NAMES"]
+
+OPERATOR_NAMES = (
+    "SeqScan", "IndexScan", "HashJoin", "NestedLoopJoin", "MergeJoin",
+    "Sort", "HashAggregate", "Aggregate", "Gather",
+    # Distributed extension (Section 5.1):
+    "Broadcast", "Repartition", "ColumnarScan",
+)
+
+
+@dataclass
+class PlanNode:
+    """One physical operator in a query plan."""
+
+    op_name: str
+    children: list = field(default_factory=list)
+    # Scan-specific
+    table: str = None
+    filter_predicate: object = None
+    index_column: str = None
+    # Join-specific
+    join: object = None           # JoinEdge
+    # Aggregate-specific
+    aggregates: tuple = ()
+    group_by: tuple = ()
+    # Sort-specific
+    sort_keys: tuple = ()
+    # Parallelism / distribution
+    workers: int = 1
+    # Optimizer annotations
+    est_rows: float = 1.0
+    width: float = 8.0
+    est_cost: float = 0.0         # cumulative abstract cost (like total_cost)
+    est_self_cost: float = 0.0    # this operator's share
+    # Execution annotations (filled by the executor)
+    true_rows: float = None
+    # Distributed extension: columns read by a columnar scan
+    scanned_columns: tuple = ()
+    storage_format: str = "row"
+
+    def __post_init__(self):
+        if self.op_name not in OPERATOR_NAMES:
+            raise ValueError(f"unknown operator {self.op_name!r}")
+
+    # ------------------------------------------------------------------
+    def iter_nodes(self):
+        """Post-order iteration (children before parents)."""
+        for child in self.children:
+            yield from child.iter_nodes()
+        yield self
+
+    def iter_preorder(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_preorder()
+
+    @property
+    def n_nodes(self):
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def is_scan(self):
+        return self.op_name in ("SeqScan", "IndexScan", "ColumnarScan")
+
+    @property
+    def is_join(self):
+        return self.op_name in ("HashJoin", "NestedLoopJoin", "MergeJoin")
+
+    def base_tables(self):
+        return {node.table for node in self.iter_nodes() if node.is_scan}
+
+    def child_rows_product(self, use_true=False):
+        """Product of children's output cardinalities (card_prod feature)."""
+        product = 1.0
+        for child in self.children:
+            rows = child.true_rows if use_true and child.true_rows is not None \
+                else child.est_rows
+            product *= max(rows, 1.0)
+        return product
+
+    def rows(self, use_true=False):
+        if use_true and self.true_rows is not None:
+            return self.true_rows
+        return self.est_rows
+
+    # ------------------------------------------------------------------
+    def explain(self, indent=0, use_true=False):
+        """Postgres-EXPLAIN-like rendering."""
+        pad = "  " * indent
+        parts = [f"{pad}{self.op_name}"]
+        if self.table:
+            parts.append(f"on {self.table}")
+        if self.index_column:
+            parts.append(f"using idx({self.index_column})")
+        if self.join is not None:
+            parts.append(f"[{self.join.describe()}]")
+        if self.filter_predicate is not None:
+            parts.append(f"filter: {self.filter_predicate.describe()}")
+        rows = self.true_rows if use_true and self.true_rows is not None else self.est_rows
+        parts.append(f"(rows={rows:.0f} width={self.width:.0f} "
+                     f"cost={self.est_cost:.1f} workers={self.workers})")
+        lines = [" ".join(parts)]
+        for child in self.children:
+            lines.append(child.explain(indent + 1, use_true=use_true))
+        return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Robustness tooling: generalization-error estimation and drift detection
+(Section 4 of the paper)."""
+
+from .generalization import (GeneralizationEstimate,
+                             estimate_generalization_error, sufficiency_curve)
+from .drift import DriftDetector
+
+__all__ = ["GeneralizationEstimate", "estimate_generalization_error",
+           "sufficiency_curve", "DriftDetector"]

@@ -1,0 +1,69 @@
+"""Workload-drift detection (Section 4.2).
+
+Zero-shot models degrade when production queries look unlike anything in the
+training distribution (e.g. much larger joins).  The paper's strategy is to
+monitor the observed Q-error at inference time and, once it exceeds a
+threshold, to fine-tune with the newly observed queries (few-shot mode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..nn import q_error
+
+__all__ = ["DriftDetector"]
+
+
+class DriftDetector:
+    """Rolling-median Q-error monitor that triggers few-shot retraining."""
+
+    def __init__(self, threshold=2.0, window=50, min_observations=10):
+        if threshold < 1.0:
+            raise ValueError("q-error thresholds are >= 1")
+        self.threshold = threshold
+        self.window = window
+        self.min_observations = min_observations
+        self._errors = deque(maxlen=window)
+        self._observed = []   # (record, actual) pairs for potential fine-tuning
+
+    def observe(self, predicted_ms, actual_ms, record=None):
+        """Record one (prediction, actual) observation; returns its q-error."""
+        error = float(q_error([predicted_ms], [actual_ms])[0])
+        self._errors.append(error)
+        if record is not None:
+            self._observed.append(record)
+        return error
+
+    @property
+    def rolling_median(self):
+        if not self._errors:
+            return 1.0
+        return float(np.median(self._errors))
+
+    @property
+    def drifted(self):
+        """True once the rolling median exceeds the threshold."""
+        if len(self._errors) < self.min_observations:
+            return False
+        return self.rolling_median > self.threshold
+
+    def fine_tuning_records(self):
+        """The queries observed since monitoring began (few-shot training set)."""
+        return list(self._observed)
+
+    def reset(self):
+        self._errors.clear()
+        self._observed.clear()
+
+    def monitor(self, model, trace, dbs, cards="deepdb", estimator_cache=None):
+        """Replay a trace through the detector; returns the per-query errors."""
+        records = list(trace)
+        predictions = model.predict_records(records, dbs, cards=cards,
+                                            estimator_cache=estimator_cache)
+        errors = []
+        for record, predicted in zip(records, predictions):
+            errors.append(self.observe(predicted, record.runtime_ms, record))
+        return np.array(errors)

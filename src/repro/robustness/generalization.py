@@ -1,0 +1,90 @@
+"""Estimating the generalization error of zero-shot models (Section 4.1).
+
+Implements the paper's cross-validation-over-databases scheme: train on a
+subset of the training *databases*, test on held-out databases, repeat over
+splits and average.  Under the i.i.d. assumption this is an unbiased
+estimator of the error on a genuinely unseen database, and its trend over a
+growing number of training databases tells us when collecting further
+databases stops helping (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import TrainingConfig, ZeroShotCostModel
+
+__all__ = ["GeneralizationEstimate", "estimate_generalization_error",
+           "sufficiency_curve"]
+
+
+@dataclass
+class GeneralizationEstimate:
+    """Cross-database CV estimate of the unseen-database error."""
+
+    per_split: list                 # median q-error per held-out database
+    held_out: list                  # database names, aligned with per_split
+
+    @property
+    def mean(self):
+        return float(np.mean(self.per_split))
+
+    @property
+    def std(self):
+        return float(np.std(self.per_split))
+
+    def summary(self):
+        return {"mean_median_qerror": self.mean, "std": self.std,
+                "splits": len(self.per_split)}
+
+
+def estimate_generalization_error(traces, dbs, config=None, cards="exact",
+                                  n_splits=None, seed=0,
+                                  eval_cards=None):
+    """Leave-one-database-out CV over the training traces.
+
+    ``traces`` is a list of per-database traces.  For each split one database
+    is held out, a model is trained on the rest, and the held-out median
+    Q-error is recorded.  ``n_splits`` limits the number of rotations (all
+    databases by default).
+    """
+    config = config or TrainingConfig()
+    eval_cards = eval_cards or cards
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(traces))
+    if n_splits is not None:
+        order = order[:n_splits]
+
+    per_split, held_out = [], []
+    for hold in order:
+        train_traces = [t for i, t in enumerate(traces) if i != hold]
+        model = ZeroShotCostModel.train(train_traces, dbs, cards=cards,
+                                        config=config)
+        metrics = model.evaluate(traces[hold], dbs, cards=eval_cards)
+        per_split.append(metrics["median"])
+        held_out.append(traces[hold].db_name)
+    return GeneralizationEstimate(per_split=per_split, held_out=held_out)
+
+
+def sufficiency_curve(traces, dbs, eval_trace, n_databases_list, config=None,
+                      cards="exact", eval_cards=None, seed=0):
+    """Median Q-error on a fixed held-out workload vs #training databases.
+
+    The paper's criterion: once the curve plateaus, additional training
+    databases will not improve generalization (Fig. 12 / Section 4.1).
+    Returns a list of ``(n_databases, median_q_error)`` pairs.
+    """
+    config = config or TrainingConfig()
+    eval_cards = eval_cards or cards
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(traces))
+    curve = []
+    for n in n_databases_list:
+        n = min(n, len(traces))
+        subset = [traces[i] for i in order[:n]]
+        model = ZeroShotCostModel.train(subset, dbs, cards=cards, config=config)
+        metrics = model.evaluate(eval_trace, dbs, cards=eval_cards)
+        curve.append((n, metrics["median"]))
+    return curve

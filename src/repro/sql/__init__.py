@@ -1,0 +1,14 @@
+"""Logical query model: predicates, SPAJ queries, vectorized evaluation."""
+
+from .predicates import (PredOp, Comparison, BooleanPredicate, conjunction,
+                         disjunction, iter_predicate_nodes, predicate_columns,
+                         like_pattern_complexity)
+from .query import JoinEdge, AggregateSpec, Query, AGG_FUNCTIONS
+from .eval import evaluate_predicate, like_to_regex, matching_codes_for_like
+
+__all__ = [
+    "PredOp", "Comparison", "BooleanPredicate", "conjunction", "disjunction",
+    "iter_predicate_nodes", "predicate_columns", "like_pattern_complexity",
+    "JoinEdge", "AggregateSpec", "Query", "AGG_FUNCTIONS",
+    "evaluate_predicate", "like_to_regex", "matching_codes_for_like",
+]

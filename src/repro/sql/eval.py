@@ -1,0 +1,127 @@
+"""Vectorized predicate evaluation over dictionary-encoded columns.
+
+WHERE-clause semantics: three-valued logic collapses to "NULL comparisons are
+false"; IS [NOT] NULL tests the null markers directly.  String LIKE patterns
+are translated to regexes once, evaluated against the column dictionary, and
+mapped back onto the integer codes — the standard trick for dictionary
+encodings.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from ..storage import NULL_CODE, Table
+from .predicates import BooleanPredicate, Comparison, PredOp
+
+__all__ = ["like_to_regex", "evaluate_predicate", "matching_codes_for_like"]
+
+
+def like_to_regex(pattern):
+    """Translate a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$")
+
+
+def matching_codes_for_like(dictionary, pattern):
+    """Dictionary codes whose string matches the LIKE pattern."""
+    regex = like_to_regex(pattern)
+    return np.array([code for code, word in enumerate(dictionary)
+                     if regex.match(word)], dtype=np.int64)
+
+
+def _comparison_mask(node: Comparison, table: Table):
+    column = table.column(node.column)
+    values = column.values
+
+    if node.op == PredOp.IS_NULL:
+        return column.null_mask
+    if node.op == PredOp.IS_NOT_NULL:
+        return ~column.null_mask
+
+    not_null = ~column.null_mask
+
+    if column.dtype.is_numeric:
+        literal = node.literal
+        if node.op == PredOp.EQ:
+            return not_null & (values == literal)
+        if node.op == PredOp.NEQ:
+            return not_null & (values != literal)
+        if node.op == PredOp.LT:
+            return not_null & (values < literal)
+        if node.op == PredOp.LEQ:
+            return not_null & (values <= literal)
+        if node.op == PredOp.GT:
+            return not_null & (values > literal)
+        if node.op == PredOp.GEQ:
+            return not_null & (values >= literal)
+        if node.op == PredOp.IN:
+            return not_null & np.isin(values, np.asarray(node.literal, dtype=np.float64))
+        raise ValueError(f"operator {node.op.value} unsupported on numeric column")
+
+    # Dictionary-encoded column: resolve string literals to codes.
+    dictionary = column.dictionary
+    code_of = {word: code for code, word in enumerate(dictionary)}
+
+    if node.op in (PredOp.LIKE, PredOp.NOT_LIKE):
+        codes = matching_codes_for_like(dictionary, node.literal)
+        mask = np.isin(values, codes)
+        if node.op == PredOp.NOT_LIKE:
+            return not_null & ~mask
+        return not_null & mask
+    if node.op == PredOp.EQ:
+        code = code_of.get(node.literal, None)
+        if code is None:
+            return np.zeros(len(values), dtype=bool)
+        return values == code
+    if node.op == PredOp.NEQ:
+        code = code_of.get(node.literal, NULL_CODE)
+        return not_null & (values != code)
+    if node.op == PredOp.IN:
+        codes = np.array([code_of[v] for v in node.literal if v in code_of],
+                         dtype=np.int64)
+        return np.isin(values, codes)
+    if node.op.is_range:
+        # Range over dictionary columns: compare lexicographically via dict.
+        order = {word: rank for rank, word in enumerate(sorted(dictionary))}
+        literal_rank = order.get(node.literal)
+        if literal_rank is None:
+            sorted_words = sorted(dictionary)
+            import bisect
+            literal_rank = bisect.bisect_left(sorted_words, node.literal) - 0.5
+        ranks = np.full(len(dictionary), -1, dtype=np.float64)
+        for word, rank in order.items():
+            ranks[code_of[word]] = rank
+        value_ranks = np.where(values == NULL_CODE, np.nan, ranks[np.clip(values, 0, None)])
+        if node.op == PredOp.LT:
+            return not_null & (value_ranks < literal_rank)
+        if node.op == PredOp.LEQ:
+            return not_null & (value_ranks <= literal_rank)
+        if node.op == PredOp.GT:
+            return not_null & (value_ranks > literal_rank)
+        return not_null & (value_ranks >= literal_rank)
+    raise ValueError(f"operator {node.op.value} unsupported on dictionary column")
+
+
+def evaluate_predicate(predicate, table: Table):
+    """Boolean row mask for ``predicate`` over ``table`` (None = all rows)."""
+    if predicate is None:
+        return np.ones(len(table), dtype=bool)
+    if isinstance(predicate, Comparison):
+        return _comparison_mask(predicate, table)
+    if isinstance(predicate, BooleanPredicate):
+        masks = [evaluate_predicate(child, table) for child in predicate.children]
+        combined = masks[0]
+        for mask in masks[1:]:
+            combined = (combined & mask) if predicate.op == PredOp.AND else (combined | mask)
+        return combined
+    raise TypeError(f"unknown predicate type {type(predicate)!r}")

@@ -1,0 +1,150 @@
+"""Filter predicates: typed trees of comparisons and boolean connectives.
+
+The workload generator produces these, the executor evaluates them, the
+optimizer estimates their selectivity, and the zero-shot featurization
+encodes their *structure* (operators, data types, literal complexity) but
+never the literals themselves — the paper's key transferability idea.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PredOp", "Comparison", "BooleanPredicate", "conjunction",
+           "disjunction", "iter_predicate_nodes", "predicate_columns",
+           "like_pattern_complexity"]
+
+
+class PredOp(enum.Enum):
+    """Comparison operators (the predicate-node ``operator`` feature)."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LEQ = "<="
+    GT = ">"
+    GEQ = ">="
+    IN = "IN"
+    LIKE = "LIKE"
+    NOT_LIKE = "NOT LIKE"
+    IS_NULL = "IS NULL"
+    IS_NOT_NULL = "IS NOT NULL"
+    AND = "AND"
+    OR = "OR"
+
+    @property
+    def is_range(self):
+        return self in (PredOp.LT, PredOp.LEQ, PredOp.GT, PredOp.GEQ)
+
+    @property
+    def is_boolean(self):
+        return self in (PredOp.AND, PredOp.OR)
+
+    @property
+    def needs_literal(self):
+        return self not in (PredOp.IS_NULL, PredOp.IS_NOT_NULL,
+                            PredOp.AND, PredOp.OR)
+
+
+def like_pattern_complexity(pattern):
+    """The paper's ``literal_feat`` for LIKE: wildcard count + length/10."""
+    wildcards = pattern.count("%") + pattern.count("_")
+    return wildcards + len(pattern) / 10.0
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A leaf predicate ``table.column <op> literal``.
+
+    ``literal`` is a number for numeric columns, a string for dictionary
+    columns, a list for IN, a pattern string for LIKE, and ``None`` for the
+    NULL tests.
+    """
+
+    table: str
+    column: str
+    op: PredOp
+    literal: object = None
+
+    def __post_init__(self):
+        if self.op.is_boolean:
+            raise ValueError("Comparison cannot use a boolean connective")
+        if self.op.needs_literal and self.literal is None:
+            raise ValueError(f"{self.op.value} requires a literal")
+        if self.op == PredOp.IN and not isinstance(self.literal, (list, tuple)):
+            raise ValueError("IN requires a list literal")
+        if self.op in (PredOp.LIKE, PredOp.NOT_LIKE) and not isinstance(self.literal, str):
+            raise ValueError("LIKE requires a string pattern")
+
+    @property
+    def literal_feature(self):
+        """Literal complexity feature (never the literal value itself)."""
+        if self.op == PredOp.IN:
+            return float(len(self.literal))
+        if self.op in (PredOp.LIKE, PredOp.NOT_LIKE):
+            return like_pattern_complexity(self.literal)
+        return 1.0
+
+    def describe(self):
+        if self.op in (PredOp.IS_NULL, PredOp.IS_NOT_NULL):
+            return f"{self.table}.{self.column} {self.op.value}"
+        return f"{self.table}.{self.column} {self.op.value} {self.literal!r}"
+
+
+@dataclass(frozen=True)
+class BooleanPredicate:
+    """AND/OR over child predicates."""
+
+    op: PredOp
+    children: tuple = field(default=())
+
+    def __post_init__(self):
+        if not self.op.is_boolean:
+            raise ValueError("BooleanPredicate requires AND or OR")
+        if len(self.children) < 2:
+            raise ValueError(f"{self.op.value} needs at least two children")
+
+    @property
+    def literal_feature(self):
+        return float(len(self.children))
+
+    def describe(self):
+        inner = f" {self.op.value} ".join(c.describe() for c in self.children)
+        return f"({inner})"
+
+
+def conjunction(predicates):
+    """AND of the given predicates (collapses the 0/1-child cases)."""
+    predicates = [p for p in predicates if p is not None]
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return BooleanPredicate(PredOp.AND, tuple(predicates))
+
+
+def disjunction(predicates):
+    predicates = [p for p in predicates if p is not None]
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return BooleanPredicate(PredOp.OR, tuple(predicates))
+
+
+def iter_predicate_nodes(predicate):
+    """Pre-order iteration over all nodes of a predicate tree."""
+    if predicate is None:
+        return
+    yield predicate
+    if isinstance(predicate, BooleanPredicate):
+        for child in predicate.children:
+            yield from iter_predicate_nodes(child)
+
+
+def predicate_columns(predicate):
+    """Set of ``(table, column)`` pairs referenced by the predicate."""
+    return {(node.table, node.column)
+            for node in iter_predicate_nodes(predicate)
+            if isinstance(node, Comparison)}

@@ -1,0 +1,128 @@
+"""Logical SPAJ queries (Select-Project-Aggregate-Join).
+
+This is the query class the paper's benchmark generator produces (§6.3):
+foreign-key joins over a connected table subset, per-table filter predicates,
+and aggregates, optionally with GROUP BY and ORDER BY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .predicates import predicate_columns
+
+__all__ = ["JoinEdge", "AggregateSpec", "Query", "AGG_FUNCTIONS"]
+
+AGG_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """Equi-join ``child.child_column = parent.parent_column`` (FK join)."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+    @classmethod
+    def from_foreign_key(cls, fk):
+        return cls(fk.child_table, fk.child_column, fk.parent_table, fk.parent_column)
+
+    def tables(self):
+        return {self.child_table, self.parent_table}
+
+    def describe(self):
+        return (f"{self.child_table}.{self.child_column}="
+                f"{self.parent_table}.{self.parent_column}")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One output aggregate, e.g. ``MIN(t.production_year)`` or ``COUNT(*)``."""
+
+    func: str
+    table: str = None
+    column: str = None
+
+    def __post_init__(self):
+        if self.func not in AGG_FUNCTIONS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+        if self.func != "count" and (self.table is None or self.column is None):
+            raise ValueError(f"{self.func} requires a column")
+
+    def describe(self):
+        target = "*" if self.column is None else f"{self.table}.{self.column}"
+        return f"{self.func.upper()}({target})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A logical query over one database."""
+
+    tables: tuple
+    joins: tuple = ()
+    filters: dict = field(default_factory=dict)  # table -> predicate root
+    aggregates: tuple = (AggregateSpec("count"),)
+    group_by: tuple = ()   # tuple of (table, column)
+    order_by: tuple = ()   # tuple of (table, column); sorts aggregate output
+
+    def __post_init__(self):
+        tables = set(self.tables)
+        if not tables:
+            raise ValueError("query needs at least one table")
+        for join in self.joins:
+            if not join.tables() <= tables:
+                raise ValueError(f"join {join.describe()} references missing table")
+        for table in self.filters:
+            if table not in tables:
+                raise ValueError(f"filter on table {table!r} not in query")
+        for agg in self.aggregates:
+            if agg.table is not None and agg.table not in tables:
+                raise ValueError(f"aggregate on missing table {agg.table!r}")
+        if len(self.joins) < len(tables) - 1:
+            raise ValueError("join graph does not connect all tables")
+
+    @property
+    def n_joins(self):
+        return len(self.joins)
+
+    def referenced_columns(self, table):
+        """Columns of ``table`` needed above the scan (joins, aggs, grouping)."""
+        needed = set()
+        for join in self.joins:
+            if join.child_table == table:
+                needed.add(join.child_column)
+            if join.parent_table == table:
+                needed.add(join.parent_column)
+        for agg in self.aggregates:
+            if agg.table == table and agg.column is not None:
+                needed.add(agg.column)
+        for group_table, group_column in self.group_by:
+            if group_table == table:
+                needed.add(group_column)
+        for order_table, order_column in self.order_by:
+            if order_table == table:
+                needed.add(order_column)
+        return needed
+
+    def filter_columns(self, table):
+        predicate = self.filters.get(table)
+        if predicate is None:
+            return set()
+        return {col for tab, col in predicate_columns(predicate) if tab == table}
+
+    def describe(self):
+        """Compact SQL-ish rendering for logs and examples."""
+        selects = ", ".join(a.describe() for a in self.aggregates)
+        joins = " AND ".join(j.describe() for j in self.joins)
+        filters = " AND ".join(p.describe() for p in self.filters.values())
+        sql = f"SELECT {selects} FROM {', '.join(self.tables)}"
+        where = " AND ".join(x for x in [joins, filters] if x)
+        if where:
+            sql += f" WHERE {where}"
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(f"{t}.{c}" for t, c in self.group_by)
+        if self.order_by:
+            sql += " ORDER BY " + ", ".join(f"{t}.{c}" for t, c in self.order_by)
+        return sql

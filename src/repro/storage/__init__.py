@@ -1,0 +1,17 @@
+"""In-memory relational storage engine: columns, tables, schemas, indexes,
+and Postgres-style catalog statistics."""
+
+from .column import Column, DataType, NULL_CODE
+from .statistics import (ColumnStats, TableStats, PAGE_SIZE_BYTES,
+                         compute_column_stats, compute_table_stats)
+from .index import Index
+from .schema import ForeignKey, Schema
+from .table import Table
+from .database import Database
+
+__all__ = [
+    "Column", "DataType", "NULL_CODE",
+    "ColumnStats", "TableStats", "PAGE_SIZE_BYTES",
+    "compute_column_stats", "compute_table_stats",
+    "Index", "ForeignKey", "Schema", "Table", "Database",
+]

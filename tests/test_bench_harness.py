@@ -1,0 +1,106 @@
+"""Tests for the benchmark harness: reporting, suite config, artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (Artifacts, SuiteConfig, exp_fig10a_amortization,
+                         format_bars, format_table, get_artifacts,
+                         scale_from_env)
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1.234567, "b": "x"}, {"a": 20000.0, "b": "yy"}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "1.23" in text
+        assert "20,000" in text
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_bars(self):
+        text = format_bars({"x": 10.0, "y": 5.0})
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_format_bars_empty(self):
+        assert format_bars({}) == "(no data)"
+
+
+class TestSuiteConfig:
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert scale_from_env() == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            scale_from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_from_env() == "small"
+
+    def test_config_presets(self):
+        tiny = SuiteConfig(scale="tiny")
+        small = SuiteConfig(scale="small")
+        assert tiny.base_rows < small.base_rows
+        assert tiny.queries_per_db < small.queries_per_db
+        assert tiny.training_config.hidden_dim < small.training_config.hidden_dim
+
+    def test_get_artifacts_caches(self):
+        a = get_artifacts(scale="tiny", seed=123)
+        b = get_artifacts(scale="tiny", seed=123)
+        assert a is b
+
+
+@pytest.fixture(scope="module")
+def mini_artifacts():
+    """A 3-database artifact set small enough for unit tests."""
+    config = SuiteConfig(scale="tiny", seed=5,
+                         database_names=("hepatitis", "consumer", "imdb"))
+    return Artifacts(config)
+
+
+class TestArtifacts:
+    def test_databases_subset(self, mini_artifacts):
+        assert set(mini_artifacts.databases) == {"hepatitis", "consumer",
+                                                 "imdb"}
+        assert mini_artifacts.training_names == ["hepatitis", "consumer"]
+
+    def test_trace_caching(self, mini_artifacts):
+        t1 = mini_artifacts.trace("hepatitis", n=10)
+        t2 = mini_artifacts.trace("hepatitis", n=10)
+        assert t1 is t2
+        t3 = mini_artifacts.trace("hepatitis", n=10, seed_offset=1)
+        assert t3 is not t1
+
+    def test_graph_caching(self, mini_artifacts):
+        trace = mini_artifacts.trace("consumer", n=8)
+        g1 = mini_artifacts.graphs(trace, "exact")
+        g2 = mini_artifacts.graphs(trace, "exact")
+        assert g1 is g2
+        assert len(g1) == len(trace)
+
+    def test_train_and_evaluate(self, mini_artifacts):
+        from dataclasses import replace
+        config = replace(mini_artifacts.config.training_config, epochs=4)
+        model = mini_artifacts.train_zero_shot(
+            [mini_artifacts.trace("hepatitis", n=20)], config=config)
+        trace = mini_artifacts.trace("consumer", n=10)
+        metrics = mini_artifacts.evaluate_model(model, trace, "exact")
+        assert np.isfinite(metrics["median"])
+
+    def test_fig10a_on_mini(self, mini_artifacts):
+        rows = exp_fig10a_amortization(mini_artifacts, max_unseen=5)
+        assert len(rows) == 5
+        assert rows[0]["zero_shot_training_queries"] == \
+            2 * mini_artifacts.config.queries_per_db
+
+    def test_imdb_eval_trace_cached(self, mini_artifacts):
+        t1 = mini_artifacts.imdb_eval_trace("job_light")
+        t2 = mini_artifacts.imdb_eval_trace("job_light")
+        assert t1 is t2
+        assert len(t1) == 70

@@ -1,0 +1,220 @@
+"""Tests for SPNs, the data-driven estimator, exact estimation and plan
+annotation — including the accuracy ordering the paper relies on."""
+
+import numpy as np
+import pytest
+
+from repro.cardest import (CARD_SOURCES, DataDrivenEstimator, ExactEstimator,
+                           TraditionalEstimator, UnsupportedPredicate,
+                           annotate_cardinalities, learn_spn,
+                           predicate_to_constraints)
+from repro.executor import execute_plan
+from repro.nn import q_error
+from repro.optimizer import plan_query
+from repro.sql import (AggregateSpec, Comparison, JoinEdge, PredOp, Query,
+                       conjunction, disjunction, evaluate_predicate)
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+
+class TestConstraintMapping:
+    def test_conjunction_maps(self):
+        pred = conjunction([Comparison("t", "a", PredOp.EQ, 1),
+                            Comparison("t", "b", PredOp.GT, 2),
+                            Comparison("t", "a", PredOp.LT, 9)])
+        constraints = predicate_to_constraints(pred)
+        assert set(constraints) == {"a", "b"}
+        assert len(constraints["a"]) == 2
+
+    def test_disjunction_unsupported(self):
+        pred = disjunction([Comparison("t", "a", PredOp.EQ, 1),
+                            Comparison("t", "a", PredOp.EQ, 2)])
+        with pytest.raises(UnsupportedPredicate):
+            predicate_to_constraints(pred)
+
+    def test_like_unsupported(self):
+        with pytest.raises(UnsupportedPredicate):
+            predicate_to_constraints(Comparison("t", "a", PredOp.LIKE, "%x%"))
+
+
+class TestSPN:
+    def _selectivity(self, spn, table, preds):
+        constraints = {}
+        for p in preds:
+            constraints.setdefault(p.column, []).append(p)
+        return spn.selectivity(constraints, lambda node, lit: float(lit))
+
+    def test_uniform_equality(self):
+        rng = np.random.default_rng(0)
+        data = {"a": rng.integers(0, 10, 20_000).astype(float)}
+        spn = learn_spn(data)
+        sel = self._selectivity(spn, "t", [Comparison("t", "a", PredOp.EQ, 3)])
+        assert sel == pytest.approx(0.1, rel=0.15)
+
+    def test_range_on_continuous(self):
+        rng = np.random.default_rng(1)
+        data = {"a": rng.uniform(0, 100, 30_000)}
+        spn = learn_spn(data)
+        sel = self._selectivity(spn, "t", [Comparison("t", "a", PredOp.LT, 25.0)])
+        assert sel == pytest.approx(0.25, abs=0.05)
+
+    def test_null_mass(self):
+        values = np.concatenate([np.full(3000, np.nan), np.arange(7000).astype(float)])
+        spn = learn_spn({"a": values})
+        sel = self._selectivity(spn, "t", [Comparison("t", "a", PredOp.IS_NULL)])
+        assert sel == pytest.approx(0.3, abs=0.03)
+        sel_not = self._selectivity(spn, "t",
+                                    [Comparison("t", "a", PredOp.IS_NOT_NULL)])
+        assert sel_not == pytest.approx(0.7, abs=0.03)
+
+    def test_correlated_columns_beat_independence(self):
+        """SPN captures a strong correlation that independence misses."""
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 10, 30_000).astype(float)
+        b = a.copy()  # perfectly correlated
+        spn = learn_spn({"a": a, "b": b})
+        sel = self._selectivity(spn, "t",
+                                [Comparison("t", "a", PredOp.EQ, 3),
+                                 Comparison("t", "b", PredOp.EQ, 3)])
+        # True selectivity 0.1; independence would give 0.01.
+        assert sel > 0.05
+
+    def test_in_predicate(self):
+        rng = np.random.default_rng(3)
+        spn = learn_spn({"a": rng.integers(0, 4, 20_000).astype(float)})
+        sel = self._selectivity(spn, "t", [Comparison("t", "a", PredOp.IN, [0, 1])])
+        assert sel == pytest.approx(0.5, rel=0.15)
+
+    def test_unknown_column_rejected(self):
+        spn = learn_spn({"a": np.arange(100).astype(float)})
+        with pytest.raises(KeyError):
+            spn.selectivity({"zz": []}, lambda n, v: v)
+
+    def test_empty_constraints(self):
+        spn = learn_spn({"a": np.arange(100).astype(float)})
+        assert spn.selectivity({}, lambda n, v: v) == 1.0
+
+
+class TestExactEstimator:
+    def test_scan(self, toy_db, filtered_query):
+        exact = ExactEstimator()
+        pred = filtered_query.filters["orders"]
+        expected = evaluate_predicate(pred, toy_db.table("orders")).sum()
+        assert exact.scan_rows(toy_db, "orders", pred) == expected
+
+    def test_join_matches_executor(self, toy_db, join_query):
+        exact = ExactEstimator()
+        rows = exact.query_rows(toy_db, join_query)
+        plan = plan_query(toy_db, join_query)
+        execute_plan(toy_db, plan)
+        top_join = [n for n in plan.iter_nodes() if n.is_join][-1]
+        assert rows == top_join.true_rows
+
+
+class TestDataDrivenEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self, toy_db):
+        return DataDrivenEstimator(toy_db, sample_size=512, seed=0)
+
+    def test_scan_estimate_close(self, toy_db, estimator):
+        pred = Comparison("orders", "status", PredOp.EQ, "open")
+        est = estimator.scan_rows(toy_db, "orders", pred)
+        true = evaluate_predicate(pred, toy_db.table("orders")).sum()
+        assert q_error([est], [true])[0] < 1.5
+
+    def test_join_estimate_close(self, toy_db, estimator):
+        joins = [JoinEdge("orders", "customer_id", "customers", "id")]
+        filters = {"customers": Comparison("customers", "category",
+                                           PredOp.EQ, "gold")}
+        est = estimator.join_rows(toy_db, {"orders", "customers"}, joins, filters)
+        true = ExactEstimator().join_rows(toy_db, {"orders", "customers"},
+                                          joins, filters)
+        assert q_error([est], [true])[0] < 2.0
+
+    def test_unsupported_falls_back(self, toy_db, estimator):
+        pred = Comparison("orders", "status", PredOp.LIKE, "%pen%")
+        est = estimator.scan_rows(toy_db, "orders", pred)
+        fallback = TraditionalEstimator().scan_rows(toy_db, "orders", pred)
+        assert est == pytest.approx(fallback)
+
+    def test_more_accurate_than_traditional_on_correlation(self, toy_db,
+                                                           estimator):
+        """Correlated conjunction: data-driven beats independence (median)."""
+        orders = toy_db.table("orders")
+        # amount > 120 is highly correlated with status != open (by design).
+        pred = conjunction([
+            Comparison("orders", "amount", PredOp.GT, 120.0),
+            Comparison("orders", "status", PredOp.EQ, "returned"),
+        ])
+        true = evaluate_predicate(pred, orders).sum()
+        dd = estimator.scan_rows(toy_db, "orders", pred)
+        trad = TraditionalEstimator().scan_rows(toy_db, "orders", pred)
+        assert q_error([dd], [true])[0] < q_error([trad], [true])[0]
+
+    def test_accuracy_ordering_on_workload(self, gen_db):
+        """Median q-error: traditional >= data-driven >= exact(=1)."""
+        estimator = DataDrivenEstimator(gen_db, sample_size=1024, seed=1)
+        traditional = TraditionalEstimator()
+        exact = ExactEstimator()
+        queries = WorkloadGenerator(
+            gen_db, WorkloadConfig(max_joins=2), seed=31).generate(40)
+        errors = {"trad": [], "dd": []}
+        for query in queries:
+            true = exact.query_rows(gen_db, query)
+            if true < 1:
+                continue
+            errors["trad"].append(q_error(
+                [traditional.query_rows(gen_db, query)], [true])[0])
+            errors["dd"].append(q_error(
+                [estimator.query_rows(gen_db, query)], [true])[0])
+        assert np.median(errors["dd"]) <= np.median(errors["trad"]) + 0.05
+        assert np.median(errors["dd"]) < 3.0
+
+    def test_refresh_after_update(self, toy_db):
+        estimator = DataDrivenEstimator(toy_db, sample_size=256, seed=2)
+        estimator.refresh(seed=3)
+        est = estimator.scan_rows(toy_db, "orders", None)
+        assert est == pytest.approx(2000, rel=0.01)
+
+
+class TestAnnotation:
+    def _plan(self, db, query):
+        plan = plan_query(db, query)
+        execute_plan(db, plan)
+        return plan
+
+    def test_sources_validated(self, toy_db, join_query):
+        plan = self._plan(toy_db, join_query)
+        with pytest.raises(ValueError):
+            annotate_cardinalities(toy_db, plan, "psychic")
+
+    def test_exact_source_uses_true_rows(self, toy_db, join_query):
+        plan = self._plan(toy_db, join_query)
+        cards = annotate_cardinalities(toy_db, plan, "exact")
+        for node in plan.iter_nodes():
+            assert cards[id(node)] == pytest.approx(node.true_rows)
+
+    def test_optimizer_source_uses_estimates(self, toy_db, join_query):
+        plan = self._plan(toy_db, join_query)
+        cards = annotate_cardinalities(toy_db, plan, "optimizer")
+        for node in plan.iter_nodes():
+            assert cards[id(node)] == pytest.approx(node.est_rows)
+
+    def test_deepdb_source_complete_and_positive(self, toy_db, join_query):
+        estimator = DataDrivenEstimator(toy_db, sample_size=512, seed=4)
+        plan = self._plan(toy_db, join_query)
+        cards = annotate_cardinalities(toy_db, plan, "deepdb",
+                                       estimator=estimator)
+        assert len(cards) == plan.n_nodes
+        for node in plan.iter_nodes():
+            assert cards[id(node)] >= 0.0
+
+    def test_all_sources_on_generated_db(self, gen_db):
+        estimator = DataDrivenEstimator(gen_db, sample_size=512, seed=5)
+        queries = WorkloadGenerator(gen_db, WorkloadConfig(max_joins=2),
+                                    seed=32).generate(5)
+        for query in queries:
+            plan = self._plan(gen_db, query)
+            for source in CARD_SOURCES:
+                cards = annotate_cardinalities(gen_db, plan, source,
+                                               estimator=estimator)
+                assert len(cards) == plan.n_nodes

@@ -1,0 +1,154 @@
+"""Tests for the zero-shot model: forward pass, training, few-shot mode,
+persistence, and the core zero-shot property (transfer to an unseen DB)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EstimatorCache, TrainingConfig, ZeroShotCostModel,
+                        ZeroShotModel, featurize_records)
+from repro.datagen import generate_database, random_database_spec
+from repro.featurization import FeatureScalers, make_batch
+from repro.nn import q_error
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+def make_db(seed, layout="random", rows=900, tables=4):
+    spec = random_database_spec(f"db{seed}", seed=seed, layout=layout,
+                                base_rows=rows, n_tables=tables,
+                                complexity=0.6)
+    return generate_database(spec)
+
+
+@pytest.fixture(scope="module")
+def training_world():
+    """Four small training databases + one unseen test database."""
+    dbs = {}
+    traces = []
+    layouts = ["random", "star", "chain", "snowflake"]
+    for seed in (1, 2, 3, 4):
+        db = make_db(seed, layout=layouts[seed - 1])
+        dbs[db.name] = db
+        queries = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                    seed=seed).generate(90)
+        traces.append(generate_trace(db, queries, seed=seed))
+    unseen = make_db(9, layout="snowflake")
+    dbs[unseen.name] = unseen
+    queries = WorkloadGenerator(unseen, WorkloadConfig(max_joins=2),
+                                seed=9).generate(50)
+    unseen_trace = generate_trace(unseen, queries, seed=9)
+    return dbs, traces, unseen_trace
+
+
+@pytest.fixture(scope="module")
+def trained(training_world):
+    dbs, traces, _ = training_world
+    config = TrainingConfig(hidden_dim=32, epochs=50, batch_size=32,
+                            seed=0, validation_fraction=0.1)
+    return ZeroShotCostModel.train(traces, dbs, cards="exact", config=config)
+
+
+class TestForwardPass:
+    def test_output_shape(self, training_world):
+        dbs, traces, _ = training_world
+        records = list(traces[0])[:5]
+        graphs = featurize_records(records, dbs, cards="exact")
+        scalers = FeatureScalers().fit(graphs)
+        model = ZeroShotModel(hidden_dim=16, seed=0)
+        out = model(make_batch(graphs, scalers))
+        assert out.shape == (5,)
+
+    def test_deterministic_in_eval_mode(self, training_world):
+        dbs, traces, _ = training_world
+        records = list(traces[0])[:3]
+        graphs = featurize_records(records, dbs, cards="exact")
+        model = ZeroShotModel(hidden_dim=16, dropout=0.2, seed=0).eval()
+        batch = make_batch(graphs)
+        np.testing.assert_allclose(model(batch).numpy(), model(batch).numpy())
+
+    def test_batching_equals_single(self, training_world):
+        """Batched predictions equal per-graph predictions (no cross-talk)."""
+        dbs, traces, _ = training_world
+        records = list(traces[0])[:4]
+        graphs = featurize_records(records, dbs, cards="exact")
+        model = ZeroShotModel(hidden_dim=16, seed=1).eval()
+        batched = model(make_batch(graphs)).numpy()
+        singles = np.concatenate([model(make_batch([g])).numpy()
+                                  for g in graphs])
+        np.testing.assert_allclose(batched, singles, atol=1e-9)
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        losses = trained.history["train_loss"]
+        assert losses[-1] < losses[0]
+
+    def test_fits_training_data(self, trained, training_world):
+        dbs, traces, _ = training_world
+        metrics = trained.evaluate(traces[0], dbs, cards="exact")
+        assert metrics["median"] < 1.6
+
+    def test_zero_shot_transfer_to_unseen_db(self, trained, training_world):
+        """The core claim: decent accuracy on a database never trained on."""
+        dbs, _, unseen_trace = training_world
+        metrics = trained.evaluate(unseen_trace, dbs, cards="exact")
+        assert metrics["median"] < 2.5
+
+    def test_few_shot_improves_on_unseen_db(self, trained, training_world):
+        dbs, _, unseen_trace = training_world
+        train_part, test_part = unseen_trace.split(0.6, seed=1)
+        before = trained.evaluate(test_part, dbs, cards="exact")
+        few_shot = trained.fine_tune(list(train_part), dbs, cards="exact",
+                                     epochs=12)
+        after = few_shot.evaluate(test_part, dbs, cards="exact")
+        assert after["median"] <= before["median"] * 1.1  # no regression
+        # original model untouched
+        again = trained.evaluate(test_part, dbs, cards="exact")
+        assert again["median"] == pytest.approx(before["median"])
+
+    def test_training_validates_inputs(self):
+        from repro.core.training import train_model
+        model = ZeroShotModel(hidden_dim=8)
+        with pytest.raises(ValueError):
+            train_model(model, [], [], TrainingConfig(epochs=1))
+
+    def test_deepdb_cards_inference(self, trained, training_world):
+        dbs, _, unseen_trace = training_world
+        cache = EstimatorCache(sample_size=256, seed=0)
+        small = unseen_trace[:10]
+        metrics = trained.evaluate(small, dbs, cards="deepdb",
+                                   estimator_cache=cache)
+        assert metrics["median"] < 4.0
+
+    def test_optimizer_cards_inference(self, trained, training_world):
+        dbs, _, unseen_trace = training_world
+        metrics = trained.evaluate(unseen_trace[:10], dbs, cards="optimizer")
+        assert np.isfinite(metrics["median"])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained, training_world, tmp_path):
+        dbs, _, unseen_trace = training_world
+        path = tmp_path / "zero_shot.npz"
+        trained.save(path)
+        loaded = ZeroShotCostModel.load(path)
+        records = list(unseen_trace)[:8]
+        graphs = featurize_records(records, dbs, cards="exact")
+        original = trained.predict_records(records, dbs, graphs=graphs)
+        restored = loaded.predict_records(records, dbs, graphs=graphs)
+        np.testing.assert_allclose(original, restored, rtol=1e-9)
+
+
+class TestPredictionQuality:
+    def test_predictions_positive(self, trained, training_world):
+        dbs, _, unseen_trace = training_world
+        preds = trained.predict_trace(unseen_trace[:20], dbs, cards="exact")
+        assert (preds > 0).all()
+
+    def test_correlation_with_actuals(self, trained, training_world):
+        """Predicted and actual log-runtimes correlate on the unseen DB."""
+        dbs, _, unseen_trace = training_world
+        records = list(unseen_trace)
+        preds = trained.predict_records(records, dbs, cards="exact")
+        actual = np.array([r.runtime_ms for r in records])
+        rho = np.corrcoef(np.log(preds), np.log(actual))[0, 1]
+        assert rho > 0.7

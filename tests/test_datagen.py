@@ -1,0 +1,199 @@
+"""Tests for the synthetic data generator and the 20-database benchmark."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import (BENCHMARK_NAMES, benchmark_spec, correlated_from,
+                           generate_database, grow_database,
+                           make_benchmark_database, make_vocabulary,
+                           random_database_spec, zipf_codes)
+from repro.storage import DataType
+
+
+class TestDistributions:
+    def test_zipf_uniform_when_no_skew(self):
+        rng = np.random.default_rng(0)
+        codes = zipf_codes(rng, 20_000, 10, skew=0.0)
+        _, counts = np.unique(codes, return_counts=True)
+        assert counts.min() > 1500  # roughly uniform
+
+    def test_zipf_concentrates_with_skew(self):
+        rng = np.random.default_rng(0)
+        codes = zipf_codes(rng, 20_000, 100, skew=1.5)
+        _, counts = np.unique(codes, return_counts=True)
+        top = np.sort(counts)[::-1]
+        assert top[0] > 0.2 * 20_000  # heavy head
+
+    def test_zipf_rejects_bad_distinct(self):
+        with pytest.raises(ValueError):
+            zipf_codes(np.random.default_rng(0), 10, 0, 0.5)
+
+    def test_correlated_strength(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=5000)
+        strong = correlated_from(rng, base, strength=0.95)
+        weak = correlated_from(rng, base, strength=0.05)
+        assert abs(np.corrcoef(base, strong)[0, 1]) > 0.9
+        assert abs(np.corrcoef(base, weak)[0, 1]) < 0.3
+
+    def test_vocabulary_unique_and_sized(self):
+        vocab = make_vocabulary(np.random.default_rng(0), 200)
+        assert len(vocab) == 200
+        assert len(set(vocab)) == 200
+
+
+class TestGenerator:
+    def test_deterministic_generation(self):
+        spec = random_database_spec("db", seed=42, base_rows=500)
+        db1 = generate_database(spec)
+        db2 = generate_database(spec)
+        for name in db1.tables:
+            for col_name, col in db1.table(name).columns.items():
+                np.testing.assert_array_equal(
+                    col.values, db2.table(name).column(col_name).values)
+
+    def test_fk_integrity(self):
+        spec = random_database_spec("db", seed=7, layout="snowflake",
+                                    base_rows=800, n_tables=6)
+        db = generate_database(spec)
+        for fk in db.schema.foreign_keys:
+            child = db.column(fk.child_table, fk.child_column).values
+            n_parent = len(db.table(fk.parent_table))
+            valid = child[~np.isnan(child)]
+            assert valid.min(initial=0) >= 0
+            assert valid.max(initial=0) < n_parent
+
+    def test_pk_is_rowid(self):
+        db = generate_database(random_database_spec("db", seed=3, base_rows=300))
+        for table in db.tables.values():
+            np.testing.assert_array_equal(table.column("id").values,
+                                          np.arange(len(table)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           layout=st.sampled_from(["star", "snowflake", "chain", "random"]))
+    def test_layouts_are_connected(self, seed, layout):
+        import networkx as nx
+        spec = random_database_spec("db", seed=seed, layout=layout,
+                                    base_rows=100, n_tables=5)
+        db = generate_database(spec)
+        graph = db.schema.join_graph()
+        assert nx.is_connected(nx.Graph(graph))
+
+    def test_star_layout_shape(self):
+        spec = random_database_spec("db", seed=1, layout="star",
+                                    base_rows=200, n_tables=5)
+        fact = spec.tables[0]
+        assert len(fact.parents) == 4
+        assert all(not t.parents for t in spec.tables[1:])
+
+    def test_chain_layout_shape(self):
+        spec = random_database_spec("db", seed=1, layout="chain",
+                                    base_rows=200, n_tables=4)
+        assert [len(t.parents) for t in spec.tables] == [1, 1, 1, 0]
+
+    def test_grow_database(self):
+        db = generate_database(random_database_spec("db", seed=5, base_rows=400))
+        db.create_index(db.schema.table_names[0], "id")
+        grown = grow_database(db, 2.0)
+        for name in db.tables:
+            assert len(grown.table(name)) == 2 * len(db.table(name))
+        assert grown.index_on(db.schema.table_names[0], "id") is not None
+
+    def test_grow_requires_genspec(self):
+        db = generate_database(random_database_spec("db", seed=5, base_rows=100))
+        db.genspec = None
+        with pytest.raises(ValueError):
+            grow_database(db, 2.0)
+
+
+class TestBenchmark20:
+    def test_all_twenty_names(self):
+        assert len(BENCHMARK_NAMES) == 20
+        assert "imdb" in BENCHMARK_NAMES and "tpc_h" in BENCHMARK_NAMES
+
+    def test_specs_vary_in_tables(self):
+        sizes = {len(benchmark_spec(n, base_rows=100).tables)
+                 for n in BENCHMARK_NAMES}
+        assert len(sizes) >= 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("postgres_prod")
+
+    def test_imdb_generation_and_types(self):
+        db = make_benchmark_database("imdb", base_rows=400)
+        assert db.name == "imdb"
+        dtypes = {col.dtype for t in db.tables.values()
+                  for col in t.columns.values()}
+        assert DataType.INT in dtypes
+        # benchmark profile guarantees several tables
+        assert len(db.tables) == 8
+
+    def test_synthetic_dbs_low_complexity(self):
+        """SSB should have mild skew: its fact FK columns near-uniform."""
+        db = make_benchmark_database("ssb", base_rows=2000)
+        fact = db.table("fact")
+        fk_cols = [fk.child_column for fk in db.schema.foreign_keys
+                   if fk.child_table == "fact"]
+        assert fk_cols
+        for col_name in fk_cols:
+            values = fact.column(col_name).non_null()
+            _, counts = np.unique(values, return_counts=True)
+            # max frequency should not dwarf the mean frequency too much
+            assert counts.max() < 12 * counts.mean()
+
+
+class TestCorrelatedFanouts:
+    """The shared-popularity mechanism behind M:N join expansion."""
+
+    def test_zipf_accepts_fixed_permutation(self):
+        rng = np.random.default_rng(0)
+        perm = np.arange(10)[::-1].copy()
+        codes = zipf_codes(rng, 5000, 10, skew=1.2, permutation=perm)
+        # rank 1 maps through perm[0] = 9: code 9 must be the most frequent
+        values, counts = np.unique(codes, return_counts=True)
+        assert values[np.argmax(counts)] == 9
+
+    def test_zipf_rejects_bad_permutation(self):
+        with pytest.raises(ValueError):
+            zipf_codes(np.random.default_rng(0), 10, 5, 0.5,
+                       permutation=np.arange(3))
+
+    def test_children_share_hot_parents(self):
+        """Two children of one parent are hot on the same parent rows."""
+        spec = random_database_spec("hub", seed=202, layout="random",
+                                    base_rows=1500, n_tables=5,
+                                    complexity=0.9)
+        db = generate_database(spec)
+        by_parent = {}
+        for fk in db.schema.foreign_keys:
+            by_parent.setdefault(fk.parent_table, []).append(fk)
+        shared = [(p, e) for p, e in by_parent.items() if len(e) >= 2]
+        if not shared:
+            pytest.skip("seed produced no shared parent")
+        parent, edges = shared[0]
+
+        def top_parents(fk, k=10):
+            vals = db.column(fk.child_table, fk.child_column).non_null()
+            values, counts = np.unique(vals, return_counts=True)
+            return set(values[np.argsort(counts)[::-1][:k]])
+
+        overlap = top_parents(edges[0]) & top_parents(edges[1])
+        assert len(overlap) >= 3  # hot rows coincide across children
+
+    def test_grown_database_same_distribution_per_column(self):
+        """Per-column RNG streams: growth never perturbs other columns."""
+        spec = random_database_spec("stable", seed=303, base_rows=400,
+                                    n_tables=3, complexity=0.6)
+        db = generate_database(spec)
+        grown = grow_database(db, 2.0)
+        for name, table in db.tables.items():
+            for col_name, col in table.columns.items():
+                if col_name == "id" or col_name.endswith("_id") \
+                        or not col.dtype.is_numeric:
+                    continue  # key domains scale with table size by design
+                old, new = col.non_null(), grown.table(name).column(col_name).non_null()
+                if old.size > 50 and new.size > 50:
+                    assert abs(new.mean() - old.mean()) <= 0.5 * (old.std() + 1.0)

@@ -1,0 +1,99 @@
+"""Tests for the physical-design extension: index workloads + advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig, ZeroShotCostModel
+from repro.design import IndexAdvisor
+from repro.executor import execute_plan, simulate_runtime_ms
+from repro.optimizer import PlannerConfig, plan_query
+from repro.sql import AggregateSpec, Comparison, JoinEdge, PredOp, Query
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+@pytest.fixture(scope="module")
+def index_world(request):
+    """A database plus a zero-shot model trained on index-mode traces."""
+    db = request.getfixturevalue("gen_db")
+    gen = WorkloadGenerator(db, WorkloadConfig(max_joins=2), seed=61)
+    trace = generate_trace(db, gen.generate(120), index_mode=True, seed=3)
+    config = TrainingConfig(hidden_dim=32, epochs=30, validation_fraction=0.0)
+    model = ZeroShotCostModel.train([trace], {db.name: db}, cards="exact",
+                                    config=config)
+    return db, model
+
+
+class TestIndexRuntimeTradeoffs:
+    def test_index_scan_faster_for_selective_query(self, toy_db):
+        """The simulator rewards indexes on selective predicates."""
+        query = Query(tables=("orders",),
+                      filters={"orders": Comparison("orders", "id",
+                                                    PredOp.EQ, 17)},
+                      aggregates=(AggregateSpec("count"),))
+        config = PlannerConfig(enable_parallel=False)
+        seq_plan = plan_query(toy_db, query, config=config)
+        execute_plan(toy_db, seq_plan)
+        seq_ms = simulate_runtime_ms(toy_db, seq_plan)
+
+        toy_db.create_index("orders", "id")
+        try:
+            idx_plan = plan_query(toy_db, query, config=config)
+            assert any(n.op_name == "IndexScan" for n in idx_plan.iter_nodes())
+            execute_plan(toy_db, idx_plan)
+            idx_ms = simulate_runtime_ms(toy_db, idx_plan)
+        finally:
+            toy_db.drop_index("orders", "id")
+        assert idx_ms < seq_ms
+
+
+class TestIndexAdvisor:
+    def _workload(self, db, n=12):
+        return WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                 seed=62).generate(n)
+
+    def test_candidates_cover_fks_and_filters(self, index_world):
+        db, model = index_world
+        queries = self._workload(db)
+        advisor = IndexAdvisor(model, cards="optimizer")
+        candidates = advisor.candidate_indexes(db, queries)
+        fk_cols = {(fk.child_table, fk.child_column)
+                   for fk in db.schema.foreign_keys}
+        assert fk_cols <= set(candidates)
+
+    def test_recommendation_runs_and_creates_indexes(self, index_world):
+        db, model = index_world
+        queries = self._workload(db)
+        advisor = IndexAdvisor(model, cards="optimizer")
+        before = dict(db.indexes)
+        try:
+            choices = advisor.recommend(db, queries, max_indexes=2,
+                                        min_saving_fraction=0.0)
+            assert len(choices) <= 2
+            for choice in choices:
+                assert choice.predicted_total_ms <= choice.baseline_total_ms
+                assert db.index_on(*choice.index) is not None
+        finally:
+            for key in list(db.indexes):
+                if key not in before:
+                    db.drop_index(*key)
+
+    def test_predicted_workload_cost_positive(self, index_world):
+        db, model = index_world
+        advisor = IndexAdvisor(model, cards="optimizer")
+        total = advisor.predicted_workload_ms(db, self._workload(db, 5))
+        assert total > 0
+
+    def test_unseen_physical_design_accuracy(self, index_world):
+        """§7.4: model trained on index workloads predicts runtimes under a
+        *new* set of indexes with reasonable accuracy."""
+        db, model = index_world
+        fk = db.schema.foreign_keys[0]
+        db.create_index(fk.child_table, fk.child_column)
+        try:
+            queries = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                        seed=63).generate(30)
+            trace = generate_trace(db, queries, seed=4)
+            metrics = model.evaluate(trace, {db.name: db}, cards="exact")
+            assert metrics["median"] < 2.5
+        finally:
+            db.drop_index(fk.child_table, fk.child_column)

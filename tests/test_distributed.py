@@ -1,0 +1,116 @@
+"""Tests for the distributed cloud-DW extension (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig, ZeroShotCostModel, featurize_records
+from repro.distributed import (ClusterConfig, distributed_storage_formats,
+                               generate_distributed_trace,
+                               plan_distributed_query,
+                               simulate_distributed_runtime_ms)
+from repro.executor import execute_plan
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+
+class TestDistributedPlanner:
+    def test_columnar_scans_with_column_sets(self, toy_db, join_query):
+        plan = plan_distributed_query(toy_db, join_query)
+        scans = [n for n in plan.iter_nodes() if n.op_name == "ColumnarScan"]
+        assert len(scans) == 3
+        for scan in scans:
+            assert scan.scanned_columns
+            assert scan.storage_format == "column"
+
+    def test_shuffles_inserted_per_join(self, toy_db, join_query):
+        plan = plan_distributed_query(toy_db, join_query)
+        shuffles = [n for n in plan.iter_nodes()
+                    if n.op_name in ("Broadcast", "Repartition")]
+        joins = [n for n in plan.iter_nodes() if n.is_join]
+        assert len(joins) == 2
+        assert len(shuffles) >= len(joins)
+
+    def test_small_build_side_broadcast(self, toy_db, join_query):
+        cluster = ClusterConfig(broadcast_threshold_bytes=1e12)
+        plan = plan_distributed_query(toy_db, join_query, cluster)
+        kinds = {n.op_name for n in plan.iter_nodes()}
+        assert "Broadcast" in kinds and "Repartition" not in kinds
+
+    def test_large_build_side_repartition(self, toy_db, join_query):
+        cluster = ClusterConfig(broadcast_threshold_bytes=0.0)
+        plan = plan_distributed_query(toy_db, join_query, cluster)
+        kinds = {n.op_name for n in plan.iter_nodes()}
+        assert "Repartition" in kinds and "Broadcast" not in kinds
+
+    def test_gather_at_root(self, toy_db, simple_count_query):
+        plan = plan_distributed_query(toy_db, simple_count_query)
+        assert plan.op_name == "Gather"
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=0)
+
+    def test_storage_formats_helper(self, toy_db):
+        formats = distributed_storage_formats(toy_db)
+        assert set(formats.values()) == {"column"}
+
+
+class TestDistributedRuntime:
+    def _executed_plan(self, db, query, cluster=None):
+        plan = plan_distributed_query(db, query, cluster)
+        execute_plan(db, plan)
+        return plan
+
+    def test_runtime_reproducible(self, toy_db, join_query):
+        plan = self._executed_plan(toy_db, join_query)
+        a = simulate_distributed_runtime_ms(toy_db, plan)
+        b = simulate_distributed_runtime_ms(toy_db, plan)
+        assert a == pytest.approx(b)
+        assert a > 0
+
+    def test_more_nodes_faster_compute(self, gen_db):
+        from repro.sql import AggregateSpec, Query
+        fact = gen_db.schema.table_names[0]
+        query = Query(tables=(fact,), aggregates=(AggregateSpec("count"),))
+        small = ClusterConfig(n_nodes=2)
+        large = ClusterConfig(n_nodes=16)
+        plan_small = self._executed_plan(gen_db, query, small)
+        plan_large = self._executed_plan(gen_db, query, large)
+        ms_small = simulate_distributed_runtime_ms(gen_db, plan_small, small)
+        ms_large = simulate_distributed_runtime_ms(gen_db, plan_large, large)
+        assert ms_large < ms_small
+
+    def test_broadcast_costs_scale_with_nodes(self, toy_db, join_query):
+        cluster_small = ClusterConfig(n_nodes=2, broadcast_threshold_bytes=1e12)
+        cluster_big = ClusterConfig(n_nodes=64, broadcast_threshold_bytes=1e12,
+                                    scale_efficiency=0.0)
+        plan1 = self._executed_plan(toy_db, join_query, cluster_small)
+        plan2 = self._executed_plan(toy_db, join_query, cluster_big)
+        # With scale_efficiency=0 compute does not shrink, so the broadcast
+        # over many nodes dominates and the big cluster is slower.
+        ms_small = simulate_distributed_runtime_ms(toy_db, plan1, cluster_small)
+        ms_big = simulate_distributed_runtime_ms(toy_db, plan2, cluster_big)
+        assert ms_big > ms_small
+
+
+class TestDistributedZeroShot:
+    def test_trace_and_model_end_to_end(self, gen_db, toy_db):
+        """Zero-shot model trains on distributed traces of one DB and
+        transfers to another — with shuffle/columnar nodes in the graphs."""
+        train_queries = WorkloadGenerator(
+            gen_db, WorkloadConfig(max_joins=2), seed=41).generate(60)
+        train_trace = generate_distributed_trace(gen_db, train_queries, seed=1)
+        test_queries = WorkloadGenerator(
+            toy_db, WorkloadConfig(max_joins=2), seed=42).generate(25)
+        test_trace = generate_distributed_trace(toy_db, test_queries, seed=2)
+
+        dbs = {gen_db.name: gen_db, toy_db.name: toy_db}
+        config = TrainingConfig(hidden_dim=24, epochs=25,
+                                validation_fraction=0.0)
+        model = ZeroShotCostModel.train([train_trace], dbs, cards="exact",
+                                        config=config)
+        graphs = featurize_records(
+            list(test_trace), dbs, cards="exact",
+            storage_formats=distributed_storage_formats(toy_db))
+        metrics = model.evaluate(test_trace, dbs, cards="exact", graphs=graphs)
+        assert np.isfinite(metrics["median"])
+        assert metrics["median"] < 5.0

@@ -1,0 +1,243 @@
+"""Tests for plan execution (true cardinalities, aggregate correctness) and
+the runtime simulator."""
+
+import numpy as np
+import pytest
+
+from repro.executor import (DEFAULT_HARDWARE, HardwareProfile, execute_plan,
+                            plan_signature, predicate_row_cost_ns,
+                            simulate_runtime_ms)
+from repro.optimizer import PlannerConfig, plan_query
+from repro.sql import (AggregateSpec, Comparison, JoinEdge, PredOp, Query,
+                       conjunction, disjunction, evaluate_predicate)
+
+
+def run(db, query, **planner_kwargs):
+    plan = plan_query(db, query, config=PlannerConfig(**planner_kwargs))
+    result = execute_plan(db, plan)
+    return plan, result
+
+
+class TestExecutionCorrectness:
+    def test_count_star(self, toy_db, simple_count_query):
+        _, result = run(toy_db, simple_count_query)
+        assert result.rows == [(2000,)]
+
+    def test_filtered_count_matches_mask(self, toy_db, filtered_query):
+        _, result = run(toy_db, filtered_query)
+        expected = evaluate_predicate(filtered_query.filters["orders"],
+                                      toy_db.table("orders")).sum()
+        assert result.rows == [(int(expected),)]
+
+    def test_fk_join_count_equals_child_count(self, toy_db):
+        query = Query(
+            tables=("orders", "customers"),
+            joins=(JoinEdge("orders", "customer_id", "customers", "id"),),
+            aggregates=(AggregateSpec("count"),))
+        _, result = run(toy_db, query)
+        assert result.rows == [(2000,)]  # every order has a customer
+
+    def test_join_with_filter_matches_bruteforce(self, toy_db):
+        query = Query(
+            tables=("orders", "customers"),
+            joins=(JoinEdge("orders", "customer_id", "customers", "id"),),
+            filters={"customers": Comparison("customers", "category",
+                                             PredOp.EQ, "gold")},
+            aggregates=(AggregateSpec("count"),))
+        _, result = run(toy_db, query)
+        cust_mask = evaluate_predicate(query.filters["customers"],
+                                       toy_db.table("customers"))
+        gold_ids = set(np.nonzero(cust_mask)[0])
+        orders_cust = toy_db.column("orders", "customer_id").values
+        expected = sum(1 for c in orders_cust if c in gold_ids)
+        assert result.rows == [(expected,)]
+
+    def test_three_way_join_cardinality(self, toy_db, join_query):
+        plan, result = run(toy_db, join_query)
+        join_nodes = [n for n in plan.iter_nodes() if n.is_join]
+        for node in join_nodes:
+            assert node.true_rows is not None
+
+    def test_avg_aggregate_value(self, toy_db):
+        query = Query(tables=("orders",),
+                      aggregates=(AggregateSpec("avg", "orders", "amount"),))
+        _, result = run(toy_db, query)
+        amounts = toy_db.column("orders", "amount").values
+        expected = float(np.nanmean(amounts))
+        assert result.rows[0][0] == pytest.approx(expected)
+
+    def test_min_max_sum(self, toy_db):
+        query = Query(tables=("orders",),
+                      aggregates=(AggregateSpec("min", "orders", "amount"),
+                                  AggregateSpec("max", "orders", "amount"),
+                                  AggregateSpec("sum", "orders", "amount")))
+        _, result = run(toy_db, query)
+        amounts = toy_db.column("orders", "amount").values
+        assert result.rows[0][0] == pytest.approx(np.nanmin(amounts))
+        assert result.rows[0][1] == pytest.approx(np.nanmax(amounts))
+        assert result.rows[0][2] == pytest.approx(np.nansum(amounts))
+
+    def test_group_by_counts(self, toy_db):
+        query = Query(tables=("orders",),
+                      aggregates=(AggregateSpec("count"),),
+                      group_by=(("orders", "status"),))
+        _, result = run(toy_db, query)
+        status = toy_db.column("orders", "status").values
+        expected = {float(code): int((status == code).sum())
+                    for code in np.unique(status)}
+        got = {row[0]: row[1] for row in result.rows}
+        assert got == expected
+
+    def test_empty_result_count_zero(self, toy_db):
+        query = Query(tables=("orders",),
+                      filters={"orders": Comparison("orders", "priority",
+                                                    PredOp.GT, 100)},
+                      aggregates=(AggregateSpec("count"),))
+        plan, result = run(toy_db, query)
+        assert result.rows == [(0,)]
+        scan = [n for n in plan.iter_nodes() if n.is_scan][0]
+        assert scan.true_rows == 0.0
+
+    def test_null_join_keys_do_not_match(self, toy_db):
+        # Inject NULLs into a copy of the FK column.
+        orders = toy_db.table("orders")
+        original = orders.column("customer_id").values.copy()
+        try:
+            orders.column("customer_id").values[:100] = np.nan
+            query = Query(
+                tables=("orders", "customers"),
+                joins=(JoinEdge("orders", "customer_id", "customers", "id"),),
+                aggregates=(AggregateSpec("count"),))
+            _, result = run(toy_db, query)
+            assert result.rows == [(1900,)]
+        finally:
+            orders.column("customer_id").values[:] = original
+
+    def test_nested_loop_inner_rows_per_loop(self, toy_db):
+        toy_db.create_index("orders", "customer_id")
+        try:
+            query = Query(
+                tables=("customers", "orders"),
+                joins=(JoinEdge("orders", "customer_id", "customers", "id"),),
+                filters={"customers": Comparison("customers", "category",
+                                                 PredOp.EQ, "gold")},
+                aggregates=(AggregateSpec("count"),))
+            plan, result = run(toy_db, query)
+            nl = [n for n in plan.iter_nodes() if n.op_name == "NestedLoopJoin"]
+            if nl:  # planner picked NL (it should for this outer size)
+                inner = nl[0].children[1]
+                outer = nl[0].children[0]
+                assert inner.true_rows == pytest.approx(
+                    nl[0].true_rows / max(outer.true_rows, 1))
+        finally:
+            toy_db.drop_index("orders", "customer_id")
+
+    def test_disjunctive_predicate_execution(self, toy_db):
+        pred = disjunction([
+            Comparison("orders", "priority", PredOp.EQ, 0),
+            Comparison("orders", "amount", PredOp.IS_NULL),
+        ])
+        query = Query(tables=("orders",), filters={"orders": pred},
+                      aggregates=(AggregateSpec("count"),))
+        _, result = run(toy_db, query)
+        expected = int(evaluate_predicate(pred, toy_db.table("orders")).sum())
+        assert result.rows == [(expected,)]
+
+    def test_generated_database_integration(self, gen_db):
+        """Plans over a generated DB execute and annotate cardinalities."""
+        tables = gen_db.schema.table_names
+        fks = gen_db.schema.foreign_keys
+        fk = fks[0]
+        query = Query(
+            tables=(fk.child_table, fk.parent_table),
+            joins=(JoinEdge.from_foreign_key(fk),),
+            aggregates=(AggregateSpec("count"),))
+        plan, result = run(gen_db, query)
+        for node in plan.iter_nodes():
+            assert node.true_rows is not None
+
+
+class TestRuntimeSimulator:
+    def _runtime(self, db, query, **kwargs):
+        plan = plan_query(db, query)
+        execute_plan(db, plan)
+        return simulate_runtime_ms(db, plan, **kwargs), plan
+
+    def test_runtime_positive_and_reproducible(self, toy_db, join_query):
+        ms1, _ = self._runtime(toy_db, join_query)
+        ms2, _ = self._runtime(toy_db, join_query)
+        assert ms1 > 0
+        assert ms1 == pytest.approx(ms2)
+
+    def test_seed_changes_noise(self, toy_db, join_query):
+        ms1, _ = self._runtime(toy_db, join_query, seed=1)
+        ms2, _ = self._runtime(toy_db, join_query, seed=2)
+        assert ms1 != ms2
+        assert ms1 == pytest.approx(ms2, rel=0.5)  # same mean, noise only
+
+    def test_more_data_takes_longer(self, toy_db):
+        q_small = Query(tables=("customers",), aggregates=(AggregateSpec("count"),))
+        q_large = Query(tables=("orders",), aggregates=(AggregateSpec("count"),))
+        small, _ = self._runtime(toy_db, q_small)
+        large, _ = self._runtime(toy_db, q_large)
+        assert large > small
+
+    def test_expensive_predicates_cost_more(self, toy_db):
+        cheap = Query(tables=("orders",),
+                      filters={"orders": Comparison("orders", "priority",
+                                                    PredOp.EQ, 1)},
+                      aggregates=(AggregateSpec("count"),))
+        pricey = Query(tables=("orders",),
+                       filters={"orders": Comparison("orders", "status",
+                                                     PredOp.LIKE, "%p_n%")},
+                       aggregates=(AggregateSpec("count"),))
+        cheap_ms, _ = self._runtime(toy_db, cheap)
+        pricey_ms, _ = self._runtime(toy_db, pricey)
+        assert pricey_ms > cheap_ms
+
+    def test_predicate_row_cost_structure(self):
+        hw = DEFAULT_HARDWARE
+        simple = Comparison("t", "c", PredOp.EQ, 5)
+        like = Comparison("t", "c", PredOp.LIKE, "%ab%cd%")
+        in_pred = Comparison("t", "c", PredOp.IN, list(range(20)))
+        assert predicate_row_cost_ns(like, hw) > predicate_row_cost_ns(in_pred, hw)
+        assert predicate_row_cost_ns(in_pred, hw) > predicate_row_cost_ns(simple, hw)
+        both = conjunction([simple, simple])
+        assert (predicate_row_cost_ns(both, hw)
+                < 2 * predicate_row_cost_ns(simple, hw))  # short circuit
+
+    def test_spill_nonlinearity(self, toy_db):
+        """A tiny work_mem makes hash joins disproportionately slower."""
+        query = Query(
+            tables=("orders", "customers"),
+            joins=(JoinEdge("orders", "customer_id", "customers", "id"),),
+            aggregates=(AggregateSpec("count"),))
+        plan = plan_query(toy_db, query)
+        execute_plan(toy_db, plan)
+        normal = simulate_runtime_ms(toy_db, plan)
+        tiny_mem = HardwareProfile(work_mem_bytes=256.0, noise_sigma=0.0)
+        slow = simulate_runtime_ms(toy_db, plan, hardware=tiny_mem)
+        assert slow > normal
+
+    def test_plan_signature_distinguishes_plans(self, toy_db, join_query,
+                                                simple_count_query):
+        p1 = plan_query(toy_db, join_query)
+        p2 = plan_query(toy_db, simple_count_query)
+        execute_plan(toy_db, p1)
+        execute_plan(toy_db, p2)
+        assert plan_signature("toy", p1) != plan_signature("toy", p2)
+
+    def test_parallel_startup_overhead(self, gen_db):
+        """Parallel plans pay a startup cost visible at small scales."""
+        fact = gen_db.schema.table_names[0]
+        query = Query(tables=(fact,), aggregates=(AggregateSpec("count"),))
+        serial_plan = plan_query(gen_db, query,
+                                 config=PlannerConfig(enable_parallel=False))
+        execute_plan(gen_db, serial_plan)
+        parallel_plan = plan_query(
+            gen_db, query, config=PlannerConfig(min_parallel_pages=1))
+        execute_plan(gen_db, parallel_plan)
+        hw = HardwareProfile(noise_sigma=0.0, parallel_startup_us=1e7)
+        serial = simulate_runtime_ms(gen_db, serial_plan, hardware=hw)
+        parallel = simulate_runtime_ms(gen_db, parallel_plan, hardware=hw)
+        assert parallel > serial  # absurd startup dominates

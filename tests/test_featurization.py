@@ -1,0 +1,192 @@
+"""Tests for query graphs, Table-1 features, scalers, and batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cardest import annotate_cardinalities
+from repro.executor import execute_plan
+from repro.featurization import (FEATURE_DIMS, FeatureScalers, NODE_TYPES,
+                                 QueryGraph, TargetScaler, attribute_features,
+                                 build_query_graph, make_batch,
+                                 output_features, plan_features,
+                                 predicate_features, table_features)
+from repro.optimizer import plan_query
+from repro.sql import PredOp
+from repro.storage import DataType
+
+
+def graph_for(db, query, source="exact"):
+    plan = plan_query(db, query)
+    execute_plan(db, plan)
+    cards = annotate_cardinalities(db, plan, source)
+    return build_query_graph(db, plan, cards), plan
+
+
+class TestFeatureVectors:
+    def test_dims_match_builders(self):
+        assert len(plan_features("SeqScan", 10, 1, 8, 1)) == FEATURE_DIMS["plan"]
+        assert len(predicate_features(PredOp.EQ, 1.0)) == FEATURE_DIMS["predicate"]
+        assert len(table_features(100, 10)) == FEATURE_DIMS["table"]
+        assert len(attribute_features(8, 0.5, 10, 0.0, DataType.INT)) \
+            == FEATURE_DIMS["attribute"]
+        assert len(output_features("count")) == FEATURE_DIMS["output"]
+
+    def test_log_transforms(self):
+        features = plan_features("SeqScan", np.e - 1, 0, 0, 2)
+        assert features[0] == pytest.approx(1.0)
+        assert features[3] == 2.0
+
+    def test_opname_one_hot(self):
+        a = plan_features("SeqScan", 1, 1, 1, 1)
+        b = plan_features("HashJoin", 1, 1, 1, 1)
+        assert not np.allclose(a[4:], b[4:])
+        assert a[4:].sum() == 1.0
+
+    def test_storage_format(self):
+        row = table_features(10, 1, "row")
+        col = table_features(10, 1, "column")
+        assert not np.allclose(row, col)
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            output_features("median")
+
+
+class TestQueryGraphStructure:
+    def test_single_table_graph(self, toy_db, simple_count_query):
+        graph, plan = graph_for(toy_db, simple_count_query)
+        counts = {t: graph.node_types.count(t) for t in NODE_TYPES}
+        assert counts["plan"] == plan.n_nodes
+        assert counts["table"] == 1
+        assert counts["output"] == 1  # COUNT(*)
+        assert graph.node_types[graph.root] == "plan"
+        graph.validate()
+
+    def test_filter_produces_predicate_and_attribute_nodes(self, toy_db,
+                                                           filtered_query):
+        graph, _ = graph_for(toy_db, filtered_query)
+        counts = {t: graph.node_types.count(t) for t in NODE_TYPES}
+        assert counts["predicate"] == 3  # AND + two comparisons
+        assert counts["attribute"] == 2  # priority, status
+
+    def test_join_graph_has_join_predicates(self, toy_db, join_query):
+        graph, plan = graph_for(toy_db, join_query)
+        counts = {t: graph.node_types.count(t) for t in NODE_TYPES}
+        n_joins = sum(1 for n in plan.iter_nodes() if n.is_join)
+        # one join predicate per join + the customers filter comparison
+        assert counts["predicate"] >= n_joins + 1
+        assert counts["table"] >= 2  # scans (NL inner shares no table node)
+
+    def test_attribute_nodes_shared(self, toy_db, join_query):
+        graph, _ = graph_for(toy_db, join_query)
+        # customers.id is used by two join predicates at most once as a node:
+        # attribute count must be <= distinct referenced columns.
+        attrs = graph.node_types.count("attribute")
+        assert attrs <= 7
+
+    def test_cards_flow_into_features(self, toy_db, filtered_query):
+        graph_exact, plan = graph_for(toy_db, filtered_query, source="exact")
+        graph_opt, _ = graph_for(toy_db, filtered_query, source="optimizer")
+        # Find a scan plan node and compare the cardout feature.
+        scan_positions = [i for i, t in enumerate(graph_exact.node_types)
+                          if t == "plan"]
+        diffs = [not np.allclose(graph_exact.features[i][0],
+                                 graph_opt.features[i][0])
+                 for i in scan_positions]
+        assert any(diffs)  # optimizer estimate differs from the exact count
+
+    def test_levels_topological(self, toy_db, join_query):
+        graph, _ = graph_for(toy_db, join_query)
+        levels = graph.levels()
+        for child, parent in graph.edges:
+            assert levels[child] < levels[parent]
+
+    def test_graph_validation_errors(self):
+        graph = QueryGraph()
+        a = graph.add_node("plan", np.zeros(FEATURE_DIMS["plan"]))
+        with pytest.raises(ValueError):
+            graph.add_node("banana", np.zeros(3))
+        with pytest.raises(ValueError):
+            graph.add_edge(a, a)
+        b = graph.add_node("plan", np.zeros(FEATURE_DIMS["plan"]))
+        graph.root = b
+        with pytest.raises(ValueError):  # a disconnected from root
+            graph.add_edge(b, a)  # wrong direction (topological violation)
+            graph.validate()
+
+
+class TestScalers:
+    def test_feature_scalers_standardize(self, toy_db, join_query,
+                                         filtered_query):
+        graphs = [graph_for(toy_db, join_query)[0],
+                  graph_for(toy_db, filtered_query)[0]]
+        scalers = FeatureScalers().fit(graphs)
+        matrix = np.stack([f for g in graphs
+                           for t, f in zip(g.node_types, g.features)
+                           if t == "plan"])
+        scaled = scalers.transform("plan", matrix)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_target_scaler_roundtrip(self):
+        runtimes = np.array([1.0, 10.0, 100.0, 1000.0])
+        scaler = TargetScaler().fit(runtimes)
+        scaled = scaler.to_scaled(runtimes)
+        np.testing.assert_allclose(scaler.to_runtime_ms(scaled), runtimes,
+                                   rtol=1e-9)
+        assert abs(scaled.mean()) < 1e-9
+
+    def test_unfitted_scaler_raises(self):
+        from repro.featurization import StandardScaler
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestBatching:
+    def test_batch_preserves_node_counts(self, toy_db, join_query,
+                                         filtered_query):
+        g1, _ = graph_for(toy_db, join_query)
+        g2, _ = graph_for(toy_db, filtered_query)
+        batch = make_batch([g1, g2])
+        assert batch.n_nodes == g1.n_nodes + g2.n_nodes
+        assert batch.n_graphs == 2
+        total = sum(batch.type_counts.values())
+        assert total == batch.n_nodes
+
+    def test_roots_are_plan_nodes(self, toy_db, join_query):
+        g, _ = graph_for(toy_db, join_query)
+        batch = make_batch([g, g])
+        for root in batch.roots:
+            # Roots lie inside the "plan" block of global ids.
+            offset = batch.type_offsets["plan"]
+            assert offset <= root < offset + batch.type_counts["plan"]
+
+    def test_level_edges_reference_lower_levels(self, toy_db, join_query):
+        g, _ = graph_for(toy_db, join_query)
+        batch = make_batch([g])
+        seen = set()
+        for level_groups in batch.levels:
+            newly = set()
+            for group in level_groups:
+                for child in group.edge_children:
+                    assert int(child) in seen
+                newly.update(int(i) for i in group.node_indices)
+            seen |= newly
+        assert len(seen) == batch.n_nodes
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            make_batch([])
+
+    @settings(max_examples=10, deadline=None)
+    @given(sizes=st.lists(st.integers(1, 3), min_size=1, max_size=4))
+    def test_batch_group_slots_consistent(self, toy_db, sizes):
+        from repro.workloads import WorkloadConfig, WorkloadGenerator
+        queries = WorkloadGenerator(toy_db, WorkloadConfig(max_joins=2),
+                                    seed=sum(sizes)).generate(len(sizes))
+        graphs = [graph_for(toy_db, q)[0] for q in queries]
+        batch = make_batch(graphs)
+        for level_groups in batch.levels:
+            for group in level_groups:
+                if group.edge_parent_slots.size:
+                    assert group.edge_parent_slots.max() < len(group.node_indices)

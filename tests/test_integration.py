@@ -1,0 +1,149 @@
+"""Cross-module integration tests: the paper's qualitative claims in
+miniature, plus failure-injection paths."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScaledOptimizerModel
+from repro.cardest import DataDrivenEstimator, ExactEstimator
+from repro.core import TrainingConfig, ZeroShotCostModel
+from repro.datagen import generate_database, random_database_spec
+from repro.executor import execute_plan, simulate_runtime_ms
+from repro.nn import q_error
+from repro.optimizer import PlanNode, plan_query
+from repro.sql import AggregateSpec, JoinEdge, Query
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+@pytest.fixture(scope="module")
+def mn_world():
+    """Databases with M:N expansion potential (random layout) + traces."""
+    dbs, traces = {}, []
+    for seed in (101, 102, 103, 104):
+        spec = random_database_spec(f"mn{seed}", seed=seed, layout="random",
+                                    base_rows=1200, n_tables=5,
+                                    complexity=0.8)
+        db = generate_database(spec)
+        dbs[db.name] = db
+        queries = WorkloadGenerator(db, WorkloadConfig(max_joins=3),
+                                    seed=seed).generate(80)
+        traces.append(generate_trace(db, queries, seed=seed))
+    return dbs, traces
+
+
+class TestPaperShapeMiniature:
+    def test_zero_shot_beats_scaled_optimizer_on_unseen_db(self, mn_world):
+        """Figure 5's core claim at unit-test scale."""
+        dbs, traces = mn_world
+        held_out = traces[-1]
+        train = traces[:-1]
+        model = ZeroShotCostModel.train(
+            train, dbs, cards="exact",
+            config=TrainingConfig(hidden_dim=32, epochs=30, seed=0))
+        scaled = ScaledOptimizerModel().fit(train)
+        zs = model.evaluate(held_out, dbs, cards="exact")["median"]
+        so = scaled.evaluate(held_out)["median"]
+        assert zs < so
+
+    def test_mn_joins_expand(self, mn_world):
+        """Random-layout DBs produce join results larger than any input."""
+        dbs, traces = mn_world
+        expanded = 0
+        for trace in traces:
+            for record in trace:
+                for node in record.plan.iter_nodes():
+                    if node.is_join and node.true_rows is not None:
+                        child_max = max(
+                            (c.true_rows or 0) for c in node.children)
+                        if node.true_rows > child_max * 1.5:
+                            expanded += 1
+        assert expanded > 0
+
+    def test_join_sample_unbiased_for_unfiltered_join(self, mn_world):
+        """Horvitz-Thompson weights estimate the unfiltered join size."""
+        dbs, _ = mn_world
+        db = next(iter(dbs.values()))
+        fks = db.schema.foreign_keys
+        if not fks:
+            pytest.skip("no FK in generated schema")
+        fk = fks[0]
+        tables = {fk.child_table, fk.parent_table}
+        joins = [JoinEdge.from_foreign_key(fk)]
+        true = ExactEstimator().join_rows(db, tables, joins, {})
+        estimator = DataDrivenEstimator(db, sample_size=2048, seed=0)
+        sample, weights, root, size = estimator.join_sample(tables, joins,
+                                                            seed=1)
+        estimate = weights.sum() * len(db.table(root)) / size
+        assert q_error([estimate], [max(true, 1)])[0] < 1.3
+
+
+class TestFailureInjection:
+    def test_executor_rejects_unknown_operator(self, toy_db):
+        node = PlanNode("SeqScan", table="orders")
+        node.op_name = "MergeJoin"  # joins need children; executor must fail
+        with pytest.raises((ValueError, IndexError)):
+            execute_plan(toy_db, node)
+
+    def test_runtime_model_requires_execution(self, toy_db,
+                                              simple_count_query):
+        """Simulating an unexecuted plan still works via estimates (no crash),
+        and a plan with impossible operator fails loudly."""
+        plan = plan_query(toy_db, simple_count_query)
+        ms = simulate_runtime_ms(toy_db, plan)  # true_rows None -> est fallback
+        assert ms > 0
+
+    def test_evaluate_with_missing_database_raises(self, mn_world):
+        dbs, traces = mn_world
+        model = ZeroShotCostModel.train(
+            traces[:1], dbs, cards="exact",
+            config=TrainingConfig(hidden_dim=16, epochs=2,
+                                  validation_fraction=0.0))
+        with pytest.raises(KeyError):
+            model.evaluate(traces[1], {}, cards="exact")
+
+    def test_fine_tune_empty_records_raises(self, mn_world):
+        dbs, traces = mn_world
+        model = ZeroShotCostModel.train(
+            traces[:1], dbs, cards="exact",
+            config=TrainingConfig(hidden_dim=16, epochs=2,
+                                  validation_fraction=0.0))
+        with pytest.raises(ValueError):
+            model.fine_tune([], dbs)
+
+    def test_single_row_table_pipeline(self):
+        """Degenerate tables flow through the whole pipeline."""
+        spec = random_database_spec("degenerate", seed=7, base_rows=30,
+                                    n_tables=2, complexity=0.2)
+        db = generate_database(spec)
+        query = Query(tables=(db.schema.table_names[0],),
+                      aggregates=(AggregateSpec("count"),))
+        trace = generate_trace(db, [query])
+        assert len(trace) == 1
+        assert trace[0].runtime_ms > 0
+
+
+class TestDeterminismEndToEnd:
+    def test_identical_training_is_reproducible(self, mn_world):
+        dbs, traces = mn_world
+        config = TrainingConfig(hidden_dim=16, epochs=4, seed=9,
+                                validation_fraction=0.0)
+        m1 = ZeroShotCostModel.train(traces[:2], dbs, cards="exact",
+                                     config=config)
+        m2 = ZeroShotCostModel.train(traces[:2], dbs, cards="exact",
+                                     config=config)
+        records = list(traces[2])[:10]
+        p1 = m1.predict_records(records, dbs, cards="exact")
+        p2 = m2.predict_records(records, dbs, cards="exact")
+        np.testing.assert_allclose(p1, p2)
+
+    def test_trace_noise_differs_across_seeds_not_structure(self, mn_world):
+        dbs, _ = mn_world
+        db = next(iter(dbs.values()))
+        queries = WorkloadGenerator(db, WorkloadConfig(max_joins=1),
+                                    seed=5).generate(10)
+        t1 = generate_trace(db, queries, seed=1)
+        t2 = generate_trace(db, queries, seed=2)
+        # Same plans (same cardinalities), different noise draws.
+        for r1, r2 in zip(t1, t2):
+            assert r1.plan.true_rows == r2.plan.true_rows
+        assert not np.allclose(t1.runtimes(), t2.runtimes())

@@ -1,0 +1,110 @@
+"""Tests for the classic-ML substrate (linear, trees, GBDT)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import GradientBoostedTrees, LinearRegression, RegressionTree
+
+
+class TestLinearRegression:
+    def test_exact_fit(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(x, y)
+        np.testing.assert_allclose(model.weights, [2.0, -1.0, 0.5], atol=1e-8)
+        assert model.intercept == pytest.approx(3.0)
+
+    def test_1d_features(self):
+        x = np.arange(50, dtype=float)
+        model = LinearRegression().fit(x, 2 * x + 1)
+        np.testing.assert_allclose(model.predict([10.0]), [21.0])
+
+    def test_ridge_shrinks(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([5.0, 5.0])
+        plain = LinearRegression().fit(x, y)
+        ridge = LinearRegression(ridge=100.0).fit(x, y)
+        assert np.linalg.norm(ridge.weights) < np.linalg.norm(plain.weights)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict([1.0])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.ones((3, 1)), np.ones(4))
+
+
+class TestRegressionTree:
+    def test_step_function(self):
+        x = np.linspace(0, 1, 300)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        assert tree.predict([[0.2]])[0] == pytest.approx(0.0, abs=0.05)
+        assert tree.predict([[0.9]])[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(100, 2))
+        tree = RegressionTree().fit(x, np.full(100, 7.0))
+        assert tree._root.is_leaf
+        np.testing.assert_allclose(tree.predict(x[:5]), 7.0)
+
+    def test_respects_min_samples(self):
+        x = np.arange(10, dtype=float)[:, None]
+        y = np.arange(10, dtype=float)
+        tree = RegressionTree(min_samples_leaf=6).fit(x, y)
+        assert tree._root.is_leaf  # cannot split 10 rows into 6+6
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.ones(5), np.ones(5))
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict([[1.0]])
+
+
+class TestGBDT:
+    def test_fits_nonlinear(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1] ** 2
+        model = GradientBoostedTrees(n_estimators=80, max_depth=3,
+                                     seed=0).fit(x, y)
+        mse = np.mean((model.predict(x) - y) ** 2)
+        assert mse < 0.02
+
+    def test_beats_single_tree(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(2 * x[:, 0]) * np.cos(x[:, 1])
+        tree = RegressionTree(max_depth=4).fit(x, y)
+        gbdt = GradientBoostedTrees(n_estimators=60, max_depth=4,
+                                    seed=0).fit(x, y)
+        tree_mse = np.mean((tree.predict(x) - y) ** 2)
+        gbdt_mse = np.mean((gbdt.predict(x) - y) ** 2)
+        assert gbdt_mse < tree_mse
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(100, 2))
+        y = x[:, 0] * x[:, 1]
+        p1 = GradientBoostedTrees(n_estimators=20, seed=5).fit(x, y).predict(x)
+        p2 = GradientBoostedTrees(n_estimators=20, seed=5).fit(x, y).predict(x)
+        np.testing.assert_allclose(p1, p2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.ones((2, 2)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_predictions_bounded_by_target_range(self, seed):
+        """Averaging trees cannot extrapolate beyond the target range much."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(120, 2))
+        y = rng.uniform(0, 1, size=120)
+        model = GradientBoostedTrees(n_estimators=25, seed=seed).fit(x, y)
+        preds = model.predict(x)
+        assert preds.min() > -0.5 and preds.max() < 1.5

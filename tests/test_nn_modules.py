@@ -1,0 +1,182 @@
+"""Tests for layers, optimizers, losses and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, Dropout, Linear, MLP, Module, QErrorLoss, SGD,
+                      Sequential, Tensor, clip_grad_norm, huber_loss,
+                      load_state, mse_loss, q_error, q_error_metrics,
+                      save_state)
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert sum(1 for _ in layer.parameters()) == 1
+
+    def test_mlp_structure_and_forward(self):
+        mlp = MLP(6, [16, 16], 1, dropout=0.1, seed=1)
+        out = mlp(Tensor(np.zeros((3, 6))))
+        assert out.shape == (3, 1)
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP(2, [4], 1, activation="swishy")
+
+    def test_parameter_count(self):
+        mlp = MLP(4, [8], 2, seed=0)
+        # (4*8 + 8) + (8*2 + 2)
+        assert mlp.num_parameters() == 40 + 18
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5), Linear(2, 1))
+        model.eval()
+        assert not model.layers[1].training
+        model.train()
+        assert model.layers[1].training
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        model = MLP(3, [5], 2, seed=3)
+        state = model.state_dict()
+        clone = MLP(3, [5], 2, seed=99)
+        clone.load_state_dict(state)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+        path = tmp_path / "model.npz"
+        save_state(path, state, metadata={"kind": "mlp"})
+        loaded, meta = load_state(path)
+        assert meta["kind"] == "mlp"
+        clone2 = MLP(3, [5], 2, seed=123)
+        clone2.load_state_dict(loaded)
+        np.testing.assert_allclose(model(x).data, clone2(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = MLP(3, [5], 2, seed=0)
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = MLP(3, [5], 2, seed=0)
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # min ||Xw - y||^2 with known solution w*=(1,-2)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 2))
+        y = x @ np.array([1.0, -2.0])
+        return x, y
+
+    def _fit(self, optimizer_factory, steps=400):
+        x, y = self._quadratic_problem()
+        w = Tensor(np.zeros(2), requires_grad=True)
+        opt = optimizer_factory([w])
+        for _ in range(steps):
+            opt.zero_grad()
+            pred = Tensor(x) @ w
+            loss = mse_loss(pred, y)
+            loss.backward()
+            opt.step()
+        return w.data
+
+    def test_sgd_converges(self):
+        w = self._fit(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(w, [1.0, -2.0], atol=1e-3)
+
+    def test_adam_converges(self):
+        w = self._fit(lambda p: Adam(p, lr=0.05))
+        np.testing.assert_allclose(w, [1.0, -2.0], atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        w_plain = self._fit(lambda p: Adam(p, lr=0.05))
+        w_decay = self._fit(lambda p: Adam(p, lr=0.05, weight_decay=0.5))
+        assert np.linalg.norm(w_decay) < np.linalg.norm(w_plain)
+
+    def test_clip_grad_norm(self):
+        w = Tensor(np.zeros(4), requires_grad=True)
+        w.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_optimizer_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_step_skips_none_grads(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no grad set: should be a no-op, not an error
+        np.testing.assert_allclose(w.data, [1.0, 1.0])
+
+
+class TestLosses:
+    def test_q_error_metric_basics(self):
+        np.testing.assert_allclose(q_error([2.0], [1.0]), [2.0])
+        np.testing.assert_allclose(q_error([1.0], [2.0]), [2.0])
+        np.testing.assert_allclose(q_error([5.0], [5.0]), [1.0])
+
+    def test_q_error_handles_zero(self):
+        assert np.isfinite(q_error([0.0], [1.0]))[0]
+
+    def test_q_error_metrics_summary(self):
+        metrics = q_error_metrics([1, 2, 4], [1, 1, 1])
+        assert metrics["median"] == 2.0
+        assert metrics["max"] == 4.0
+        assert metrics["count"] == 3
+
+    def test_qerror_loss_value_and_gradient_direction(self):
+        loss_fn = QErrorLoss()
+        pred = Tensor(np.log([2.0, 8.0]), requires_grad=True)
+        true = np.log([4.0, 4.0])
+        loss = loss_fn(pred, true)
+        # per-element q-errors are 2 and 2 -> mean 2
+        assert loss.item() == pytest.approx(2.0)
+        loss.backward()
+        assert pred.grad[0] < 0  # underestimate: push prediction up
+        assert pred.grad[1] > 0  # overestimate: push prediction down
+
+    def test_qerror_loss_is_capped(self):
+        loss_fn = QErrorLoss(log_cap=np.log(100))
+        pred = Tensor(np.array([50.0]), requires_grad=True)
+        loss = loss_fn(pred, np.array([0.0]))
+        assert loss.item() == pytest.approx(100.0)
+
+    def test_huber_matches_mse_inside_delta(self):
+        pred = Tensor(np.array([0.5]))
+        assert huber_loss(pred, np.array([0.0]), delta=1.0).item() == pytest.approx(0.125)
+
+    def test_huber_linear_outside_delta(self):
+        pred = Tensor(np.array([3.0]))
+        assert huber_loss(pred, np.array([0.0]), delta=1.0).item() == pytest.approx(0.5 + 2.0)
+
+
+class TestEndToEndTraining:
+    def test_mlp_fits_nonlinear_function(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, size=(256, 2))
+        y = np.sin(2 * x[:, 0]) + x[:, 1] ** 2
+        model = MLP(2, [32, 32], 1, seed=2)
+        opt = Adam(model.parameters(), lr=3e-3)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = model(Tensor(x)).reshape(-1)
+            loss = mse_loss(pred, y)
+            loss.backward()
+            opt.step()
+        final = mse_loss(model(Tensor(x)).reshape(-1), y).item()
+        assert final < 0.02

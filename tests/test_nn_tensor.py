@@ -1,0 +1,250 @@
+"""Gradient-correctness tests for the autograd engine.
+
+Every op used by the cost models is checked against central-difference
+numerical gradients; hypothesis drives shapes and values for the broadcast
+rules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concat, maximum, scatter_sum, no_grad
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        upper = fn(x)
+        flat[i] = orig - eps
+        lower = fn(x)
+        flat[i] = orig
+        out[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_unary(op, x, numeric_fn=None, atol=1e-5):
+    t = Tensor(x.copy(), requires_grad=True)
+    result = op(t).sum()
+    result.backward()
+    expected = numerical_grad(lambda v: float((numeric_fn or (lambda a: op(Tensor(a)).data))(v).sum()), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestElementwiseGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+
+    def test_add_broadcast(self):
+        a = Tensor(self.rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 3)))
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+    def test_mul_broadcast(self):
+        a = Tensor(self.rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(1, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.broadcast_to(b.data, (2, 3)))
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=0, keepdims=True))
+
+    def test_div(self):
+        a = self.rng.uniform(0.5, 2.0, size=(3, 2))
+        b = self.rng.uniform(0.5, 2.0, size=(3, 2))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta / tb).sum().backward()
+        np.testing.assert_allclose(ta.grad, 1.0 / b)
+        np.testing.assert_allclose(tb.grad, -a / b ** 2)
+
+    def test_pow(self):
+        x = self.rng.uniform(0.5, 2.0, size=(5,))
+        check_unary(lambda t: t ** 3, x)
+
+    def test_exp_log(self):
+        x = self.rng.uniform(0.2, 2.0, size=(4, 2))
+        check_unary(lambda t: t.exp(), x)
+        check_unary(lambda t: t.log(), x)
+
+    def test_relu_leaky_tanh_sigmoid_abs(self):
+        x = self.rng.normal(size=(8,)) + 0.05  # avoid the kink exactly at 0
+        check_unary(lambda t: t.relu(), x)
+        check_unary(lambda t: t.leaky_relu(0.1), x)
+        check_unary(lambda t: t.tanh(), x)
+        check_unary(lambda t: t.sigmoid(), x)
+        check_unary(lambda t: t.abs(), x)
+
+    def test_clamp(self):
+        x = np.array([-2.0, -0.5, 0.3, 1.7, 5.0])
+        t = Tensor(x, requires_grad=True)
+        t.clamp(-1.0, 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0, 1, 1, 1, 0])
+
+    def test_neg_sub(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 5.0]), requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [-1, -1])
+
+
+class TestMatmulAndReductions:
+    def test_matmul_grads(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((4, 5)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((4, 5)))
+
+    def test_sum_axis(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        (x.sum(axis=1) * Tensor(np.array([1.0, 2.0, 3.0]))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.repeat([[1.0], [2.0], [3.0]], 4, axis=1))
+
+    def test_mean(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 0.1))
+
+    def test_reshape_transpose(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        y = x.reshape(3, 2).transpose()
+        (y * y).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data)
+
+
+class TestGatherScatterConcat:
+    def test_gather_rows_repeats(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]), requires_grad=True)
+        out = x.gather_rows([0, 0, 2])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[2, 2], [0, 0], [1, 1]])
+
+    def test_scatter_sum_forward(self):
+        src = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = scatter_sum(src, [0, 1, 0, 2], 3)
+        np.testing.assert_allclose(out.data, [[4.0], [2.0], [4.0]])
+
+    def test_scatter_sum_backward(self):
+        src = Tensor(np.ones((4, 2)), requires_grad=True)
+        out = scatter_sum(src, [1, 1, 0, 2], 4)
+        weights = Tensor(np.array([[1.0, 1], [2, 2], [3, 3], [4, 4]]))
+        (out * weights).sum().backward()
+        np.testing.assert_allclose(src.grad, [[2, 2], [2, 2], [1, 1], [3, 3]])
+
+    def test_scatter_sum_empty_segment(self):
+        src = Tensor(np.ones((2, 3)))
+        out = scatter_sum(src, [0, 2], 4)
+        np.testing.assert_allclose(out.data[1], 0.0)
+        np.testing.assert_allclose(out.data[3], 0.0)
+
+    def test_scatter_sum_validates_index(self):
+        with pytest.raises(ValueError):
+            scatter_sum(Tensor(np.ones((3, 2))), [0, 1], 2)
+
+    def test_concat_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        (out * Tensor(np.arange(10, dtype=float).reshape(2, 5))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [5, 6]])
+        np.testing.assert_allclose(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_maximum_gradient_routing(self):
+        a = Tensor(np.array([1.0, 5.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 1.0, 2.0]), requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.5])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0, 0.5])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).backward()  # d/dx 6x^2 = 12x
+        np.testing.assert_allclose(x.grad, [18.0])
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2 + 1
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_dropout_eval_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10, 10)))
+        out = x.dropout(0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((2000,)))
+        out = x.dropout(0.25, rng, training=True)
+        # Inverted dropout preserves the expectation.
+        assert abs(out.data.mean() - 1.0) < 0.1
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.75)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 6), cols=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_mlp_like_composite_gradcheck(rows, cols, seed):
+    """Composite expression (affine + nonlinearity + reduce) matches numerics."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, cols))
+    w = rng.normal(size=(cols, 3))
+
+    def forward(x_arr):
+        t = Tensor(x_arr)
+        return ((t @ Tensor(w)).tanh() * 0.5 + 1.0).sum()
+
+    t = Tensor(x.copy(), requires_grad=True)
+    ((t @ Tensor(w)).tanh() * 0.5 + 1.0).sum().backward()
+    expected = numerical_grad(lambda v: float(forward(v).data), x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 20), segments=st.integers(1, 6), seed=st.integers(0, 9999),
+)
+def test_scatter_then_gather_roundtrip(n, segments, seed):
+    """scatter_sum followed by gather_rows distributes sums consistently."""
+    rng = np.random.default_rng(seed)
+    index = rng.integers(0, segments, size=n)
+    src = rng.normal(size=(n, 4))
+    out = scatter_sum(Tensor(src), index, segments)
+    gathered = out.gather_rows(index)
+    expected = np.stack([src[index == index[i]].sum(axis=0) for i in range(n)])
+    np.testing.assert_allclose(gathered.data, expected, atol=1e-9)

@@ -1,0 +1,167 @@
+"""Cross-module property-based tests on core invariants.
+
+These exercise the pipeline end to end on randomly generated databases and
+queries: execution correctness against brute force, estimator sanity,
+simulator determinism, and featurization/batching invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cardest import ExactEstimator, annotate_cardinalities
+from repro.datagen import generate_database, random_database_spec
+from repro.executor import execute_plan, simulate_runtime_ms
+from repro.featurization import build_query_graph, make_batch
+from repro.nn import q_error
+from repro.optimizer import PlannerConfig, plan_query
+from repro.sql import evaluate_predicate
+from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+_DB_CACHE = {}
+
+
+def db_for(seed):
+    if seed not in _DB_CACHE:
+        spec = random_database_spec(f"prop{seed}", seed=seed,
+                                    base_rows=400, n_tables=4,
+                                    complexity=0.7)
+        _DB_CACHE[seed] = generate_database(spec)
+    return _DB_CACHE[seed]
+
+
+def brute_force_count(db, query):
+    """Reference implementation: nested-loop join + predicate masks."""
+    masks = {t: evaluate_predicate(query.filters.get(t), db.table(t))
+             for t in query.tables}
+    rows = {t: set(np.nonzero(masks[t])[0]) for t in query.tables}
+    # Start from the first table, expand along joins (brute force).
+    tuples = [{query.tables[0]: r} for r in rows[query.tables[0]]]
+    remaining = list(query.joins)
+    done = {query.tables[0]}
+    while remaining:
+        for edge in list(remaining):
+            sides = edge.tables()
+            if len(sides & done) == 1:
+                new_table = next(iter(sides - done))
+                child_vals = db.column(edge.child_table, edge.child_column).values
+                parent_vals = db.column(edge.parent_table, edge.parent_column).values
+                extended = []
+                for combo in tuples:
+                    for r in rows[new_table]:
+                        probe = dict(combo)
+                        probe[new_table] = r
+                        child_value = child_vals[probe[edge.child_table]]
+                        parent_value = parent_vals[probe[edge.parent_table]]
+                        if not np.isnan(child_value) and child_value == parent_value:
+                            extended.append(probe)
+                tuples = extended
+                done.add(new_table)
+                remaining.remove(edge)
+                break
+        else:
+            raise AssertionError("disconnected join graph")
+    return len(tuples)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 4), query_seed=st.integers(0, 200))
+def test_executor_matches_brute_force(seed, query_seed):
+    """Top-join cardinality equals a nested-loop reference implementation."""
+    db = db_for(seed)
+    config = WorkloadConfig(min_joins=1, max_joins=2, group_by_prob=0.0)
+    query = WorkloadGenerator(db, config, seed=query_seed).generate_query()
+    plan = plan_query(db, query)
+    execute_plan(db, plan)
+    joins = [n for n in plan.iter_nodes() if n.is_join]
+    top = joins[-1]
+    expected = brute_force_count(db, query)
+    assert top.true_rows == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 4), query_seed=st.integers(0, 300))
+def test_exact_estimator_matches_executor(seed, query_seed):
+    db = db_for(seed)
+    config = WorkloadConfig(min_joins=0, max_joins=3, group_by_prob=0.0)
+    query = WorkloadGenerator(db, config, seed=query_seed).generate_query()
+    plan = plan_query(db, query)
+    execute_plan(db, plan)
+    joins = [n for n in plan.iter_nodes() if n.is_join]
+    exact = ExactEstimator().query_rows(db, query)
+    if joins:
+        assert exact == joins[-1].true_rows
+    else:
+        scans = [n for n in plan.iter_nodes() if n.is_scan]
+        assert exact == scans[0].true_rows
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 4), query_seed=st.integers(0, 300),
+       noise_seed=st.integers(0, 50))
+def test_runtime_simulation_deterministic(seed, query_seed, noise_seed):
+    db = db_for(seed)
+    query = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                              seed=query_seed).generate_query()
+    plan = plan_query(db, query)
+    execute_plan(db, plan)
+    a = simulate_runtime_ms(db, plan, seed=noise_seed)
+    b = simulate_runtime_ms(db, plan, seed=noise_seed)
+    assert a == b and a > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 4), query_seed=st.integers(0, 300))
+def test_featurization_invariants(seed, query_seed):
+    """Every plan yields a valid graph; batching preserves structure."""
+    db = db_for(seed)
+    query = WorkloadGenerator(db, WorkloadConfig(max_joins=3),
+                              seed=query_seed).generate_query()
+    plan = plan_query(db, query)
+    execute_plan(db, plan)
+    cards = annotate_cardinalities(db, plan, "exact")
+    graph = build_query_graph(db, plan, cards)
+    graph.validate()
+    # one plan node per operator; root is the last plan node
+    n_plan_nodes = sum(1 for t in graph.node_types if t == "plan")
+    assert n_plan_nodes == plan.n_nodes
+    assert graph.node_types[graph.root] == "plan"
+    batch = make_batch([graph, graph])
+    assert batch.n_nodes == 2 * graph.n_nodes
+    # every non-root node feeds exactly >=1 parent; all features finite
+    for features in graph.features:
+        assert np.isfinite(features).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(predicted=st.floats(0.001, 1e6), actual=st.floats(0.001, 1e6))
+def test_q_error_properties(predicted, actual):
+    """Q-error is symmetric, >= 1, and 1 iff prediction is exact."""
+    err = q_error([predicted], [actual])[0]
+    err_swapped = q_error([actual], [predicted])[0]
+    assert err == pytest.approx(err_swapped)
+    assert err >= 1.0
+    assert q_error([actual], [actual])[0] == pytest.approx(1.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 4), factor=st.sampled_from([2.0, 3.0]))
+def test_grow_database_preserves_distributions(seed, factor):
+    """Grown databases keep schema and roughly keep value distributions."""
+    db = db_for(seed)
+    grown = __import__("repro.datagen", fromlist=["grow_database"]) \
+        .grow_database(db, factor)
+    assert set(grown.tables) == set(db.tables)
+    for name, table in db.tables.items():
+        assert len(grown.table(name)) == int(len(table) * factor)
+        for col_name, col in table.columns.items():
+            if col_name == "id" or col_name.endswith("_id"):
+                continue  # key domains scale with table size by design
+            if col.dtype.is_numeric:
+                old = col.non_null()
+                new = grown.table(name).column(col_name).non_null()
+                if old.size > 50 and new.size > 50:
+                    # Means are stable for multi-modal mixtures (medians can
+                    # flip between modes for identical distributions).
+                    spread = old.std() + 1.0
+                    assert abs(new.mean() - old.mean()) <= 0.5 * spread

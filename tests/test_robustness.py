@@ -1,0 +1,96 @@
+"""Tests for generalization-error estimation and drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig
+from repro.datagen import generate_database, random_database_spec
+from repro.robustness import (DriftDetector, estimate_generalization_error,
+                              sufficiency_curve)
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+@pytest.fixture(scope="module")
+def cv_world():
+    dbs, traces = {}, []
+    for seed in (11, 12, 13, 14):
+        spec = random_database_spec(f"cv{seed}", seed=seed, base_rows=600,
+                                    n_tables=4, complexity=0.6)
+        db = generate_database(spec)
+        dbs[db.name] = db
+        queries = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                    seed=seed).generate(50)
+        traces.append(generate_trace(db, queries, seed=seed))
+    return dbs, traces
+
+
+FAST = TrainingConfig(hidden_dim=24, epochs=15, batch_size=32,
+                      validation_fraction=0.0)
+
+
+class TestGeneralizationEstimation:
+    def test_leave_one_out(self, cv_world):
+        dbs, traces = cv_world
+        estimate = estimate_generalization_error(
+            traces, dbs, config=FAST, n_splits=2, seed=0)
+        assert len(estimate.per_split) == 2
+        assert estimate.mean >= 1.0
+        assert estimate.mean < 5.0
+        summary = estimate.summary()
+        assert summary["splits"] == 2
+
+    def test_held_out_names_recorded(self, cv_world):
+        dbs, traces = cv_world
+        estimate = estimate_generalization_error(
+            traces, dbs, config=FAST, n_splits=2, seed=1)
+        assert all(name.startswith("cv") for name in estimate.held_out)
+
+    def test_sufficiency_curve_shape(self, cv_world):
+        dbs, traces = cv_world
+        eval_trace = traces[-1]
+        curve = sufficiency_curve(traces[:-1], dbs, eval_trace,
+                                  n_databases_list=[1, 3], config=FAST)
+        assert [n for n, _ in curve] == [1, 3]
+        assert all(q >= 1.0 for _, q in curve)
+
+
+class TestDriftDetector:
+    def test_no_drift_on_accurate_predictions(self):
+        detector = DriftDetector(threshold=2.0, min_observations=5)
+        for _ in range(20):
+            detector.observe(100.0, 105.0)
+        assert not detector.drifted
+        assert detector.rolling_median < 1.1
+
+    def test_drift_detected_on_bad_predictions(self):
+        detector = DriftDetector(threshold=2.0, min_observations=5)
+        for _ in range(20):
+            detector.observe(10.0, 100.0)
+        assert detector.drifted
+        assert detector.rolling_median == pytest.approx(10.0)
+
+    def test_needs_min_observations(self):
+        detector = DriftDetector(threshold=1.5, min_observations=10)
+        for _ in range(5):
+            detector.observe(1.0, 100.0)
+        assert not detector.drifted
+
+    def test_window_forgets_old_errors(self):
+        detector = DriftDetector(threshold=2.0, window=10, min_observations=5)
+        for _ in range(10):
+            detector.observe(1.0, 100.0)  # terrible
+        for _ in range(10):
+            detector.observe(100.0, 100.0)  # perfect, fills the window
+        assert not detector.drifted
+
+    def test_records_collected_for_few_shot(self):
+        detector = DriftDetector()
+        detector.observe(1.0, 2.0, record="r1")
+        detector.observe(1.0, 2.0, record="r2")
+        assert detector.fine_tuning_records() == ["r1", "r2"]
+        detector.reset()
+        assert detector.fine_tuning_records() == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.5)

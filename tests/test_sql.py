@@ -1,0 +1,180 @@
+"""Tests for predicates, queries, and vectorized predicate evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.sql import (AggregateSpec, BooleanPredicate, Comparison, JoinEdge,
+                       PredOp, Query, conjunction, disjunction,
+                       evaluate_predicate, iter_predicate_nodes,
+                       like_pattern_complexity, like_to_regex,
+                       matching_codes_for_like, predicate_columns)
+
+
+class TestPredicateConstruction:
+    def test_comparison_requires_literal(self):
+        with pytest.raises(ValueError):
+            Comparison("t", "c", PredOp.EQ)
+
+    def test_null_tests_take_no_literal(self):
+        pred = Comparison("t", "c", PredOp.IS_NULL)
+        assert pred.literal is None
+
+    def test_in_requires_list(self):
+        with pytest.raises(ValueError):
+            Comparison("t", "c", PredOp.IN, 5)
+
+    def test_like_requires_string(self):
+        with pytest.raises(ValueError):
+            Comparison("t", "c", PredOp.LIKE, 7)
+
+    def test_boolean_needs_two_children(self):
+        with pytest.raises(ValueError):
+            BooleanPredicate(PredOp.AND, (Comparison("t", "c", PredOp.EQ, 1),))
+
+    def test_comparison_rejects_boolean_op(self):
+        with pytest.raises(ValueError):
+            Comparison("t", "c", PredOp.AND, 1)
+
+    def test_conjunction_collapses(self):
+        pred = Comparison("t", "c", PredOp.EQ, 1)
+        assert conjunction([]) is None
+        assert conjunction([pred]) is pred
+        both = conjunction([pred, Comparison("t", "d", PredOp.GT, 0)])
+        assert isinstance(both, BooleanPredicate) and both.op == PredOp.AND
+
+    def test_disjunction(self):
+        preds = [Comparison("t", "c", PredOp.EQ, i) for i in range(3)]
+        either = disjunction(preds)
+        assert either.op == PredOp.OR and len(either.children) == 3
+
+    def test_literal_features(self):
+        assert Comparison("t", "c", PredOp.IN, [1, 2, 3]).literal_feature == 3.0
+        like = Comparison("t", "c", PredOp.LIKE, "%abc_")
+        assert like.literal_feature == pytest.approx(2 + 0.5)
+        assert like_pattern_complexity("abc") == pytest.approx(0.3)
+
+    def test_iteration_and_columns(self):
+        tree = conjunction([
+            Comparison("a", "x", PredOp.EQ, 1),
+            disjunction([Comparison("a", "y", PredOp.GT, 2),
+                         Comparison("b", "z", PredOp.IS_NULL)]),
+        ])
+        nodes = list(iter_predicate_nodes(tree))
+        assert len(nodes) == 5  # AND, x, OR, y, z
+        assert predicate_columns(tree) == {("a", "x"), ("a", "y"), ("b", "z")}
+
+
+class TestQueryValidation:
+    def test_query_connectivity_enforced(self):
+        with pytest.raises(ValueError):
+            Query(tables=("a", "b"), joins=())
+
+    def test_join_tables_must_exist(self):
+        with pytest.raises(ValueError):
+            Query(tables=("a",), joins=(JoinEdge("a", "x", "b", "id"),))
+
+    def test_filter_table_must_exist(self):
+        with pytest.raises(ValueError):
+            Query(tables=("a",), filters={"b": Comparison("b", "c", PredOp.EQ, 1)})
+
+    def test_aggregate_validation(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("median")
+        with pytest.raises(ValueError):
+            AggregateSpec("sum")  # needs a column
+
+    def test_referenced_columns(self, join_query):
+        assert "customer_id" in join_query.referenced_columns("orders")
+        assert "amount" in join_query.referenced_columns("orders")
+        assert "id" in join_query.referenced_columns("customers")
+
+    def test_describe_smoke(self, join_query):
+        sql = join_query.describe()
+        assert "SELECT AVG(orders.amount)" in sql
+        assert "orders.customer_id=customers.id" in sql
+
+
+class TestLikeMatching:
+    def test_like_to_regex(self):
+        assert like_to_regex("ab%").match("abcdef")
+        assert not like_to_regex("ab%").match("xab")
+        assert like_to_regex("a_c").match("abc")
+        assert not like_to_regex("a_c").match("abbc")
+        assert like_to_regex("100%").match("100x")  # % escaping sanity
+
+    def test_matching_codes(self):
+        codes = matching_codes_for_like(["apple", "apricot", "banana"], "ap%")
+        assert list(codes) == [0, 1]
+
+
+class TestEvaluation:
+    def test_numeric_operators(self, toy_db):
+        orders = toy_db.table("orders")
+        for op, fn in [(PredOp.LT, np.less), (PredOp.LEQ, np.less_equal),
+                       (PredOp.GT, np.greater), (PredOp.GEQ, np.greater_equal)]:
+            mask = evaluate_predicate(Comparison("orders", "priority", op, 2), orders)
+            values = orders.column("priority").values
+            np.testing.assert_array_equal(mask, fn(values, 2))
+
+    def test_null_comparisons_are_false(self, toy_db):
+        orders = toy_db.table("orders")
+        amount = orders.column("amount")
+        mask = evaluate_predicate(
+            Comparison("orders", "amount", PredOp.GT, -1e12), orders)
+        assert not mask[amount.null_mask].any()
+        assert mask[~amount.null_mask].all()
+
+    def test_is_null(self, toy_db):
+        orders = toy_db.table("orders")
+        mask = evaluate_predicate(Comparison("orders", "amount", PredOp.IS_NULL), orders)
+        np.testing.assert_array_equal(mask, orders.column("amount").null_mask)
+
+    def test_categorical_eq_and_in(self, toy_db):
+        customers = toy_db.table("customers")
+        gold = evaluate_predicate(
+            Comparison("customers", "category", PredOp.EQ, "gold"), customers)
+        values = customers.column("category").values
+        np.testing.assert_array_equal(gold, values == 0)
+        both = evaluate_predicate(
+            Comparison("customers", "category", PredOp.IN, ["gold", "silver"]),
+            customers)
+        np.testing.assert_array_equal(both, (values == 0) | (values == 1))
+
+    def test_eq_unknown_literal_matches_nothing(self, toy_db):
+        mask = evaluate_predicate(
+            Comparison("customers", "category", PredOp.EQ, "platinum"),
+            toy_db.table("customers"))
+        assert not mask.any()
+
+    def test_like_on_dictionary(self, toy_db):
+        customers = toy_db.table("customers")
+        mask = evaluate_predicate(
+            Comparison("customers", "category", PredOp.LIKE, "%ol%"), customers)
+        values = customers.column("category").values
+        np.testing.assert_array_equal(mask, values == 0)  # only "gold"
+        neg = evaluate_predicate(
+            Comparison("customers", "category", PredOp.NOT_LIKE, "%ol%"), customers)
+        np.testing.assert_array_equal(neg, ~mask)
+
+    def test_boolean_combinations(self, toy_db):
+        orders = toy_db.table("orders")
+        p1 = Comparison("orders", "priority", PredOp.EQ, 1)
+        p2 = Comparison("orders", "status", PredOp.EQ, "open")
+        both = evaluate_predicate(conjunction([p1, p2]), orders)
+        either = evaluate_predicate(disjunction([p1, p2]), orders)
+        m1 = evaluate_predicate(p1, orders)
+        m2 = evaluate_predicate(p2, orders)
+        np.testing.assert_array_equal(both, m1 & m2)
+        np.testing.assert_array_equal(either, m1 | m2)
+
+    def test_none_predicate_matches_all(self, toy_db):
+        mask = evaluate_predicate(None, toy_db.table("orders"))
+        assert mask.all()
+
+    def test_string_range_lexicographic(self, toy_db):
+        customers = toy_db.table("customers")
+        mask = evaluate_predicate(
+            Comparison("customers", "category", PredOp.LT, "gold"), customers)
+        decoded = np.array(customers.column("category").decode())
+        expected = np.array([d is not None and d < "gold" for d in decoded])
+        np.testing.assert_array_equal(mask, expected)

@@ -1,0 +1,159 @@
+"""Tests for the workload generator and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.sql import BooleanPredicate, Comparison, PredOp, iter_predicate_nodes
+from repro.workloads import (Trace, WorkloadConfig, WorkloadGenerator,
+                             generate_trace, imdb_workload,
+                             imdb_workload_names)
+
+
+def all_predicate_ops(queries):
+    ops = set()
+    for query in queries:
+        for pred in query.filters.values():
+            for node in iter_predicate_nodes(pred):
+                ops.add(node.op)
+    return ops
+
+
+class TestWorkloadGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(mode="weird")
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_joins=3, max_joins=1)
+
+    def test_queries_valid_and_join_bounded(self, gen_db):
+        config = WorkloadConfig(min_joins=0, max_joins=3)
+        queries = WorkloadGenerator(gen_db, config, seed=1).generate(50)
+        assert len(queries) == 50
+        for query in queries:
+            assert query.n_joins <= 3
+            assert len(query.tables) == query.n_joins + 1
+
+    def test_deterministic_given_seed(self, gen_db):
+        a = WorkloadGenerator(gen_db, seed=9).generate(10)
+        b = WorkloadGenerator(gen_db, seed=9).generate(10)
+        assert [q.describe() for q in a] == [q.describe() for q in b]
+
+    def test_standard_mode_is_conjunctive(self, gen_db):
+        config = WorkloadConfig(mode="standard", max_joins=2)
+        queries = WorkloadGenerator(gen_db, config, seed=3).generate(80)
+        ops = all_predicate_ops(queries)
+        assert PredOp.OR not in ops
+        assert PredOp.LIKE not in ops
+        assert PredOp.IS_NULL not in ops
+
+    def test_complex_mode_uses_rich_operators(self, gen_db):
+        config = WorkloadConfig(mode="complex", max_joins=2)
+        queries = WorkloadGenerator(gen_db, config, seed=3).generate(300)
+        ops = all_predicate_ops(queries)
+        assert PredOp.IN in ops
+        assert (PredOp.IS_NULL in ops) or (PredOp.IS_NOT_NULL in ops)
+        assert PredOp.OR in ops
+
+    def test_complex_mode_generates_string_patterns(self, toy_db):
+        config = WorkloadConfig(mode="complex", max_joins=1,
+                                string_pred_prob=1.0, filter_table_prob=1.0)
+        queries = WorkloadGenerator(toy_db, config, seed=5).generate(200)
+        ops = all_predicate_ops(queries)
+        assert PredOp.LIKE in ops or PredOp.NOT_LIKE in ops
+
+    def test_literals_come_from_data(self, toy_db):
+        config = WorkloadConfig(mode="standard", max_joins=0,
+                                filter_table_prob=1.0)
+        queries = WorkloadGenerator(toy_db, config, seed=7).generate(60)
+        for query in queries:
+            for pred in query.filters.values():
+                for node in iter_predicate_nodes(pred):
+                    if isinstance(node, Comparison) and isinstance(node.literal, str):
+                        column = toy_db.column(node.table, node.column)
+                        assert node.literal in column.dictionary
+
+    def test_group_by_appears(self, gen_db):
+        config = WorkloadConfig(group_by_prob=1.0, max_joins=1)
+        queries = WorkloadGenerator(gen_db, config, seed=11).generate(30)
+        assert any(q.group_by for q in queries)
+
+
+class TestImdbWorkloads:
+    def test_names(self):
+        assert set(imdb_workload_names()) == {"scale", "synthetic",
+                                              "job_light", "job_full"}
+
+    def test_sizes_default(self, gen_db):
+        assert len(imdb_workload(gen_db, "job_light")) == 70
+        assert len(imdb_workload(gen_db, "job_full")) == 113
+
+    def test_unknown_workload(self, gen_db):
+        with pytest.raises(KeyError):
+            imdb_workload(gen_db, "job_medium")
+
+    def test_job_full_is_complex(self, gen_db):
+        queries = imdb_workload(gen_db, "job_full")
+        ops = all_predicate_ops(queries)
+        assert PredOp.IN in ops or PredOp.OR in ops
+
+
+class TestTraceGeneration:
+    def test_trace_records_complete(self, gen_db):
+        queries = WorkloadGenerator(gen_db, WorkloadConfig(max_joins=2),
+                                    seed=21).generate(25)
+        trace = generate_trace(gen_db, queries, seed=1)
+        assert len(trace) == 25
+        for record in trace:
+            assert record.runtime_ms > 0
+            assert record.plan.true_rows is not None
+            assert record.db_name == gen_db.name
+
+    def test_trace_reproducible(self, gen_db):
+        queries = WorkloadGenerator(gen_db, seed=22).generate(10)
+        t1 = generate_trace(gen_db, queries, seed=5)
+        t2 = generate_trace(gen_db, queries, seed=5)
+        np.testing.assert_allclose(t1.runtimes(), t2.runtimes())
+
+    def test_timeout_exclusion(self, gen_db):
+        queries = WorkloadGenerator(gen_db, seed=23).generate(10)
+        trace = generate_trace(gen_db, queries, timeout_ms=0.0)
+        assert len(trace) == 0
+        assert trace.excluded_timeouts == 10
+
+    def test_split_and_sample(self, gen_db):
+        queries = WorkloadGenerator(gen_db, seed=24).generate(20)
+        trace = generate_trace(gen_db, queries)
+        train, test = trace.split(0.75, seed=0)
+        assert len(train) == 15 and len(test) == 5
+        sampled = trace.sample(7, seed=1)
+        assert len(sampled) == 7
+        assert len(trace.sample(999)) == 20
+
+    def test_filter_by_joins(self, gen_db):
+        config = WorkloadConfig(min_joins=0, max_joins=3)
+        queries = WorkloadGenerator(gen_db, config, seed=25).generate(40)
+        trace = generate_trace(gen_db, queries)
+        small = trace.filter(lambda r: r.n_joins <= 1)
+        assert all(r.n_joins <= 1 for r in small)
+
+    def test_execution_hours(self, gen_db):
+        queries = WorkloadGenerator(gen_db, seed=26).generate(5)
+        trace = generate_trace(gen_db, queries)
+        expected = trace.runtimes().sum() / 3.6e6
+        assert trace.total_execution_hours() == pytest.approx(expected)
+
+    def test_index_mode_varies_physical_design(self, gen_db):
+        queries = WorkloadGenerator(gen_db, WorkloadConfig(mode="standard"),
+                                    seed=27).generate(40)
+        before = dict(gen_db.indexes)
+        trace = generate_trace(gen_db, queries, index_mode=True, seed=3)
+        designs = {record.indexes for record in trace}
+        assert len(designs) > 1  # physical design changed during the run
+        assert gen_db.indexes == before  # cleanup restored the initial state
+
+    def test_trace_slicing(self, gen_db):
+        queries = WorkloadGenerator(gen_db, seed=28).generate(12)
+        trace = generate_trace(gen_db, queries)
+        head = trace[:4]
+        assert isinstance(head, Trace) and len(head) == 4
+        assert trace[0].runtime_ms == head[0].runtime_ms
