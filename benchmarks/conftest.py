@@ -4,11 +4,25 @@ The experiment benchmarks regenerate the paper's tables/figures; each runs
 exactly once per session (``benchmark.pedantic(rounds=1)``) on the shared
 artifact cache.  Select the suite scale with ``REPRO_SCALE``
 (tiny | small | medium; default small).
+
+Everything in this directory is marked ``slow`` and deselected by default
+(see ``pytest.ini``), so the tier-1 suite stays fast; run the figures with
+``pytest benchmarks -m slow``.
 """
+
+import pathlib
 
 import pytest
 
 from repro.bench import get_artifacts
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,20 @@
+"""Microbenchmarks for the zero-shot hot loop (engine-level, not figures).
+
+Unlike ``benchmarks/test_fig*.py`` (which reproduce the paper's evaluation),
+this package measures the raw throughput of the three engine stages every
+experiment pays for:
+
+* **batch construction** — ``make_batch`` over query graphs,
+* **training step** — forward + backward + clip + Adam step,
+* **inference** — ``predict_runtimes`` over featurized graphs.
+
+``python benchmarks/perf/run.py`` runs all three and writes
+``BENCH_engine.json`` (current numbers plus speedups against the recorded
+seed-engine baseline in ``baseline_seed.json``).
+"""
+
+from .harness import (build_corpus, bench_batch_construction,
+                      bench_training_step, bench_inference, run_all)
+
+__all__ = ["build_corpus", "bench_batch_construction", "bench_training_step",
+           "bench_inference", "run_all"]

@@ -1,0 +1,98 @@
+"""Entry point: run the engine microbenchmarks and write ``BENCH_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py                 # full run
+    PYTHONPATH=src python benchmarks/perf/run.py --quick         # smaller corpus
+    PYTHONPATH=src python benchmarks/perf/run.py --save-baseline # refresh baseline
+
+The output JSON records the current numbers, the recorded seed-engine
+baseline (``benchmarks/perf/baseline_seed.json``), and the speedup of each
+metric, so the perf trajectory is visible PR over PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(HERE))
+
+BASELINE_PATH = HERE / "baseline_seed.json"
+DEFAULT_OUTPUT = REPO / "BENCH_engine.json"
+
+RATE_KEYS = ("batch_construction_plans_per_s", "train_step_plans_per_s",
+             "inference_plans_per_s", "inference_cached_plans_per_s")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus (96 queries) for a fast signal")
+    parser.add_argument("--save-baseline", action="store_true",
+                        help="write results to baseline_seed.json instead of "
+                             "comparing against it")
+    args = parser.parse_args(argv)
+
+    from harness import run_all
+
+    n_queries = 96 if args.quick else 192
+    results = run_all(n_queries=n_queries)
+
+    if args.save_baseline:
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        for key in RATE_KEYS:
+            print(f"  {key}: {results[key]:.1f}")
+        return 0
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    report = {
+        "engine": "fast-path",
+        "python": platform.python_version(),
+        "results": results,
+        "baseline_seed": baseline,
+    }
+    if baseline:
+        report["speedup_vs_seed"] = {
+            key: results[key] / baseline[key]
+            for key in RATE_KEYS if baseline.get(key)
+        }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+    for key in RATE_KEYS:
+        line = f"  {key}: {results[key]:.1f}"
+        if baseline and baseline.get(key):
+            line += (f"  (seed {baseline[key]:.1f}, "
+                     f"{results[key] / baseline[key]:.2f}x)")
+        print(line)
+
+    # Append the same table to the experiment report so the perf trajectory
+    # lives next to the regenerated paper figures.
+    from repro.bench.reporting import format_table, print_experiment
+    rows = []
+    for key in RATE_KEYS:
+        row = {"metric": key.replace("_plans_per_s", ""),
+               "fast_path_plans_per_s": results[key]}
+        if baseline and baseline.get(key):
+            row["seed_plans_per_s"] = baseline[key]
+            row["speedup"] = results[key] / baseline[key]
+        rows.append(row)
+    print_experiment("Engine Microbenchmarks — fast path vs seed engine",
+                     format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import EstimatorCache, TrainingConfig, ZeroShotCostModel, featurize_records
+from ..featurization import BatchCache
 from ..datagen import BENCHMARK_NAMES, make_benchmark_database
 from ..workloads import (WorkloadConfig, WorkloadGenerator, generate_trace,
                          imdb_workload)
@@ -81,6 +82,9 @@ class Artifacts:
         self._main_model = None
         self.estimator_cache = EstimatorCache(sample_size=1024,
                                               seed=config.seed)
+        # Evaluations reuse the cached graph lists from self.graphs(), so
+        # batches built for one experiment serve every later one.
+        self.batch_cache = BatchCache(max_entries=256)
 
     # ------------------------------------------------------------------
     @property
@@ -166,7 +170,8 @@ class Artifacts:
 
     def evaluate_model(self, model, trace, cards):
         return model.evaluate(trace, self.databases, cards=cards,
-                              graphs=self.graphs(trace, cards))
+                              graphs=self.graphs(trace, cards),
+                              batch_cache=self.batch_cache)
 
 
 _ARTIFACT_CACHE = {}

@@ -117,25 +117,34 @@ class ZeroShotCostModel:
     # Inference
     # ------------------------------------------------------------------
     def predict_records(self, records, dbs, cards="deepdb",
-                        estimator_cache=None, graphs=None):
-        """Predicted runtimes (ms) for trace records on any database."""
+                        estimator_cache=None, graphs=None, batch_cache=None):
+        """Predicted runtimes (ms) for trace records on any database.
+
+        Inference runs the graph-free numpy fast path; repeated calls on the
+        same ``graphs`` objects reuse cached batches (``batch_cache``
+        defaults to a process-wide cache).  Freshly featurized graphs exist
+        only for this call, so caching is skipped for them.
+        """
         if graphs is None:
             graphs = featurize_records(records, dbs, cards=cards,
                                        estimator_cache=estimator_cache)
+            if batch_cache is None:
+                batch_cache = False  # one-shot graphs: nothing to memoize
         return predict_runtimes(self.model, graphs, self.feature_scalers,
-                                self.target_scaler)
+                                self.target_scaler, batch_cache=batch_cache)
 
     def predict_trace(self, trace, dbs, cards="deepdb", estimator_cache=None):
         return self.predict_records(list(trace), dbs, cards=cards,
                                     estimator_cache=estimator_cache)
 
     def evaluate(self, trace, dbs, cards="deepdb", estimator_cache=None,
-                 graphs=None):
+                 graphs=None, batch_cache=None):
         """Q-error summary of predictions against the trace's true runtimes."""
         records = list(trace)
         predictions = self.predict_records(records, dbs, cards=cards,
                                            estimator_cache=estimator_cache,
-                                           graphs=graphs)
+                                           graphs=graphs,
+                                           batch_cache=batch_cache)
         actuals = np.array([r.runtime_ms for r in records])
         return q_error_metrics(predictions, actuals)
 
@@ -153,6 +162,7 @@ class ZeroShotCostModel:
             "hidden_dim": self.config.hidden_dim,
             "dropout": self.config.dropout,
             "seed": self.config.seed,
+            "dtype": self.config.dtype,
         })
 
     @classmethod
@@ -160,7 +170,8 @@ class ZeroShotCostModel:
         state, metadata = load_state(path)
         config = TrainingConfig(hidden_dim=int(metadata["hidden_dim"]),
                                 dropout=float(metadata["dropout"]),
-                                seed=int(metadata["seed"]))
+                                seed=int(metadata["seed"]),
+                                dtype=metadata.get("dtype", "float64"))
         scaler_states = {}
         target = state.pop("__target__")
         model_state = {}

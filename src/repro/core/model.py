@@ -12,6 +12,19 @@ Three stages, exactly as in the paper:
    outputs the (standardized log) runtime (Fig. 3, step 4).
 
 All stages are differentiable and trained end-to-end with the Q-error loss.
+
+Two execution paths share the same parameters:
+
+* :meth:`ZeroShotModel.forward` builds the autograd graph for training.
+  Updated hidden states are assembled by *block concatenation*: each
+  (level, type) group's combiner output is appended to a list and levels
+  gather children out of the concatenation via precomputed positions
+  (``GraphBatch.mp_positions``), instead of adding a dense
+  ``O(n_nodes × hidden)`` scatter per group.
+* :meth:`ZeroShotModel.forward_inference` is the graph-free fast path: pure
+  numpy, zero ``Tensor``/closure allocation, hidden states written in place
+  into one preallocated buffer.  ``forward`` dispatches to it automatically
+  under ``no_grad``.
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ import numpy as np
 
 from ..featurization import FEATURE_DIMS, GraphBatch, NODE_TYPES
 from ..nn import MLP, Module, Tensor, concat, scatter_sum
+from ..nn.tensor import is_grad_enabled
 
 __all__ = ["ZeroShotModel"]
 
@@ -49,6 +63,12 @@ class ZeroShotModel(Module):
 
     def forward(self, batch: GraphBatch) -> Tensor:
         """Predict one (standardized log) runtime per graph in the batch."""
+        if not is_grad_enabled():
+            return Tensor(self.forward_inference(batch))
+
+        dtype = self.param_dtype()
+        features = batch.features_as(dtype)
+
         # Step 2: initial hidden states, one encoder per node type.  Global
         # node ids are grouped by type, so concatenating per-type blocks in
         # NODE_TYPES order yields the global hidden-state matrix.
@@ -56,29 +76,71 @@ class ZeroShotModel(Module):
         for node_type in NODE_TYPES:
             if batch.type_counts.get(node_type, 0):
                 blocks.append(self.encoders[node_type](
-                    Tensor(batch.features[node_type])))
+                    Tensor(features[node_type])))
         initial = concat(blocks, axis=0)
 
-        # Step 3: bottom-up pass, level by level.  ``updated`` accumulates
-        # h' for all processed nodes (zeros elsewhere); gathers at level L
-        # only read nodes of levels < L, which are already filled in.
-        updated = Tensor(np.zeros((batch.n_nodes, self.hidden_dim)))
+        # Step 3: bottom-up pass, level by level.  Instead of accumulating
+        # into a dense (n_nodes, hidden) matrix per group, each group's
+        # combiner output becomes one block; at the start of a level the
+        # blocks so far are concatenated once and children (always at lower
+        # levels) are gathered out of it via the precomputed mp positions.
+        parts = []
+        assembled = None
         for level_groups in batch.levels:
+            if parts:
+                assembled = concat(parts, axis=0)
             for group in level_groups:
                 n_group = len(group.node_indices)
                 if group.edge_children.size:
-                    child_states = updated.gather_rows(group.edge_children)
+                    child_states = assembled.gather_rows(group.child_positions)
                     child_sum = scatter_sum(child_states,
                                             group.edge_parent_slots, n_group)
                 else:
-                    child_sum = Tensor(np.zeros((n_group, self.hidden_dim)))
+                    child_sum = Tensor(np.zeros((n_group, self.hidden_dim),
+                                                dtype=dtype))
                 own = initial.gather_rows(group.node_indices)
-                new_states = self.combiners[group.node_type](
-                    concat([child_sum, own], axis=1))
-                updated = updated + scatter_sum(new_states,
-                                                group.node_indices,
-                                                batch.n_nodes)
+                parts.append(self.combiners[group.node_type](
+                    concat([child_sum, own], axis=1)))
 
-        # Step 4: estimation MLP on the root states.
-        root_states = updated.gather_rows(batch.roots)
+        # Step 4: estimation MLP on the root states (gathered from the
+        # concatenated blocks through the mp-order positions).
+        updated = concat(parts, axis=0)
+        root_states = updated.gather_rows(batch.root_positions)
         return self.estimator(root_states).reshape(-1)
+
+    def forward_inference(self, batch: GraphBatch) -> np.ndarray:
+        """Graph-free forward pass: pure numpy, no Tensor/tape allocation.
+
+        Semantically identical to :meth:`forward` in eval mode (dropout
+        consumes the same rng stream when active); used automatically under
+        ``no_grad`` and by ``predict_runtimes``.
+        """
+        dtype = self.param_dtype()
+        features = batch.features_as(dtype)
+
+        initial = np.empty((batch.n_nodes, self.hidden_dim), dtype=dtype)
+        for node_type in NODE_TYPES:
+            count = batch.type_counts.get(node_type, 0)
+            if count:
+                offset = batch.type_offsets[node_type]
+                initial[offset:offset + count] = \
+                    self.encoders[node_type].forward_numpy(features[node_type])
+
+        # Each node is updated exactly once and gathers only read finished
+        # lower levels, so one preallocated buffer indexed by global id
+        # replaces the autograd block assembly.
+        updated = np.empty((batch.n_nodes, self.hidden_dim), dtype=dtype)
+        for level_groups in batch.levels:
+            for group in level_groups:
+                n_group = len(group.node_indices)
+                child_sum = np.zeros((n_group, self.hidden_dim), dtype=dtype)
+                if group.edge_children.size:
+                    np.add.at(child_sum, group.edge_parent_slots,
+                              updated[group.edge_children])
+                combined = np.concatenate(
+                    (child_sum, initial[group.node_indices]), axis=1)
+                updated[group.node_indices] = \
+                    self.combiners[group.node_type].forward_numpy(combined)
+
+        root_states = updated[batch.roots]
+        return self.estimator.forward_numpy(root_states).reshape(-1)

@@ -1,19 +1,21 @@
 """Transferable query featurization: typed graphs, Table-1 features, batching
 and scalers for the zero-shot model."""
 
-from .graph import NODE_TYPES, QueryGraph
+from .graph import NODE_TYPES, PackedGraph, QueryGraph
 from .features import (FEATURE_DIMS, PLAN_NUMERIC_DIMS, plan_features,
                        predicate_features, table_features, attribute_features,
                        output_features)
 from .zero_shot import build_query_graph
 from .scalers import StandardScaler, FeatureScalers, TargetScaler
-from .batching import GraphBatch, LevelGroup, make_batch
+from .batching import (BatchCache, GraphBatch, LevelGroup, make_batch,
+                       make_batch_reference)
 
 __all__ = [
-    "NODE_TYPES", "QueryGraph",
+    "NODE_TYPES", "PackedGraph", "QueryGraph",
     "FEATURE_DIMS", "PLAN_NUMERIC_DIMS", "plan_features", "predicate_features",
     "table_features", "attribute_features", "output_features",
     "build_query_graph",
     "StandardScaler", "FeatureScalers", "TargetScaler",
-    "GraphBatch", "LevelGroup", "make_batch",
+    "BatchCache", "GraphBatch", "LevelGroup", "make_batch",
+    "make_batch_reference",
 ]

@@ -13,9 +13,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["NODE_TYPES", "QueryGraph"]
+__all__ = ["NODE_TYPES", "QueryGraph", "PackedGraph"]
 
 NODE_TYPES = ("plan", "predicate", "table", "attribute", "output")
+
+TYPE_CODES = {node_type: code for code, node_type in enumerate(NODE_TYPES)}
+
+
+@dataclass
+class PackedGraph:
+    """Array view of a :class:`QueryGraph`, cached for vectorized batching.
+
+    Computed once per graph and reused by every ``make_batch`` call that
+    includes the graph (training epochs, repeated evaluations), removing the
+    per-node python loops from the batching hot path.
+    """
+
+    n_nodes: int
+    n_edges: int
+    type_codes: np.ndarray           # (n,) int64 index into NODE_TYPES
+    features_by_code: dict           # code -> (count, dim) matrix, local order
+    edges: np.ndarray                # (E, 2) int64 (child, parent)
+    levels: np.ndarray               # (n,) int64 longest-path level
 
 
 @dataclass
@@ -26,6 +45,29 @@ class QueryGraph:
     features: list = field(default_factory=list)        # per node: np.ndarray
     edges: list = field(default_factory=list)           # (child_idx, parent_idx)
     root: int = -1
+    _packed: PackedGraph = field(default=None, repr=False, compare=False)
+
+    def packed(self) -> PackedGraph:
+        """Cached array form for batching (recomputed if the graph grew)."""
+        cached = self._packed
+        if (cached is not None and cached.n_nodes == self.n_nodes
+                and cached.n_edges == len(self.edges)):
+            return cached
+        type_codes = np.array([TYPE_CODES[t] for t in self.node_types],
+                              dtype=np.int64)
+        features_by_code = {}
+        for code in range(len(NODE_TYPES)):
+            local = np.flatnonzero(type_codes == code)
+            if local.size:
+                features_by_code[code] = np.stack(
+                    [self.features[i] for i in local])
+        edges = (np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+                 if self.edges else np.empty((0, 2), dtype=np.int64))
+        self._packed = PackedGraph(
+            n_nodes=self.n_nodes, n_edges=len(self.edges),
+            type_codes=type_codes, features_by_code=features_by_code,
+            edges=edges, levels=self.levels())
+        return self._packed
 
     def add_node(self, node_type, feature_vector):
         if node_type not in NODE_TYPES:

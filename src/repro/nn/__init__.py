@@ -5,7 +5,9 @@ reverse-mode autograd :class:`~repro.nn.tensor.Tensor`, standard layers,
 optimizers and the Q-error loss from the paper.
 """
 
-from .tensor import Tensor, concat, maximum, scatter_sum, no_grad
+from .tensor import (Tensor, concat, maximum, scatter_sum, linear,
+                     fused_act_dropout, no_grad, is_grad_enabled,
+                     set_default_dtype, get_default_dtype, default_dtype)
 from .modules import (Module, Linear, ReLU, LeakyReLU, Tanh, Sigmoid,
                       Dropout, Sequential, MLP)
 from .optim import SGD, Adam, clip_grad_norm
@@ -13,7 +15,9 @@ from .losses import q_error, q_error_metrics, QErrorLoss, mse_loss, huber_loss
 from .serialize import save_state, load_state
 
 __all__ = [
-    "Tensor", "concat", "maximum", "scatter_sum", "no_grad",
+    "Tensor", "concat", "maximum", "scatter_sum", "linear",
+    "fused_act_dropout", "no_grad", "is_grad_enabled",
+    "set_default_dtype", "get_default_dtype", "default_dtype",
     "Module", "Linear", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
     "Dropout", "Sequential", "MLP",
     "SGD", "Adam", "clip_grad_norm",

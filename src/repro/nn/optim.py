@@ -1,4 +1,11 @@
-"""Optimizers for :mod:`repro.nn` models."""
+"""Optimizers for :mod:`repro.nn` models.
+
+Optimizer state follows each parameter's dtype (the engine trains in
+float32 by default, float64 on request); state buffers are lazily
+(re)allocated so casting a model with ``Module.to`` after constructing the
+optimizer stays correct.  The Adam step works in preallocated scratch
+buffers to avoid per-step temporaries in the training hot loop.
+"""
 
 from __future__ import annotations
 
@@ -13,7 +20,8 @@ def clip_grad_norm(parameters, max_norm):
     Returns the pre-clipping norm (useful for monitoring training stability).
     """
     parameters = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    total = float(np.sqrt(sum(float(np.vdot(p.grad, p.grad))
+                              for p in parameters)))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in parameters:
@@ -46,13 +54,17 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
-        for param, velocity in zip(self.parameters, self._velocity):
+        for i, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
+                velocity = self._velocity[i]
+                if velocity.dtype != param.data.dtype:
+                    velocity = self._velocity[i] = velocity.astype(
+                        param.data.dtype)
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
@@ -72,14 +84,22 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self):
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        sqrt_bias2 = np.sqrt(bias2)
+        for i, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
+            dtype = param.data.dtype
+            if self._m[i].dtype != dtype:
+                self._m[i] = self._m[i].astype(dtype)
+                self._v[i] = self._v[i].astype(dtype)
+                self._scratch[i] = np.empty(param.data.shape, dtype=dtype)
+            m, v, scratch = self._m[i], self._v[i], self._scratch[i]
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
@@ -87,6 +107,11 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # update = lr * m_hat / (sqrt(v_hat) + eps), computed in scratch:
+            # sqrt(v_hat) = sqrt(v) / sqrt(bias2), m_hat = m / bias1.
+            np.sqrt(v, out=scratch)
+            scratch /= sqrt_bias2
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / bias1
+            param.data -= scratch

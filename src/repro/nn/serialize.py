@@ -1,4 +1,10 @@
-"""Model state persistence (``.npz`` based)."""
+"""Model state persistence (``.npz`` based).
+
+Arrays are stored with their dtype intact: a model trained in float32 loads
+back as float32 (and reproduces bit-identical predictions), while float64
+checkpoints stay float64.  ``Module.load_state_dict`` adopts the stored
+dtype, so the precision policy travels with the checkpoint.
+"""
 
 from __future__ import annotations
 
@@ -8,8 +14,12 @@ __all__ = ["save_state", "load_state"]
 
 
 def save_state(path, state_dict, metadata=None):
-    """Save a ``state_dict`` (name -> ndarray) plus optional string metadata."""
-    payload = {f"param::{name}": values for name, values in state_dict.items()}
+    """Save a ``state_dict`` (name -> ndarray) plus optional string metadata.
+
+    Array dtypes are preserved exactly (no silent float64 upcast).
+    """
+    payload = {f"param::{name}": np.asarray(values)
+               for name, values in state_dict.items()}
     if metadata:
         for key, value in metadata.items():
             payload[f"meta::{key}"] = np.asarray(str(value))

@@ -9,15 +9,66 @@ The design follows the classic define-by-run tape: every operation returns a
 new :class:`Tensor` holding references to its parents and a closure that
 propagates gradients to them.  Calling :meth:`Tensor.backward` performs a
 topological sort of the graph and accumulates gradients.
+
+Two engine-level features keep the hot loop fast:
+
+* **Fused ops** — :func:`linear` (matmul + bias in one tape node) and
+  :func:`fused_act_dropout` (activation + inverted dropout in one node)
+  replace chains of elementwise nodes in the MLP forward pass.
+* **Gradient ownership** — backward closures that compute a *fresh* array
+  hand it to ``_accumulate(..., owned=True)``, which adopts the buffer
+  instead of deep-copying it.  Unowned gradients (views or shared upstream
+  buffers) are still copied on first accumulation, so a parameter's ``grad``
+  never aliases another node's buffer.
+
+Floating-point precision is configurable module-wide: training runs in
+``float32`` by default (see :class:`repro.core.training.TrainingConfig`),
+while the library default for ad-hoc tensors stays ``float64``.  Use
+:func:`set_default_dtype` / :func:`default_dtype` to change it; float
+arrays passed into :class:`Tensor` keep their dtype.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "concat", "maximum", "scatter_sum", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "concat", "maximum", "scatter_sum", "linear",
+           "fused_act_dropout", "activation_numpy", "dropout_keep_mask",
+           "no_grad", "is_grad_enabled",
+           "set_default_dtype", "get_default_dtype", "default_dtype"]
 
 _GRAD_ENABLED = True
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype):
+    """Set the dtype used when wrapping non-float data (float32 or float64)."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported dtype {dtype}; use float32 or float64")
+    _DEFAULT_DTYPE = dtype
+
+
+def get_default_dtype():
+    return _DEFAULT_DTYPE
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype`."""
+
+    def __init__(self, dtype):
+        self._dtype = np.dtype(dtype)
+
+    def __enter__(self):
+        self._prev = _DEFAULT_DTYPE
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        set_default_dtype(self._prev)
+        return False
 
 
 class no_grad:
@@ -39,6 +90,29 @@ def is_grad_enabled():
     return _GRAD_ENABLED
 
 
+def activation_numpy(kind, x, negative_slope=0.01):
+    """Forward value of an activation on a plain numpy array.
+
+    The single home of the activation formulas: the ``Tensor`` tape methods,
+    :func:`fused_act_dropout` and the modules' ``forward_numpy`` fast path
+    all evaluate through here, so the two execution paths cannot diverge.
+    """
+    if kind == "relu":
+        return np.where(x > 0, x, 0.0)
+    if kind == "leaky_relu":
+        return np.where(x > 0, x, negative_slope * x)
+    if kind == "tanh":
+        return np.tanh(x)
+    if kind == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+    raise ValueError(f"unknown activation {kind!r}")
+
+
+def dropout_keep_mask(rng, shape, p, dtype):
+    """Inverted-dropout keep mask (zeros with probability ``p``, rescaled)."""
+    return ((rng.random(shape) >= p) / (1.0 - p)).astype(dtype, copy=False)
+
+
 def _unbroadcast(grad, shape):
     """Sum ``grad`` so that it has ``shape`` (inverse of numpy broadcasting)."""
     if grad.shape == shape:
@@ -54,10 +128,22 @@ def _unbroadcast(grad, shape):
     return grad.reshape(shape)
 
 
+def _coerce(data):
+    """Wrap ``data`` as an array, casting non-float inputs to the default dtype.
+
+    Float32/float64 arrays keep their dtype so a model's precision choice
+    propagates through every op (numpy's promotion rules do the rest).
+    """
+    arr = np.asarray(data)
+    if arr.dtype in _FLOAT_DTYPES:
+        return arr
+    return arr.astype(_DEFAULT_DTYPE)
+
+
 def _as_array(value):
     if isinstance(value, Tensor):
         raise TypeError("expected array-like, got Tensor")
-    return np.asarray(value, dtype=np.float64)
+    return _coerce(value)
 
 
 class Tensor:
@@ -66,7 +152,7 @@ class Tensor:
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
 
     def __init__(self, data, requires_grad=False, _parents=(), _backward=None, name=None):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = _coerce(data)
         self.grad = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad else ()
@@ -88,6 +174,10 @@ class Tensor:
     def size(self):
         return self.data.size
 
+    @property
+    def dtype(self):
+        return self.data.dtype
+
     def __len__(self):
         return len(self.data)
 
@@ -104,6 +194,10 @@ class Tensor:
     def detach(self):
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype):
+        """Dtype cast (no gradient flow; used for engine dtype policy)."""
+        return Tensor(self.data.astype(dtype, copy=False))
+
     def zero_grad(self):
         self.grad = None
 
@@ -119,9 +213,21 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad):
+    def _accumulate(self, grad, owned=False):
+        """Add ``grad`` into ``self.grad``.
+
+        ``owned=True`` asserts the caller computed ``grad`` freshly and holds
+        no other reference, letting the first accumulation adopt the buffer
+        in place of a deep copy.  Unowned gradients (upstream buffers, views)
+        are copied so ``self.grad`` never aliases another node's state.
+        """
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            dtype = self.data.dtype
+            if (owned and isinstance(grad, np.ndarray) and grad.dtype == dtype
+                    and grad.flags.owndata and grad.flags.writeable):
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=dtype, copy=True)
         else:
             self.grad += grad
 
@@ -134,9 +240,11 @@ class Tensor:
 
         def backward(grad, a=self, b=other):
             if a.requires_grad:
-                a._accumulate(_unbroadcast(grad, a.data.shape))
+                g = _unbroadcast(grad, a.data.shape)
+                a._accumulate(g, owned=g is not grad)
             if b.requires_grad:
-                b._accumulate(_unbroadcast(grad, b.data.shape))
+                g = _unbroadcast(grad, b.data.shape)
+                b._accumulate(g, owned=g is not grad)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -145,7 +253,7 @@ class Tensor:
     def __neg__(self):
         def backward(grad, a=self):
             if a.requires_grad:
-                a._accumulate(-grad)
+                a._accumulate(-grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -162,9 +270,11 @@ class Tensor:
 
         def backward(grad, a=self, b=other):
             if a.requires_grad:
-                a._accumulate(_unbroadcast(grad * b.data, a.data.shape))
+                a._accumulate(_unbroadcast(grad * b.data, a.data.shape),
+                              owned=True)
             if b.requires_grad:
-                b._accumulate(_unbroadcast(grad * a.data, b.data.shape))
+                b._accumulate(_unbroadcast(grad * a.data, b.data.shape),
+                              owned=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -176,9 +286,11 @@ class Tensor:
 
         def backward(grad, a=self, b=other):
             if a.requires_grad:
-                a._accumulate(_unbroadcast(grad / b.data, a.data.shape))
+                a._accumulate(_unbroadcast(grad / b.data, a.data.shape),
+                              owned=True)
             if b.requires_grad:
-                b._accumulate(_unbroadcast(-grad * a.data / (b.data ** 2), b.data.shape))
+                b._accumulate(_unbroadcast(-grad * a.data / (b.data ** 2),
+                                           b.data.shape), owned=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -192,7 +304,7 @@ class Tensor:
 
         def backward(grad, a=self, e=exponent):
             if a.requires_grad:
-                a._accumulate(grad * e * a.data ** (e - 1))
+                a._accumulate(grad * e * a.data ** (e - 1), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -203,9 +315,9 @@ class Tensor:
 
         def backward(grad, a=self, b=other):
             if a.requires_grad:
-                a._accumulate(grad @ b.data.T)
+                a._accumulate(grad @ b.data.T, owned=True)
             if b.requires_grad:
-                b._accumulate(a.data.T @ grad)
+                b._accumulate(a.data.T @ grad, owned=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -217,7 +329,7 @@ class Tensor:
 
         def backward(grad, a=self, d=data):
             if a.requires_grad:
-                a._accumulate(grad * d)
+                a._accumulate(grad * d, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -226,7 +338,7 @@ class Tensor:
 
         def backward(grad, a=self):
             if a.requires_grad:
-                a._accumulate(grad / a.data)
+                a._accumulate(grad / a.data, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -235,45 +347,47 @@ class Tensor:
 
         def backward(grad, a=self):
             if a.requires_grad:
-                a._accumulate(grad * np.sign(a.data))
+                a._accumulate(grad * np.sign(a.data), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
     def relu(self):
         mask = self.data > 0
-        data = np.where(mask, self.data, 0.0)
+        data = activation_numpy("relu", self.data)
 
         def backward(grad, a=self, m=mask):
             if a.requires_grad:
-                a._accumulate(grad * m)
+                a._accumulate(grad * m, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
     def leaky_relu(self, negative_slope=0.01):
         mask = self.data > 0
-        data = np.where(mask, self.data, negative_slope * self.data)
+        data = activation_numpy("leaky_relu", self.data, negative_slope)
+        deriv = np.where(mask, 1.0, negative_slope).astype(self.data.dtype,
+                                                           copy=False)
 
-        def backward(grad, a=self, m=mask, s=negative_slope):
+        def backward(grad, a=self, d=deriv):
             if a.requires_grad:
-                a._accumulate(grad * np.where(m, 1.0, s))
+                a._accumulate(grad * d, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
     def sigmoid(self):
-        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+        data = activation_numpy("sigmoid", self.data)
 
         def backward(grad, a=self, d=data):
             if a.requires_grad:
-                a._accumulate(grad * d * (1.0 - d))
+                a._accumulate(grad * d * (1.0 - d), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
     def tanh(self):
-        data = np.tanh(self.data)
+        data = activation_numpy("tanh", self.data)
 
         def backward(grad, a=self, d=data):
             if a.requires_grad:
-                a._accumulate(grad * (1.0 - d ** 2))
+                a._accumulate(grad * (1.0 - d ** 2), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -287,7 +401,7 @@ class Tensor:
 
         def backward(grad, a=self, m=mask):
             if a.requires_grad:
-                a._accumulate(grad * m)
+                a._accumulate(grad * m, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -303,7 +417,7 @@ class Tensor:
             g = np.asarray(grad)
             if ax is not None and not kd:
                 g = np.expand_dims(g, ax)
-            a._accumulate(np.broadcast_to(g, a.data.shape).copy())
+            a._accumulate(np.broadcast_to(g, a.data.shape).copy(), owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -340,7 +454,7 @@ class Tensor:
             if a.requires_grad:
                 acc = np.zeros_like(a.data)
                 np.add.at(acc, idx, grad)
-                a._accumulate(acc)
+                a._accumulate(acc, owned=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -348,8 +462,8 @@ class Tensor:
         """Inverted dropout: zero entries with probability ``p`` and rescale."""
         if not training or p <= 0.0:
             return self
-        keep = (rng.random(self.data.shape) >= p) / (1.0 - p)
-        return self * Tensor(keep)
+        return self * Tensor(dropout_keep_mask(rng, self.data.shape, p,
+                                               self.data.dtype))
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -378,15 +492,83 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
-        self._accumulate(np.asarray(grad, dtype=np.float64))
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
 
+def linear(x, weight, bias=None):
+    """Fused affine map ``x @ weight + bias`` in a single tape node.
+
+    One node instead of two (matmul, add) halves the closure allocations in
+    the MLP hot loop; the bias add runs in place on the fresh matmul output.
+    Gradients for ``weight``/``bias`` are handed to the accumulator as owned
+    buffers (no deep copy).
+    """
+    if not isinstance(x, Tensor):
+        x = Tensor(_as_array(x))
+    data = x.data @ weight.data
+    if bias is not None:
+        data += bias.data
+
+    def backward(grad, a=x, w=weight, b=bias):
+        if a.requires_grad:
+            a._accumulate(grad @ w.data.T, owned=True)
+        if w.requires_grad:
+            w._accumulate(a.data.T @ grad, owned=True)
+        if b is not None and b.requires_grad:
+            g = _unbroadcast(grad, b.data.shape)
+            b._accumulate(g, owned=g is not grad)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(data, parents, backward)
+
+
+_FUSED_ACTIVATIONS = frozenset({"relu", "leaky_relu", "tanh", "sigmoid"})
+
+
+def fused_act_dropout(x, activation="leaky_relu", p=0.0, rng=None,
+                      training=True, negative_slope=0.01):
+    """Activation + inverted dropout fused into one tape node.
+
+    The dropout mask is folded into the activation derivative, so forward
+    and backward each touch the data once.  With ``p == 0`` or outside
+    training this is just the fused activation.
+    """
+    if activation not in _FUSED_ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}")
+    xd = x.data
+    data = activation_numpy(activation, xd, negative_slope)
+    if activation == "relu":
+        deriv = xd > 0
+    elif activation == "leaky_relu":
+        deriv = np.where(xd > 0, 1.0, negative_slope).astype(xd.dtype,
+                                                             copy=False)
+    elif activation == "tanh":
+        deriv = 1.0 - data ** 2
+    else:  # sigmoid
+        deriv = data * (1.0 - data)
+
+    if training and p > 0.0:
+        if rng is None:
+            raise ValueError("dropout requires an rng in training mode")
+        keep = dropout_keep_mask(rng, data.shape, p, xd.dtype)
+        data = data * keep
+        deriv = deriv * keep
+
+    def backward(grad, a=x, d=deriv):
+        if a.requires_grad:
+            a._accumulate(grad * d, owned=True)
+
+    return Tensor._make(data, (x,), backward)
+
+
 def concat(tensors, axis=0):
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = list(tensors)
+    if len(tensors) == 1:
+        return tensors[0]
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -413,9 +595,9 @@ def maximum(a, b):
         ga = grad * (aw + 0.5 * t)
         gb = grad * (~aw & ~t) + grad * 0.5 * t
         if x.requires_grad:
-            x._accumulate(_unbroadcast(ga, x.data.shape))
+            x._accumulate(_unbroadcast(ga, x.data.shape), owned=True)
         if y.requires_grad:
-            y._accumulate(_unbroadcast(gb, y.data.shape))
+            y._accumulate(_unbroadcast(gb, y.data.shape), owned=True)
 
     return Tensor._make(data, (a, b), backward)
 
@@ -429,11 +611,12 @@ def scatter_sum(source, index, num_segments):
     index = np.asarray(index, dtype=np.int64)
     if index.ndim != 1 or len(index) != len(source.data):
         raise ValueError("index must be 1-D and match the number of source rows")
-    data = np.zeros((num_segments,) + source.data.shape[1:], dtype=np.float64)
+    data = np.zeros((num_segments,) + source.data.shape[1:],
+                    dtype=source.data.dtype)
     np.add.at(data, index, source.data)
 
     def backward(grad, src=source, idx=index):
         if src.requires_grad:
-            src._accumulate(grad[idx])
+            src._accumulate(grad[idx], owned=True)
 
     return Tensor._make(data, (source,), backward)

@@ -7,8 +7,9 @@ import pytest
 from repro.core import (EstimatorCache, TrainingConfig, ZeroShotCostModel,
                         ZeroShotModel, featurize_records)
 from repro.datagen import generate_database, random_database_spec
-from repro.featurization import FeatureScalers, make_batch
-from repro.nn import q_error
+from repro.featurization import (FEATURE_DIMS, FeatureScalers, QueryGraph,
+                                 make_batch, make_batch_reference)
+from repro.nn import no_grad, q_error
 from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
 
 
@@ -75,6 +76,102 @@ class TestForwardPass:
         singles = np.concatenate([model(make_batch([g])).numpy()
                                   for g in graphs])
         np.testing.assert_allclose(batched, singles, atol=1e-9)
+
+
+def tiny_graph(seed=0):
+    """Hand-built multi-level DAG exercising every node type."""
+    rng = np.random.default_rng(seed)
+    g = QueryGraph()
+    attr = g.add_node("attribute", rng.normal(size=FEATURE_DIMS["attribute"]))
+    table = g.add_node("table", rng.normal(size=FEATURE_DIMS["table"]))
+    pred = g.add_node("predicate", rng.normal(size=FEATURE_DIMS["predicate"]))
+    out = g.add_node("output", rng.normal(size=FEATURE_DIMS["output"]))
+    scan = g.add_node("plan", rng.normal(size=FEATURE_DIMS["plan"]))
+    root = g.add_node("plan", rng.normal(size=FEATURE_DIMS["plan"]))
+    g.add_edge(attr, pred)
+    g.add_edge(table, scan)
+    g.add_edge(pred, scan)
+    g.add_edge(scan, root)
+    g.add_edge(out, root)
+    g.root = root
+    g.validate()
+    return g
+
+
+class TestFastPathEquivalence:
+    """Block-assembly forward, graph-free inference and the vectorized
+    batcher must agree with each other and with numerics."""
+
+    def _batch(self):
+        return make_batch([tiny_graph(0), tiny_graph(1), tiny_graph(2)])
+
+    def test_forward_inference_matches_tensor_path(self):
+        model = ZeroShotModel(hidden_dim=8, seed=4).eval()
+        batch = self._batch()
+        tensor_out = model(batch).numpy()
+        numpy_out = model.forward_inference(batch)
+        np.testing.assert_allclose(numpy_out, tensor_out, atol=1e-12)
+
+    def test_no_grad_dispatches_to_inference_path(self):
+        model = ZeroShotModel(hidden_dim=8, seed=4).eval()
+        batch = self._batch()
+        with no_grad():
+            out = model(batch)
+        assert not out.requires_grad
+        np.testing.assert_allclose(out.numpy(), model(batch).numpy(),
+                                   atol=1e-12)
+
+    def test_forward_agrees_on_reference_batches(self):
+        graphs = [tiny_graph(0), tiny_graph(1)]
+        model = ZeroShotModel(hidden_dim=8, seed=2).eval()
+        fast = model(make_batch(graphs)).numpy()
+        ref = model(make_batch_reference(graphs)).numpy()
+        np.testing.assert_allclose(fast, ref, atol=1e-12)
+
+    def test_float32_model_tracks_float64(self):
+        import copy
+        batch = self._batch()
+        model64 = ZeroShotModel(hidden_dim=8, seed=4).eval()
+        model32 = copy.deepcopy(model64).to(np.float32)
+        out64 = model64(batch).numpy()
+        out32 = model32(batch).numpy()
+        assert out32.dtype == np.float32
+        np.testing.assert_allclose(out32, out64, rtol=1e-3, atol=1e-3)
+
+    def test_message_passing_gradcheck(self):
+        """Central-difference check of the block-assembly forward w.r.t.
+        encoder, combiner and estimator weights."""
+        batch = make_batch([tiny_graph(0), tiny_graph(1)])
+        model = ZeroShotModel(hidden_dim=3, seed=6)
+        row_weights = np.array([1.0, -2.0])
+
+        def loss():
+            return float((model(batch).numpy() * row_weights).sum())
+
+        checked = [
+            model.encoders["plan"].linears[0].weight,
+            model.combiners["plan"].linears[0].weight,
+            model.combiners["predicate"].linears[-1].bias,
+            model.estimator.linears[0].weight,
+        ]
+        from repro.nn import Tensor
+        model.zero_grad()
+        (model(batch) * Tensor(row_weights)).sum().backward()
+        eps = 1e-6
+        for param in checked:
+            grad = param.grad
+            assert grad is not None
+            flat = param.data.reshape(-1)
+            numeric = np.zeros_like(flat)
+            for i in range(flat.size):
+                orig = flat[i]
+                flat[i] = orig + eps
+                upper = loss()
+                flat[i] = orig - eps
+                lower = loss()
+                flat[i] = orig
+                numeric[i] = (upper - lower) / (2 * eps)
+            np.testing.assert_allclose(grad.reshape(-1), numeric, atol=1e-4)
 
 
 class TestTraining:

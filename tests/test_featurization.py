@@ -6,9 +6,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cardest import annotate_cardinalities
 from repro.executor import execute_plan
-from repro.featurization import (FEATURE_DIMS, FeatureScalers, NODE_TYPES,
-                                 QueryGraph, TargetScaler, attribute_features,
-                                 build_query_graph, make_batch,
+from repro.featurization import (BatchCache, FEATURE_DIMS, FeatureScalers,
+                                 NODE_TYPES, QueryGraph, TargetScaler,
+                                 attribute_features, build_query_graph,
+                                 make_batch, make_batch_reference,
                                  output_features, plan_features,
                                  predicate_features, table_features)
 from repro.optimizer import plan_query
@@ -190,3 +191,91 @@ class TestBatching:
             for group in level_groups:
                 if group.edge_parent_slots.size:
                     assert group.edge_parent_slots.max() < len(group.node_indices)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_queries=st.integers(1, 5), seed=st.integers(0, 500))
+    def test_vectorized_batch_equals_reference(self, toy_db, n_queries, seed):
+        """The vectorized construction is bit-identical to the loop-based
+        reference implementation on arbitrary workloads."""
+        from repro.workloads import WorkloadConfig, WorkloadGenerator
+        queries = WorkloadGenerator(toy_db, WorkloadConfig(max_joins=2),
+                                    seed=seed).generate(n_queries)
+        graphs = [graph_for(toy_db, q)[0] for q in queries]
+        scalers = FeatureScalers().fit(graphs)
+        fast = make_batch(graphs, scalers)
+        ref = make_batch_reference(graphs, scalers)
+
+        assert fast.n_nodes == ref.n_nodes
+        assert fast.type_offsets == ref.type_offsets
+        assert fast.type_counts == ref.type_counts
+        for node_type in ref.features:
+            np.testing.assert_array_equal(fast.features[node_type],
+                                          ref.features[node_type])
+            np.testing.assert_array_equal(fast.init_positions[node_type],
+                                          ref.init_positions[node_type])
+        np.testing.assert_array_equal(fast.roots, ref.roots)
+        np.testing.assert_array_equal(fast.mp_positions, ref.mp_positions)
+        np.testing.assert_array_equal(fast.root_positions, ref.root_positions)
+        assert len(fast.levels) == len(ref.levels)
+        for fast_groups, ref_groups in zip(fast.levels, ref.levels):
+            assert len(fast_groups) == len(ref_groups)
+            for fg, rg in zip(fast_groups, ref_groups):
+                assert fg.node_type == rg.node_type
+                np.testing.assert_array_equal(fg.node_indices, rg.node_indices)
+                np.testing.assert_array_equal(fg.edge_children,
+                                              rg.edge_children)
+                np.testing.assert_array_equal(fg.edge_parent_slots,
+                                              rg.edge_parent_slots)
+                np.testing.assert_array_equal(fg.child_positions,
+                                              rg.child_positions)
+
+    def test_packed_cache_invalidates_on_growth(self, toy_db,
+                                                simple_count_query):
+        graph, _ = graph_for(toy_db, simple_count_query)
+        first = graph.packed()
+        assert graph.packed() is first  # cached
+        graph.add_node("output", np.zeros(FEATURE_DIMS["output"]))
+        second = graph.packed()
+        assert second is not first
+        assert second.n_nodes == first.n_nodes + 1
+
+
+class TestBatchCache:
+    def test_cache_hits_on_same_graphs(self, toy_db, join_query):
+        graph, _ = graph_for(toy_db, join_query)
+        cache = BatchCache(max_entries=4)
+        batch1 = cache.get([graph])
+        batch2 = cache.get([graph])
+        assert batch1 is batch2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cache_distinguishes_scalers(self, toy_db, join_query):
+        graph, _ = graph_for(toy_db, join_query)
+        scalers = FeatureScalers().fit([graph])
+        cache = BatchCache()
+        assert cache.get([graph]) is not cache.get([graph], scalers)
+
+    def test_cache_distinguishes_graph_lists(self, toy_db, join_query,
+                                             filtered_query):
+        g1, _ = graph_for(toy_db, join_query)
+        g2, _ = graph_for(toy_db, filtered_query)
+        cache = BatchCache()
+        assert cache.get([g1]) is not cache.get([g1, g2])
+
+    def test_cache_misses_after_graph_mutation(self, toy_db, join_query):
+        """A graph that grew after being cached must not serve the stale
+        batch (same guard as QueryGraph.packed())."""
+        graph, _ = graph_for(toy_db, join_query)
+        cache = BatchCache()
+        stale = cache.get([graph])
+        graph.add_node("output", np.zeros(FEATURE_DIMS["output"]))
+        fresh = cache.get([graph])
+        assert fresh is not stale
+        assert fresh.n_nodes == stale.n_nodes + 1
+
+    def test_cache_eviction_is_bounded(self, toy_db, join_query):
+        graph, _ = graph_for(toy_db, join_query)
+        cache = BatchCache(max_entries=2)
+        for _ in range(5):
+            cache.get([graph_for(toy_db, join_query)[0]])
+        assert len(cache._entries) <= 2

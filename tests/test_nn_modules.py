@@ -72,6 +72,58 @@ class TestLinearAndMLP:
         with pytest.raises(ValueError):
             model.load_state_dict(state)
 
+    def test_default_rng_gives_distinct_weights(self):
+        """Layers built without an explicit rng must not share weights
+        (regression: every default-rng layer used seed 0)."""
+        a = Linear(4, 3)
+        b = Linear(4, 3)
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_explicit_rng_is_reproducible(self):
+        a = Linear(4, 3, rng=np.random.default_rng(7))
+        b = Linear(4, 3, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_to_casts_parameters(self):
+        model = MLP(3, [5], 2, seed=0)
+        model.to(np.float32)
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+        assert model.param_dtype() == np.float32
+        model.to(np.float64)
+        assert model.param_dtype() == np.float64
+
+    def test_load_state_dict_adopts_stored_dtype(self):
+        """A float32 checkpoint loads as float32 even into a float64 model
+        (bit-identical predictions after a save/load roundtrip)."""
+        model = MLP(3, [5], 2, seed=3).to(np.float32)
+        clone = MLP(3, [5], 2, seed=9)  # float64 construction
+        clone.load_state_dict(model.state_dict())
+        assert clone.param_dtype() == np.float32
+        x = np.ones((2, 3), dtype=np.float32)
+        np.testing.assert_array_equal(model(Tensor(x)).data,
+                                      clone(Tensor(x)).data)
+
+    def test_load_state_dict_migrates_legacy_mlp_keys(self):
+        """Checkpoints saved by the pre-fused MLP (Sequential layout with
+        sparse `net.layers.N` indices) still load."""
+        model = MLP(3, [5, 5], 2, seed=3)
+        legacy = {}
+        for name, values in model.state_dict().items():
+            # linears.K -> net.layers.{2K} (activations sat at odd indices)
+            k = int(name.split(".")[1])
+            leaf = name.split(".")[2]
+            legacy[f"net.layers.{2 * k}.{leaf}"] = values
+        clone = MLP(3, [5, 5], 2, seed=42)
+        clone.load_state_dict(legacy)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_forward_numpy_matches_tensor_path(self):
+        model = MLP(4, [8, 8], 2, seed=5).eval()
+        x = np.random.default_rng(2).normal(size=(6, 4))
+        np.testing.assert_allclose(model.forward_numpy(x),
+                                   model(Tensor(x)).data, atol=1e-12)
+
 
 class TestOptimizers:
     def _quadratic_problem(self):

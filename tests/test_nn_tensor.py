@@ -9,7 +9,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.nn import Tensor, concat, maximum, scatter_sum, no_grad
+from repro.nn import (MLP, Tensor, concat, default_dtype, fused_act_dropout,
+                      get_default_dtype, linear, maximum, no_grad,
+                      scatter_sum, set_default_dtype)
 
 
 def numerical_grad(fn, x, eps=1e-6):
@@ -233,6 +235,170 @@ def test_mlp_like_composite_gradcheck(rows, cols, seed):
     ((t @ Tensor(w)).tanh() * 0.5 + 1.0).sum().backward()
     expected = numerical_grad(lambda v: float(forward(v).data), x.copy())
     np.testing.assert_allclose(t.grad, expected, atol=1e-5)
+
+
+class TestFusedOps:
+    """Numerical gradient checks for the fused fast-path ops."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(11)
+
+    def test_linear_matches_unfused(self):
+        x = Tensor(self.rng.normal(size=(4, 3)))
+        w = Tensor(self.rng.normal(size=(3, 5)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(5,)), requires_grad=True)
+        fused = linear(x, w, b)
+        np.testing.assert_allclose(fused.data, (x @ w + b).data)
+
+    def test_linear_gradcheck(self):
+        x0 = self.rng.normal(size=(4, 3))
+        w0 = self.rng.normal(size=(3, 5))
+        b0 = self.rng.normal(size=(5,))
+        weights = self.rng.normal(size=(4, 5))
+
+        def loss_parts(x_arr, w_arr, b_arr):
+            out = linear(Tensor(x_arr), Tensor(w_arr), Tensor(b_arr))
+            return float((out.data * weights).sum())
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        w = Tensor(w0.copy(), requires_grad=True)
+        b = Tensor(b0.copy(), requires_grad=True)
+        (linear(x, w, b) * Tensor(weights)).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, numerical_grad(lambda v: loss_parts(v, w0, b0), x0.copy()),
+            atol=1e-5)
+        np.testing.assert_allclose(
+            w.grad, numerical_grad(lambda v: loss_parts(x0, v, b0), w0.copy()),
+            atol=1e-5)
+        np.testing.assert_allclose(
+            b.grad, numerical_grad(lambda v: loss_parts(x0, w0, v), b0.copy()),
+            atol=1e-5)
+
+    def test_linear_no_bias_gradcheck(self):
+        x0 = self.rng.normal(size=(3, 2))
+        w = Tensor(self.rng.normal(size=(2, 2)), requires_grad=True)
+        x = Tensor(x0.copy(), requires_grad=True)
+        linear(x, w).sum().backward()
+        expected = numerical_grad(
+            lambda v: float(linear(Tensor(v), w.detach()).data.sum()),
+            x0.copy())
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+    @pytest.mark.parametrize("activation", ["relu", "leaky_relu", "tanh",
+                                            "sigmoid"])
+    def test_fused_activation_gradcheck(self, activation):
+        x0 = self.rng.normal(size=(6, 4)) + 0.05  # stay off the kinks
+
+        def fn(v):
+            return float(fused_act_dropout(Tensor(v), activation).data.sum())
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        fused_act_dropout(x, activation).sum().backward()
+        np.testing.assert_allclose(x.grad, numerical_grad(fn, x0.copy()),
+                                   atol=1e-5)
+
+    def test_fused_dropout_gradcheck(self):
+        """Dropout mask is deterministic given the rng seed, so central
+        differences apply (fresh rng per evaluation)."""
+        x0 = self.rng.normal(size=(5, 3)) + 0.2
+
+        def forward(v):
+            return fused_act_dropout(Tensor(v), "leaky_relu", p=0.4,
+                                     rng=np.random.default_rng(123),
+                                     training=True)
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        fused_act_dropout(x, "leaky_relu", p=0.4,
+                          rng=np.random.default_rng(123),
+                          training=True).sum().backward()
+        expected = numerical_grad(lambda v: float(forward(v).data.sum()),
+                                  x0.copy())
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+    def test_fused_dropout_eval_is_identity_on_mask(self):
+        x = Tensor(np.ones((100,)))
+        out = fused_act_dropout(x, "relu", p=0.5, training=False)
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_fused_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            fused_act_dropout(Tensor(np.ones(2)), "swishy")
+
+    def test_fused_dropout_requires_rng(self):
+        with pytest.raises(ValueError):
+            fused_act_dropout(Tensor(np.ones(2)), "relu", p=0.5, training=True)
+
+
+class TestGradOwnership:
+    """The accumulator must never alias upstream buffers (regression for the
+    unconditional deep copy it replaced)."""
+
+    def test_param_grad_does_not_alias_upstream(self):
+        param = Tensor(np.ones(4), requires_grad=True)
+        out = param + Tensor(np.zeros(4))
+        upstream = np.full(4, 2.0)
+        out.backward(upstream)
+        assert not np.shares_memory(param.grad, out.grad)
+        assert not np.shares_memory(param.grad, upstream)
+        # mutating the upstream buffer must not corrupt the parameter grad
+        upstream[:] = 99.0
+        np.testing.assert_allclose(param.grad, 2.0)
+
+    def test_linear_param_grads_own_their_buffers(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        w = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        out = linear(x, w, b)
+        out.backward(np.ones((3, 2)))
+        for param in (x, w, b):
+            assert param.grad.flags.owndata
+            assert not np.shares_memory(param.grad, out.grad)
+
+    def test_accumulation_over_reuse_still_correct(self):
+        x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        ((x * x) + (x * 4.0)).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0, 10.0])
+
+
+class TestDtypePolicy:
+    def teardown_method(self):
+        set_default_dtype(np.float64)
+
+    def test_default_dtype_context(self):
+        assert get_default_dtype() == np.float64
+        with default_dtype(np.float32):
+            assert get_default_dtype() == np.float32
+            assert Tensor([1, 2, 3]).dtype == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_float_arrays_keep_their_dtype(self):
+        assert Tensor(np.ones(2, dtype=np.float32)).dtype == np.float32
+        assert Tensor(np.ones(2, dtype=np.float64)).dtype == np.float64
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_float32_ops_stay_float32(self):
+        x = Tensor(np.ones((4, 3), dtype=np.float32), requires_grad=True)
+        w = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        out = fused_act_dropout(linear(x, w), "leaky_relu")
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert w.grad.dtype == np.float32
+
+    def test_float32_forward_agrees_with_float64(self):
+        """The float32 fast path tracks the float64 reference within
+        single-precision tolerance through a full MLP."""
+        rng = np.random.default_rng(0)
+        x64 = rng.normal(size=(16, 6))
+        mlp64 = MLP(6, [32, 32], 1, rng=np.random.default_rng(1))
+        mlp32 = MLP(6, [32, 32], 1, rng=np.random.default_rng(1)).to(np.float32)
+        out64 = mlp64(Tensor(x64)).data
+        out32 = mlp32(Tensor(x64.astype(np.float32))).data
+        assert out32.dtype == np.float32
+        np.testing.assert_allclose(out32, out64, rtol=1e-4, atol=1e-5)
 
 
 @settings(max_examples=40, deadline=None)
