@@ -1,40 +1,66 @@
-"""Engine microbenchmark harness: batch construction, train step, inference.
+"""Engine microbenchmark harness: featurization, annotation, batching,
+training, inference.
 
-All benchmarks use only the public API (``make_batch``, ``ZeroShotModel``,
-``predict_runtimes``), so the same harness runs against any engine revision;
-throughput is reported as plans/second (best of ``repeats`` timed passes, so
-one GC pause cannot sink a number).
+All benchmarks use only the public API of the *current* revision
+(``featurize_records``, ``annotate_cardinalities``, ``make_batch``,
+``ZeroShotModel``, ``predict_runtimes``); historical engines are
+represented by the numbers recorded in ``baseline_seed.json``, not by
+re-running this module against old checkouts.  Throughput is plans/second,
+best of ``repeats`` timed passes with the cyclic GC paused (timeit's
+policy), so one collector pause cannot sink a number.
+
+The pipeline benchmarks take ``use_reference=True`` to time the executable
+loop specifications (``annotate_cardinalities_reference``,
+``build_query_graph_reference``) — that is how ``run.py
+--save-loop-baseline`` re-anchors the pipeline entries of the recorded
+baseline, and how ``run_all`` derives the machine-drift-immune same-run
+speedups.
 """
 
 from __future__ import annotations
 
+import gc
 import inspect
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
+from repro import perfstats
+from repro.cardest import (DataDrivenEstimator, annotate_cardinalities,
+                           annotate_cardinalities_reference)
 from repro.core import TrainingConfig, featurize_records
 from repro.core.model import ZeroShotModel
 from repro.core.training import predict_runtimes
-from repro.featurization import FeatureScalers, TargetScaler, make_batch
+from repro.featurization import (FeatureScalers, FeaturizationCache,
+                                 TargetScaler, build_query_graph_reference,
+                                 make_batch)
 from repro.nn import Adam, QErrorLoss, clip_grad_norm
 
-__all__ = ["build_corpus", "bench_batch_construction", "bench_training_step",
-           "bench_inference", "run_all"]
+__all__ = ["build_plan_corpus", "build_corpus", "bench_featurization",
+           "bench_annotation", "bench_featurization_cached",
+           "bench_batch_construction", "bench_training_step",
+           "bench_inference", "run_all", "run_pipeline_reference"]
 
 
-def build_corpus(n_queries=192, seed=0, max_joins=3):
-    """A deterministic workload of featurized graphs + runtimes for timing."""
+def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
+    """A deterministic executed workload (db + records) for timing."""
     from repro.datagen import generate_database, random_database_spec
     from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
 
     spec = random_database_spec("perfdb", seed=seed, layout="snowflake",
-                                base_rows=1200, n_tables=5, complexity=0.7)
+                                base_rows=base_rows, n_tables=5, complexity=0.7)
     db = generate_database(spec)
     queries = WorkloadGenerator(db, WorkloadConfig(max_joins=max_joins),
                                 seed=seed).generate(n_queries)
     trace = generate_trace(db, queries, seed=seed)
-    records = list(trace)
+    return db, list(trace)
+
+
+def build_corpus(n_queries=192, seed=0, max_joins=3):
+    """Featurized graphs + runtimes for the model-side benchmarks."""
+    db, records = build_plan_corpus(n_queries=n_queries, seed=seed,
+                                    max_joins=max_joins)
     graphs = featurize_records(records, {db.name: db}, cards="exact")
     runtimes = np.array([r.runtime_ms for r in records])
     return graphs, runtimes
@@ -44,6 +70,87 @@ def _best_rate(n_plans, timings):
     return n_plans / min(timings)
 
 
+@contextmanager
+def _gc_paused():
+    """Timed sections run with the cyclic GC off (same policy as timeit),
+    so collector pauses don't masquerade as engine time."""
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if enabled:
+            gc.enable()
+            gc.collect()
+
+
+# ----------------------------------------------------------------------
+# Featurization pipeline
+# ----------------------------------------------------------------------
+def bench_featurization(db, records, repeats=7, use_reference=False):
+    """Plans/second through the full featurize pipeline (exact cards).
+
+    Fast path: ``featurize_records`` (vectorized batch builder, fused
+    cardinality lookup).  Reference: the per-record loop the seed engine ran
+    — annotation dict per plan, per-node feature-vector construction.
+    """
+    dbs = {db.name: db}
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if use_reference:
+                for record in records:
+                    cards = annotate_cardinalities_reference(db, record.plan,
+                                                             "exact")
+                    build_query_graph_reference(db, record.plan, cards)
+            else:
+                featurize_records(records, dbs, cards="exact")
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(records), timings)
+
+
+def bench_annotation(db, records, repeats=5, use_reference=False, seed=0,
+                     sample_size=1024):
+    """Plans/second through DeepDB cardinality annotation.
+
+    The estimator is built once (that is training, not annotation); its
+    predicate caches are cleared before every timed pass so each pass pays
+    the full per-trace cost.  The reference path runs the original recursive
+    visit with per-predicate row scans and the per-row sampling loop.
+    """
+    estimator = DataDrivenEstimator(db, sample_size=sample_size, seed=seed)
+    annotate = (annotate_cardinalities_reference if use_reference
+                else annotate_cardinalities)
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            estimator.clear_caches()
+            start = time.perf_counter()
+            for record in records:
+                annotate(db, record.plan, "deepdb", estimator=estimator)
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(records), timings)
+
+
+def bench_featurization_cached(db, records, repeats=7):
+    """Warm-``FeaturizationCache`` rate: re-featurizing an already seen
+    corpus is fingerprint lookups only.  Returns ``(rate, cache_stats)``."""
+    dbs = {db.name: db}
+    cache = FeaturizationCache()
+    featurize_records(records, dbs, cards="exact", feat_cache=cache)  # warm
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            featurize_records(records, dbs, cards="exact", feat_cache=cache)
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(records), timings), cache.stats()
+
+
+# ----------------------------------------------------------------------
+# Model-side benchmarks (unchanged interfaces)
+# ----------------------------------------------------------------------
 def bench_batch_construction(graphs, batch_size=64, repeats=5, scalers=None):
     """Plans/second through ``make_batch`` (fresh batches every pass)."""
     if scalers is None:
@@ -51,11 +158,12 @@ def bench_batch_construction(graphs, batch_size=64, repeats=5, scalers=None):
     chunks = [graphs[i:i + batch_size]
               for i in range(0, len(graphs), batch_size)]
     timings = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for chunk in chunks:
-            make_batch(chunk, scalers)
-        timings.append(time.perf_counter() - start)
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for chunk in chunks:
+                make_batch(chunk, scalers)
+            timings.append(time.perf_counter() - start)
     return _best_rate(len(graphs), timings)
 
 
@@ -71,22 +179,23 @@ def bench_training_step(graphs, runtimes, hidden_dim=64, batch_size=64,
                for i in range(0, len(graphs), batch_size)]
     loss_fn = QErrorLoss()
     timings = []
-    for _ in range(repeats):
-        model = ZeroShotModel(hidden_dim=hidden_dim, dropout=0.05, seed=seed)
-        if hasattr(model, "to"):
-            model.to(getattr(config, "dtype", "float64"))
-        model.train()
-        optimizer = Adam(model.parameters(), lr=1.5e-3)
-        start = time.perf_counter()
-        for _ in range(epochs):
-            for batch, target_log in batches:
-                optimizer.zero_grad()
-                pred_log = model(batch) * target.std + target.mean
-                loss = loss_fn(pred_log, target_log)
-                loss.backward()
-                clip_grad_norm(model.parameters(), 5.0)
-                optimizer.step()
-        timings.append(time.perf_counter() - start)
+    with _gc_paused():
+        for _ in range(repeats):
+            model = ZeroShotModel(hidden_dim=hidden_dim, dropout=0.05, seed=seed)
+            if hasattr(model, "to"):
+                model.to(getattr(config, "dtype", "float64"))
+            model.train()
+            optimizer = Adam(model.parameters(), lr=1.5e-3)
+            start = time.perf_counter()
+            for _ in range(epochs):
+                for batch, target_log in batches:
+                    optimizer.zero_grad()
+                    pred_log = model(batch) * target.std + target.mean
+                    loss = loss_fn(pred_log, target_log)
+                    loss.backward()
+                    clip_grad_norm(model.parameters(), 5.0)
+                    optimizer.step()
+            timings.append(time.perf_counter() - start)
     return _best_rate(len(graphs) * epochs, timings)
 
 
@@ -97,37 +206,88 @@ def bench_inference(graphs, runtimes, hidden_dim=64, batch_size=256,
     By default batch memoization is disabled so the number reflects fresh
     (never-seen) graphs — directly comparable to the seed engine, which had
     no cache.  ``use_cache=True`` measures the warm-``BatchCache`` path that
-    repeated evaluations (e.g. the benchmark suite) actually pay.
+    repeated evaluations (e.g. the benchmark suite) actually pay; in that
+    mode the cache's hit/miss counters are returned alongside the rate.
     """
+    from repro.featurization import BatchCache
+
     model = ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval()
     scalers = FeatureScalers().fit(graphs)
     target = TargetScaler().fit(runtimes)
     kwargs = {}
+    cache = None
     # The seed engine's predict_runtimes predates the batch_cache parameter;
     # only pass it where supported so the harness runs on any revision.
     if "batch_cache" in inspect.signature(predict_runtimes).parameters:
-        kwargs["batch_cache"] = None if use_cache else False
+        cache = BatchCache(max_entries=64) if use_cache else False
+        kwargs["batch_cache"] = cache
     timings = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        predict_runtimes(model, graphs, scalers, target,
-                         batch_size=batch_size, **kwargs)
-        timings.append(time.perf_counter() - start)
-    return _best_rate(len(graphs), timings)
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            predict_runtimes(model, graphs, scalers, target,
+                             batch_size=batch_size, **kwargs)
+            timings.append(time.perf_counter() - start)
+    rate = _best_rate(len(graphs), timings)
+    if use_cache and cache not in (None, False):
+        return rate, cache.stats()
+    return rate
+
+
+def run_pipeline_reference(n_queries=192, seed=0):
+    """Loop-baseline rates for the pipeline metrics (see --save-loop-baseline)."""
+    db, records = build_plan_corpus(n_queries=n_queries, seed=seed)
+    return {
+        "featurize_plans_per_s": bench_featurization(db, records,
+                                                     use_reference=True),
+        "annotate_plans_per_s": bench_annotation(db, records,
+                                                 use_reference=True),
+    }
 
 
 def run_all(n_queries=192, hidden_dim=64, seed=0):
-    """Run the three microbenchmarks; returns {metric: plans_per_s}."""
-    graphs, runtimes = build_corpus(n_queries=n_queries, seed=seed)
+    """Run all microbenchmarks; returns {metric: value}."""
+    perfstats.reset()
+    db, records = build_plan_corpus(n_queries=n_queries, seed=seed)
+    graphs = featurize_records(records, {db.name: db}, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records])
+    # The loop references are timed immediately before their fast
+    # counterparts: the recorded baseline tracks the trajectory PR over PR,
+    # while these same-run rates give a machine-drift-immune speedup.
+    featurize_reference = bench_featurization(db, records, repeats=3,
+                                              use_reference=True)
+    featurize = bench_featurization(db, records)
+    featurize_cached, feat_cache_stats = bench_featurization_cached(db, records)
+    annotate_reference = bench_annotation(db, records, repeats=2,
+                                          use_reference=True)
+    annotate = bench_annotation(db, records)
+    batch_construction = bench_batch_construction(graphs)
+    train_step = bench_training_step(graphs, runtimes, hidden_dim=hidden_dim,
+                                     seed=seed)
+    # Run the two inference variants back to back so machine drift cannot
+    # skew the cached/uncached comparison.
+    inference = bench_inference(graphs, runtimes, hidden_dim=hidden_dim,
+                                seed=seed)
+    inference_cached, batch_cache_stats = bench_inference(
+        graphs, runtimes, hidden_dim=hidden_dim, seed=seed, use_cache=True)
     return {
-        "batch_construction_plans_per_s": bench_batch_construction(graphs),
-        "train_step_plans_per_s": bench_training_step(
-            graphs, runtimes, hidden_dim=hidden_dim, seed=seed),
-        "inference_plans_per_s": bench_inference(
-            graphs, runtimes, hidden_dim=hidden_dim, seed=seed),
-        "inference_cached_plans_per_s": bench_inference(
-            graphs, runtimes, hidden_dim=hidden_dim, seed=seed,
-            use_cache=True),
+        "featurize_plans_per_s": featurize,
+        "annotate_plans_per_s": annotate,
+        "featurize_cached_plans_per_s": featurize_cached,
+        "featurize_reference_plans_per_s": featurize_reference,
+        "annotate_reference_plans_per_s": annotate_reference,
+        "batch_construction_plans_per_s": batch_construction,
+        "train_step_plans_per_s": train_step,
+        "inference_plans_per_s": inference,
+        "inference_cached_plans_per_s": inference_cached,
         "n_queries": n_queries,
         "hidden_dim": hidden_dim,
+        "cache_stats": {
+            "featurization_cache": feat_cache_stats,
+            "batch_cache": batch_cache_stats,
+        },
+        "dispatch_counters": perfstats.snapshot(
+            ["featurize.vectorized", "featurize.reference",
+             "annotate.batched", "annotate.reference",
+             "model.graph_free_inference"]),
     }

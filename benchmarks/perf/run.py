@@ -5,10 +5,17 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/run.py                 # full run
     PYTHONPATH=src python benchmarks/perf/run.py --quick         # smaller corpus
     PYTHONPATH=src python benchmarks/perf/run.py --save-baseline # refresh baseline
+    PYTHONPATH=src python benchmarks/perf/run.py --save-loop-baseline
+        # re-record ONLY the pipeline loop-baseline metrics (featurize /
+        # annotate) by timing the executable reference implementations
+        # (annotate_cardinalities_reference + build_query_graph_reference);
+        # other baseline entries are left untouched.
 
-The output JSON records the current numbers, the recorded seed-engine
+The output JSON records the current numbers, the recorded loop/seed-engine
 baseline (``benchmarks/perf/baseline_seed.json``), and the speedup of each
-metric, so the perf trajectory is visible PR over PR.
+metric, so the perf trajectory is visible PR over PR.  Cache hit/miss
+counters and fast-path dispatch counters ride along so a regression to a
+loop fallback is visible even when throughput noise hides it.
 """
 
 from __future__ import annotations
@@ -27,7 +34,9 @@ sys.path.insert(0, str(HERE))
 BASELINE_PATH = HERE / "baseline_seed.json"
 DEFAULT_OUTPUT = REPO / "BENCH_engine.json"
 
-RATE_KEYS = ("batch_construction_plans_per_s", "train_step_plans_per_s",
+RATE_KEYS = ("featurize_plans_per_s", "annotate_plans_per_s",
+             "featurize_cached_plans_per_s",
+             "batch_construction_plans_per_s", "train_step_plans_per_s",
              "inference_plans_per_s", "inference_cached_plans_per_s")
 
 
@@ -39,11 +48,26 @@ def main(argv=None):
     parser.add_argument("--save-baseline", action="store_true",
                         help="write results to baseline_seed.json instead of "
                              "comparing against it")
+    parser.add_argument("--save-loop-baseline", action="store_true",
+                        help="re-record the featurize/annotate loop-baseline "
+                             "entries from the reference implementations")
     args = parser.parse_args(argv)
 
-    from harness import run_all
+    from harness import run_all, run_pipeline_reference
 
     n_queries = 96 if args.quick else 192
+
+    if args.save_loop_baseline:
+        baseline = (json.loads(BASELINE_PATH.read_text())
+                    if BASELINE_PATH.exists() else {})
+        reference = run_pipeline_reference(n_queries=n_queries)
+        baseline.update(reference)
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"loop baseline updated in {BASELINE_PATH}")
+        for key, value in reference.items():
+            print(f"  {key}: {value:.1f}")
+        return 0
+
     results = run_all(n_queries=n_queries)
 
     if args.save_baseline:
@@ -68,6 +92,19 @@ def main(argv=None):
             key: results[key] / baseline[key]
             for key in RATE_KEYS if baseline.get(key)
         }
+        warm = results.get("featurize_cached_plans_per_s")
+        cold = results.get("featurize_plans_per_s")
+        if warm and cold:
+            report["featurization_cache_warm_over_cold"] = warm / cold
+    # Machine-drift-immune: loop references timed in this very run.
+    same_run = {}
+    for key in ("featurize", "annotate"):
+        fast = results.get(f"{key}_plans_per_s")
+        reference = results.get(f"{key}_reference_plans_per_s")
+        if fast and reference:
+            same_run[f"{key}_plans_per_s"] = fast / reference
+    if same_run:
+        report["speedup_vs_loop_same_run"] = same_run
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {args.output}")
@@ -77,6 +114,11 @@ def main(argv=None):
             line += (f"  (seed {baseline[key]:.1f}, "
                      f"{results[key] / baseline[key]:.2f}x)")
         print(line)
+    if same_run:
+        for key, value in same_run.items():
+            print(f"  {key} vs same-run loop reference: {value:.2f}x")
+    print(f"  cache_stats: {results['cache_stats']}")
+    print(f"  dispatch: {results['dispatch_counters']}")
 
     # Append the same table to the experiment report so the perf trajectory
     # lives next to the regenerated paper figures.

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import EstimatorCache, TrainingConfig, ZeroShotCostModel, featurize_records
-from ..featurization import BatchCache
+from ..featurization import BatchCache, FeaturizationCache
 from ..datagen import BENCHMARK_NAMES, make_benchmark_database
 from ..workloads import (WorkloadConfig, WorkloadGenerator, generate_trace,
                          imdb_workload)
@@ -85,6 +85,9 @@ class Artifacts:
         # Evaluations reuse the cached graph lists from self.graphs(), so
         # batches built for one experiment serve every later one.
         self.batch_cache = BatchCache(max_entries=256)
+        # Content-keyed graph cache: per-cardinality-mode evaluations and
+        # equal-but-regenerated plans skip featurization entirely.
+        self.featurization_cache = FeaturizationCache(max_entries=16384)
 
     # ------------------------------------------------------------------
     @property
@@ -137,12 +140,18 @@ class Artifacts:
 
     # ------------------------------------------------------------------
     def graphs(self, trace, cards):
-        """Featurized graphs for a trace, cached per (trace, card source)."""
+        """Featurized graphs for a trace, cached per (trace, card source).
+
+        The list memo keeps repeated lookups free; the fingerprint cache
+        underneath additionally serves *equal* plans across different trace
+        objects (re-generated workloads, subsets) without re-featurizing.
+        """
         key = (id(trace), cards)
         if key not in self._graphs:
             self._graphs[key] = featurize_records(
                 list(trace), self.databases, cards=cards,
-                estimator_cache=self.estimator_cache)
+                estimator_cache=self.estimator_cache,
+                feat_cache=self.featurization_cache)
         return self._graphs[key]
 
     def runtimes(self, trace):

@@ -7,13 +7,30 @@ cardinality according to a chosen source:
 * ``"optimizer"`` — the traditional estimates already on the plan,
 * ``"exact"`` — the true cardinalities recorded by the executor,
 * ``"deepdb"`` — predictions of a :class:`DataDrivenEstimator`.
+
+:func:`annotate_cardinalities` is the engine's batched fast path: for the
+DeepDB source it first primes the estimator with *all* of the plan's scan
+predicates in one vectorized pass (masks + SPN selectivities, each evaluated
+exactly once and cached), then walks the plan consuming cached lookups and
+the vectorized join sampler.  :func:`annotate_cardinalities_reference` keeps
+the original recursive visit — per-predicate full-table scans and the
+per-row sampling loop — as the executable spec; both produce bit-identical
+cardinalities (the batched sampler consumes the same RNG stream), which the
+test suite asserts.
 """
 
 from __future__ import annotations
 
-__all__ = ["annotate_cardinalities", "CARD_SOURCES"]
+from .. import perfstats
+
+__all__ = ["annotate_cardinalities", "annotate_cardinalities_reference",
+           "CARD_SOURCES"]
 
 CARD_SOURCES = ("optimizer", "exact", "deepdb")
+
+_PASSTHROUGH_OPS = ("Gather", "Broadcast", "Repartition", "Sort")
+_SCAN_OPS = ("SeqScan", "IndexScan", "ColumnarScan")
+_JOIN_OPS = ("HashJoin", "NestedLoopJoin", "MergeJoin")
 
 
 def _subtree_query_parts(node):
@@ -31,39 +48,106 @@ def _subtree_query_parts(node):
     return tables, joins, filters
 
 
-def annotate_cardinalities(db, plan, source, estimator=None):
-    """Return ``{id(node): cardinality}`` for every node of ``plan``.
-
-    For ``"deepdb"`` an existing :class:`DataDrivenEstimator` for ``db``
-    should be passed to avoid rebuilding models per plan.
-    """
-    if source not in CARD_SOURCES:
-        raise ValueError(f"unknown cardinality source {source!r}")
-
+def _simple_cards(plan, source):
+    """The estimator-free sources: read rows straight off the plan."""
     cards = {}
     if source == "optimizer":
         for node in plan.iter_nodes():
             cards[id(node)] = float(node.est_rows)
-        return cards
-    if source == "exact":
+    else:  # exact
         for node in plan.iter_nodes():
             rows = node.true_rows if node.true_rows is not None else node.est_rows
             cards[id(node)] = float(rows)
-        return cards
+    return cards
 
-    if estimator is None:
-        from .datadriven import DataDrivenEstimator
-        estimator = DataDrivenEstimator(db)
+
+def _rescale_nested_loops(plan, cards):
+    # Nested-loop inner index scans report per-loop rows (as in EXPLAIN);
+    # rescale the subquery estimate accordingly.
+    for node in plan.iter_nodes():
+        if node.op_name == "NestedLoopJoin" and node.children[1].is_scan:
+            outer, inner = node.children
+            loops = max(cards[id(outer)], 1.0)
+            cards[id(inner)] = max(cards[id(node)] / loops, 0.0)
+    return cards
+
+
+def _deepdb_cards_batched(db, plan, estimator):
+    """Fast DeepDB walk: cached estimator entry points, subtree query parts
+    accumulated bottom-up in the same pass (no re-walk per join node).
+
+    The accumulated (tables, joins, filters) match the per-node re-walk of
+    the reference exactly — same post-order append order, same dict
+    insertion order — so estimator calls receive identical arguments and the
+    sampler consumes an identical RNG stream.
+    """
+    cards = {}
+    scan_rows, join_rows = estimator.scan_rows, estimator.join_rows
+    nested_loops = []
+
+    def visit(node):
+        """Annotate the subtree; returns its (tables, joins, filters)."""
+        child_parts = [visit(child) for child in node.children]
+        if child_parts:
+            tables, joins, filters = child_parts[0]
+            for more_tables, more_joins, more_filters in child_parts[1:]:
+                tables += more_tables
+                joins += more_joins
+                filters.update(more_filters)
+        else:
+            tables, joins, filters = [], [], {}
+
+        op_name = node.op_name
+        if op_name in _SCAN_OPS:
+            tables.append(node.table)
+            if node.filter_predicate is not None:
+                filters[node.table] = node.filter_predicate
+            value = scan_rows(db, node.table, node.filter_predicate)
+        elif op_name in _JOIN_OPS:
+            if node.join is not None:
+                joins.append(node.join)
+            value = join_rows(db, set(tables), joins, filters)
+            if (op_name == "NestedLoopJoin"
+                    and node.children[1].op_name in _SCAN_OPS):
+                nested_loops.append(node)
+        elif op_name in _PASSTHROUGH_OPS:
+            value = cards[id(node.children[0])]
+        elif op_name == "Aggregate":
+            value = 1.0
+        elif op_name == "HashAggregate":
+            input_rows = cards[id(node.children[0])]
+            groups = 1.0
+            for table, column in node.group_by:
+                groups *= max(db.column_stats(table, column).ndistinct, 1)
+            value = max(1.0, min(groups, input_rows))
+        else:
+            value = float(node.est_rows)
+        cards[id(node)] = float(value)
+        return tables, joins, filters
+
+    visit(plan)
+    # Same fix-up as _rescale_nested_loops, over the nodes collected during
+    # the walk (post-order matches iter_nodes order) instead of a re-walk.
+    for node in nested_loops:
+        outer, inner = node.children
+        loops = max(cards[id(outer)], 1.0)
+        cards[id(inner)] = max(cards[id(node)] / loops, 0.0)
+    return cards
+
+
+def _deepdb_cards_reference(db, plan, scan_rows, join_rows):
+    """Original recursive DeepDB walk: per-join-node subtree re-walks."""
+    cards = {}
 
     def visit(node):
         for child in node.children:
             visit(child)
         if node.is_scan:
-            value = estimator.scan_rows(db, node.table, node.filter_predicate)
+            value = scan_rows(db, node.table, node.filter_predicate)
         elif node.is_join:
             tables, joins, filters = _subtree_query_parts(node)
-            value = estimator.join_rows(db, set(tables), joins, filters)
-        elif node.op_name in ("Gather", "Broadcast", "Repartition", "Sort"):
+            value = join_rows(db, set(tables), joins, filters)
+        elif node.op_name in _PASSTHROUGH_OPS:
             value = cards[id(node.children[0])]
         elif node.op_name == "Aggregate":
             value = 1.0
@@ -78,12 +162,50 @@ def annotate_cardinalities(db, plan, source, estimator=None):
         cards[id(node)] = float(value)
 
     visit(plan)
+    return _rescale_nested_loops(plan, cards)
 
-    # Nested-loop inner index scans report per-loop rows (as in EXPLAIN);
-    # rescale the subquery estimate accordingly.
-    for node in plan.iter_nodes():
-        if node.op_name == "NestedLoopJoin" and node.children[1].is_scan:
-            outer, inner = node.children
-            loops = max(cards[id(outer)], 1.0)
-            cards[id(inner)] = max(cards[id(node)] / loops, 0.0)
-    return cards
+
+def annotate_cardinalities(db, plan, source, estimator=None):
+    """Return ``{id(node): cardinality}`` for every node of ``plan``.
+
+    For ``"deepdb"`` an existing :class:`DataDrivenEstimator` for ``db``
+    should be passed to avoid rebuilding models per plan; the estimator is
+    primed with the plan's predicates up front so every mask / selectivity
+    is evaluated once, vectorized, regardless of how many join nodes
+    revisit it.
+    """
+    if source not in CARD_SOURCES:
+        raise ValueError(f"unknown cardinality source {source!r}")
+    if source != "deepdb":
+        return _simple_cards(plan, source)
+
+    if estimator is None:
+        from .datadriven import DataDrivenEstimator
+        estimator = DataDrivenEstimator(db)
+    prime = getattr(estimator, "prime_plan", None)
+    if prime is not None:
+        prime(db, plan)
+    perfstats.increment("annotate.batched")
+    return _deepdb_cards_batched(db, plan, estimator)
+
+
+def annotate_cardinalities_reference(db, plan, source, estimator=None):
+    """Original recursive annotation (executable spec for tests/bench).
+
+    DeepDB estimates go through the estimator's uncached ``*_reference``
+    entry points: one full-table scan per predicate visit and the per-row
+    sampling loop.  :func:`annotate_cardinalities` must produce bit-identical
+    cardinalities from the same estimator state.
+    """
+    if source not in CARD_SOURCES:
+        raise ValueError(f"unknown cardinality source {source!r}")
+    if source != "deepdb":
+        return _simple_cards(plan, source)
+
+    if estimator is None:
+        from .datadriven import DataDrivenEstimator
+        estimator = DataDrivenEstimator(db)
+    scan_rows = getattr(estimator, "scan_rows_reference", estimator.scan_rows)
+    join_rows = getattr(estimator, "join_rows_reference", estimator.join_rows)
+    perfstats.increment("annotate.reference")
+    return _deepdb_cards_reference(db, plan, scan_rows, join_rows)

@@ -97,22 +97,30 @@ class _Leaf:
 
     # -- probability of one comparison ---------------------------------
     def _prob_discrete(self, node: Comparison, literal):
+        """``discrete_values`` is sorted, so every mass subset is a prefix,
+        suffix or single element — resolved with ``searchsorted`` instead of
+        boolean-mask scans (bit-identical: the same masses are summed in the
+        same order)."""
         values, masses = self.discrete_values, self.discrete_masses
         if values.size == 0:
             return 0.0
-        if node.op == PredOp.EQ:
-            return float(masses[values == literal].sum())
-        if node.op == PredOp.NEQ:
+        op = node.op
+        if op == PredOp.EQ:
+            i = values.searchsorted(literal, side="left")
+            if i < values.size and values[i] == literal:
+                return float(masses[i])
+            return 0.0
+        if op == PredOp.NEQ:
             return float(masses[values != literal].sum())
-        if node.op == PredOp.LT:
-            return float(masses[values < literal].sum())
-        if node.op == PredOp.LEQ:
-            return float(masses[values <= literal].sum())
-        if node.op == PredOp.GT:
-            return float(masses[values > literal].sum())
-        if node.op == PredOp.GEQ:
-            return float(masses[values >= literal].sum())
-        raise UnsupportedPredicate(str(node.op))
+        if op == PredOp.LT:
+            return float(masses[:values.searchsorted(literal, side="left")].sum())
+        if op == PredOp.LEQ:
+            return float(masses[:values.searchsorted(literal, side="right")].sum())
+        if op == PredOp.GT:
+            return float(masses[values.searchsorted(literal, side="right"):].sum())
+        if op == PredOp.GEQ:
+            return float(masses[values.searchsorted(literal, side="left"):].sum())
+        raise UnsupportedPredicate(str(op))
 
     def _prob_histogram(self, node: Comparison, literal):
         edges, masses = self.bin_edges, self.bin_masses
@@ -125,17 +133,17 @@ class _Leaf:
                 return 0.0
             if x >= edges[-1]:
                 return float(masses.sum())
-            i = int(np.searchsorted(edges, x, side="right")) - 1
+            i = int(edges.searchsorted(x, side="right")) - 1
             i = min(i, len(masses) - 1)
-            lo, hi = edges[i], edges[i + 1]
+            lo, hi = float(edges[i]), float(edges[i + 1])
             frac = (x - lo) / (hi - lo) if hi > lo else 1.0
             return float(masses[:i].sum() + masses[i] * frac)
 
         total = float(masses.sum())
         if node.op == PredOp.EQ:
             # Point mass approximation: mass of the bin / bin density.
-            i = int(np.clip(np.searchsorted(edges, literal, side="right") - 1,
-                            0, len(masses) - 1))
+            i = min(max(int(edges.searchsorted(literal, side="right")) - 1, 0),
+                    len(masses) - 1)
             span = max(edges[i + 1] - edges[i], 1e-12)
             return float(masses[i] / max(span, 1.0))
         if node.op == PredOp.NEQ:
@@ -153,8 +161,12 @@ class _Leaf:
 
     def probability(self, nodes, literal_mapper):
         """P(all comparisons hold) for this column (intersection approx)."""
-        prob = 1.0 - self.null_mass if any(
-            n.op != PredOp.IS_NULL for n in nodes) else 1.0
+        for node in nodes:
+            if node.op != PredOp.IS_NULL:
+                prob = 1.0 - self.null_mass
+                break
+        else:
+            prob = 1.0
         for node in nodes:
             if node.op == PredOp.IS_NULL:
                 prob = min(prob, self.null_mass)
@@ -171,7 +183,9 @@ class _Leaf:
                 literal = literal_mapper(node, node.literal)
                 p = self._prob_one(node, literal) if literal is not None else 0.0
             prob = min(prob, p)
-        return float(np.clip(prob, 0.0, 1.0))
+        # Scalar clamp (bit-identical to np.clip on floats, without the
+        # per-call ufunc dispatch overhead).
+        return min(max(float(prob), 0.0), 1.0)
 
     def _prob_one(self, node, literal):
         if self.discrete_values is not None and self.discrete_values.size:
@@ -187,6 +201,8 @@ class _Product:
     children: list  # sub-SPNs over disjoint column sets
 
     def probability(self, constraints, literal_mapper):
+        if self._columns.isdisjoint(constraints):
+            return self._neutral_mass
         prob = 1.0
         for child in self.children:
             prob *= child.probability(constraints, literal_mapper)
@@ -199,8 +215,12 @@ class _Sum:
     children: list
 
     def probability(self, constraints, literal_mapper):
-        return float(sum(w * c.probability(constraints, literal_mapper)
-                         for w, c in zip(self.weights, self.children)))
+        if self._columns.isdisjoint(constraints):
+            return self._neutral_mass
+        total = 0.0
+        for w, child in zip(self.weights, self.children):
+            total += w * child.probability(constraints, literal_mapper)
+        return float(total)
 
 
 @dataclass
@@ -210,6 +230,8 @@ class _LeafSet:
     leaves: dict  # column -> _Leaf
 
     def probability(self, constraints, literal_mapper):
+        if self._columns.isdisjoint(constraints):
+            return 1.0
         prob = 1.0
         for column, nodes in constraints.items():
             leaf = self.leaves.get(column)
@@ -219,6 +241,44 @@ class _LeafSet:
         return prob
 
 
+def _annotate_structure(node):
+    """Attach per-node column sets and *neutral masses* for pruned traversal.
+
+    A subtree touching none of the constrained columns evaluates — through
+    the full recursion — to a constraint-independent constant: 1.0 for leaf
+    sets, and the correspondingly weighted sums/products above them.  That
+    constant is precomputed here *with the same arithmetic and operand order
+    the recursion uses*, so short-circuiting a disjoint subtree returns the
+    bit-identical value the full traversal would have produced, skipping the
+    walk.  This is what makes repeated selectivity queries on wide tables
+    cheap: only the branches owning the constrained columns are visited.
+    """
+    if isinstance(node, _LeafSet):
+        node._columns = frozenset(node.leaves)
+        node._neutral_mass = 1.0
+        return node._columns, 1.0
+    if isinstance(node, _Product):
+        columns = set()
+        prob = 1.0
+        for child in node.children:
+            child_columns, mass = _annotate_structure(child)
+            columns |= child_columns
+            prob *= mass
+        node._columns = frozenset(columns)
+        node._neutral_mass = prob
+        return node._columns, prob
+    columns = set()
+    total = 0.0
+    for w, child in zip(node.weights, node.children):
+        child_columns, mass = _annotate_structure(child)
+        columns |= child_columns
+        total += w * mass
+    total = float(total)
+    node._columns = frozenset(columns)
+    node._neutral_mass = total
+    return node._columns, total
+
+
 class SPN:
     """Learned single-table distribution supporting conjunctive queries."""
 
@@ -226,6 +286,7 @@ class SPN:
         self._root = root
         self.columns = list(columns)
         self.n_rows = n_rows
+        _annotate_structure(root)
 
     def selectivity(self, constraints, literal_mapper):
         """P(row satisfies all constraints); constraints col -> [Comparison]."""
@@ -234,8 +295,8 @@ class SPN:
             raise KeyError(f"SPN has no columns {sorted(unknown)}")
         if not constraints:
             return 1.0
-        return float(np.clip(self._root.probability(constraints, literal_mapper),
-                             0.0, 1.0))
+        prob = self._root.probability(constraints, literal_mapper)
+        return min(max(float(prob), 0.0), 1.0)
 
 
 # ----------------------------------------------------------------------

@@ -13,8 +13,10 @@ import copy
 
 import numpy as np
 
-from ..cardest import DataDrivenEstimator, annotate_cardinalities
-from ..featurization import FeatureScalers, TargetScaler, build_query_graph
+from ..cardest import (CARD_SOURCES, DataDrivenEstimator,
+                       annotate_cardinalities)
+from ..featurization import (FeatureScalers, FeaturizationCache, TargetScaler,
+                             build_query_graphs)
 from ..nn import load_state, q_error_metrics, save_state
 from .model import ZeroShotModel
 from .training import TrainingConfig, predict_runtimes, train_model
@@ -23,7 +25,13 @@ __all__ = ["ZeroShotCostModel", "featurize_records", "EstimatorCache"]
 
 
 class EstimatorCache:
-    """Lazily built, shared :class:`DataDrivenEstimator` per database."""
+    """Lazily built, shared :class:`DataDrivenEstimator` per database.
+
+    Entries are validated against a cheap database fingerprint (name +
+    per-table row counts): a database that was rebuilt or grown under the
+    same name gets a fresh estimator instead of silently reusing the stale
+    model trained on the old data.
+    """
 
     def __init__(self, sample_size=1024, seed=0):
         self.sample_size = sample_size
@@ -31,31 +39,89 @@ class EstimatorCache:
         self._cache = {}
 
     def get(self, db):
-        if db.name not in self._cache:
-            self._cache[db.name] = DataDrivenEstimator(
-                db, sample_size=self.sample_size, seed=self.seed)
-        return self._cache[db.name]
+        fingerprint = db.fingerprint()
+        entry = self._cache.get(db.name)
+        if entry is None or entry[0] != fingerprint:
+            entry = (fingerprint, DataDrivenEstimator(
+                db, sample_size=self.sample_size, seed=self.seed))
+            self._cache[db.name] = entry
+        return entry[1]
 
     def invalidate(self, db_name):
         self._cache.pop(db_name, None)
 
 
 def featurize_records(records, dbs, cards="exact", estimator_cache=None,
-                      storage_formats=None):
+                      storage_formats=None, feat_cache=None):
     """Build query graphs for trace records.
 
     ``dbs`` maps database names to :class:`~repro.storage.Database` objects;
     ``cards`` chooses the cardinality source for the ``cardout`` features.
+
+    Records are grouped per database and encoded through the vectorized
+    batch builder; for the estimator-free sources the cardinality lookup is
+    fused into the traversal (no per-plan annotation pass).  With a
+    :class:`~repro.featurization.FeaturizationCache` as ``feat_cache``,
+    plans whose content fingerprint was featurized before — equal but
+    possibly distinct objects — are served from the cache and skip
+    annotation and construction entirely.
     """
+    if cards not in CARD_SOURCES:
+        raise ValueError(f"unknown cardinality source {cards!r}")
     estimator_cache = estimator_cache or EstimatorCache()
-    graphs = []
-    for record in records:
-        db = dbs[record.db_name]
-        estimator = estimator_cache.get(db) if cards == "deepdb" else None
-        card_map = annotate_cardinalities(db, record.plan, cards,
-                                          estimator=estimator)
-        graphs.append(build_query_graph(db, record.plan, card_map,
-                                        storage_formats=storage_formats))
+    records = list(records)
+    graphs = [None] * len(records)
+    keys = [None] * len(records)
+    pending = []
+    duplicates = []
+    if feat_cache is not None:
+        first_of_key = {}
+        db_fingerprints = {}
+        cache_key, cache_get = feat_cache.key, feat_cache.get
+        for position, record in enumerate(records):
+            db_name = record.db_name
+            db_fingerprint = db_fingerprints.get(db_name)
+            if db_fingerprint is None:
+                db_fingerprint = dbs[db_name].fingerprint()
+                db_fingerprints[db_name] = db_fingerprint
+            key = cache_key(None, record.plan, cards, storage_formats,
+                            db_fingerprint=db_fingerprint)
+            keys[position] = key
+            cached = cache_get(key)
+            if cached is not None:
+                graphs[position] = cached
+            elif key in first_of_key:
+                duplicates.append(position)  # same content earlier this batch
+            else:
+                first_of_key[key] = position
+                pending.append(position)
+    else:
+        pending = range(len(records))
+
+    by_db = {}
+    for position in pending:
+        by_db.setdefault(records[position].db_name, []).append(position)
+    for db_name, positions in by_db.items():
+        db = dbs[db_name]
+        plans = [records[position].plan for position in positions]
+        if cards == "deepdb":
+            estimator = estimator_cache.get(db)
+            card_maps = [annotate_cardinalities(db, plan, cards,
+                                                estimator=estimator)
+                         for plan in plans]
+        else:
+            card_maps = cards  # fused into the traversal ("exact"/"optimizer")
+        built = build_query_graphs(db, plans, card_maps,
+                                   storage_formats=storage_formats)
+        for position, graph in zip(positions, built):
+            graphs[position] = graph
+            if feat_cache is not None:
+                feat_cache.put(keys[position], graph)
+    # Duplicates share the graph built for their first occurrence (resolved
+    # from this call's results, not the cache — the first occurrence may
+    # already have been evicted by later puts).
+    for position in duplicates:
+        graphs[position] = graphs[first_of_key[keys[position]]]
     return graphs
 
 
@@ -117,18 +183,23 @@ class ZeroShotCostModel:
     # Inference
     # ------------------------------------------------------------------
     def predict_records(self, records, dbs, cards="deepdb",
-                        estimator_cache=None, graphs=None, batch_cache=None):
+                        estimator_cache=None, graphs=None, batch_cache=None,
+                        feat_cache=None):
         """Predicted runtimes (ms) for trace records on any database.
 
         Inference runs the graph-free numpy fast path; repeated calls on the
         same ``graphs`` objects reuse cached batches (``batch_cache``
         defaults to a process-wide cache).  Freshly featurized graphs exist
-        only for this call, so caching is skipped for them.
+        only for this call, so batch caching is skipped for them — unless a
+        ``feat_cache`` (fingerprint-keyed) is supplied, in which case equal
+        plans resolve to stable graph objects and batches stay cacheable
+        across calls.
         """
         if graphs is None:
             graphs = featurize_records(records, dbs, cards=cards,
-                                       estimator_cache=estimator_cache)
-            if batch_cache is None:
+                                       estimator_cache=estimator_cache,
+                                       feat_cache=feat_cache)
+            if batch_cache is None and feat_cache is None:
                 batch_cache = False  # one-shot graphs: nothing to memoize
         return predict_runtimes(self.model, graphs, self.feature_scalers,
                                 self.target_scaler, batch_cache=batch_cache)

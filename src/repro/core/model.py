@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import perfstats
 from ..featurization import FEATURE_DIMS, GraphBatch, NODE_TYPES
 from ..nn import MLP, Module, Tensor, concat, scatter_sum
 from ..nn.tensor import is_grad_enabled
@@ -115,6 +116,7 @@ class ZeroShotModel(Module):
         consumes the same rng stream when active); used automatically under
         ``no_grad`` and by ``predict_runtimes``.
         """
+        perfstats.increment("model.graph_free_inference")
         dtype = self.param_dtype()
         features = batch.features_as(dtype)
 

@@ -168,10 +168,17 @@ def predict_runtimes(model, graphs, feature_scalers, target_scaler,
     model.eval()
     outputs = []
     with no_grad():
-        for start in range(0, len(graphs), batch_size):
-            chunk = graphs[start:start + batch_size]
-            batch = (make_batch(chunk, feature_scalers) if batch_cache is False
-                     else batch_cache.get(chunk, feature_scalers))
-            outputs.append(model(batch).numpy())
+        if batch_cache is False:
+            for start in range(0, len(graphs), batch_size):
+                batch = make_batch(graphs[start:start + batch_size],
+                                   feature_scalers)
+                outputs.append(model(batch).numpy())
+        else:
+            # get_chunks keys each chunk consistently: a graph list that
+            # shifted or grew still hits every previously cached chunk
+            # instead of re-batching on the new boundaries.
+            for batch in batch_cache.get_chunks(graphs, feature_scalers,
+                                                batch_size):
+                outputs.append(model(batch).numpy())
     scaled = np.concatenate(outputs)
     return target_scaler.to_runtime_ms(scaled)

@@ -1,11 +1,44 @@
 """Transferable query featurization: typed graphs, Table-1 features, batching
-and scalers for the zero-shot model."""
+and scalers for the zero-shot model.
+
+The package runs a two-stage fast path with executable reference specs:
+
+* **Graph construction** — :func:`build_query_graphs` encodes whole batches
+  of plans with column-wise feature-matrix assembly (the per-plan cost is
+  the structural traversal only); :func:`build_query_graph_reference` keeps
+  the per-node loop builder as the spec both must match bit-for-bit.
+* **Batching** — :func:`make_batch` merges graphs vectorized over cached
+  :class:`PackedGraph` arrays; :func:`make_batch_reference` is its spec.
+
+Caching contract (two complementary layers):
+
+* :class:`FeaturizationCache` is keyed on *content*: a 16-byte
+  :func:`plan_fingerprint` over the plan tree (operators, estimates, true
+  rows, predicates incl. literals, joins, aggregates, sort/group keys), the
+  cardinality source, the database fingerprint (name + row counts) and the
+  storage-format map.  Equal-but-distinct plans hit; any change that could
+  alter the encoding misses.  DeepDB estimates are sampling-based, so the
+  cache pins the first annotation for a given fingerprint.
+* :class:`BatchCache` is keyed on *identity* ``(id, n_nodes, n_edges)`` of
+  the graph objects in a chunk: it serves repeated ``make_batch`` calls on
+  graphs the caller retained (or that the fingerprint cache keeps stable),
+  and refuses stale hits when a graph grew after caching.  Chunked callers
+  (``predict_runtimes``) go through :meth:`BatchCache.get_chunks`, which
+  re-uses previously cached chunk boundaries even when the surrounding
+  graph list changed.
+
+Database mutations are visible to the fingerprint layer only through row
+counts; callers editing values in place must ``clear()`` the caches (same
+rule as the estimator caches).
+"""
 
 from .graph import NODE_TYPES, PackedGraph, QueryGraph
 from .features import (FEATURE_DIMS, PLAN_NUMERIC_DIMS, plan_features,
                        predicate_features, table_features, attribute_features,
                        output_features)
-from .zero_shot import build_query_graph
+from .zero_shot import (build_query_graph, build_query_graphs,
+                        build_query_graph_reference)
+from .fingerprint import FeaturizationCache, plan_fingerprint
 from .scalers import StandardScaler, FeatureScalers, TargetScaler
 from .batching import (BatchCache, GraphBatch, LevelGroup, make_batch,
                        make_batch_reference)
@@ -14,7 +47,8 @@ __all__ = [
     "NODE_TYPES", "PackedGraph", "QueryGraph",
     "FEATURE_DIMS", "PLAN_NUMERIC_DIMS", "plan_features", "predicate_features",
     "table_features", "attribute_features", "output_features",
-    "build_query_graph",
+    "build_query_graph", "build_query_graphs", "build_query_graph_reference",
+    "FeaturizationCache", "plan_fingerprint",
     "StandardScaler", "FeatureScalers", "TargetScaler",
     "BatchCache", "GraphBatch", "LevelGroup", "make_batch",
     "make_batch_reference",

@@ -305,20 +305,29 @@ class BatchCache:
     without re-running construction.  Entries hold strong references to
     their graphs, so an ``id()`` key can never be recycled while cached;
     the cache is bounded (LRU eviction) to keep that retention small.
+
+    :meth:`get_chunks` serves chunked callers: it remembers which cached
+    chunk starts at a given graph, so a list that grew, shrank or shifted
+    around a previously seen subsequence re-uses the cached chunk instead of
+    re-batching everything from the new chunk boundaries.
     """
 
     def __init__(self, max_entries=64):
         self.max_entries = int(max_entries)
         self._entries = OrderedDict()
+        self._chunk_heads = {}    # (id(first graph), id(scalers)) -> key
         self.hits = 0
         self.misses = 0
 
-    def get(self, graphs, scalers=None):
-        graphs = list(graphs)
+    def _key(self, graphs, scalers):
         # Size fields in the key catch graphs mutated after caching (same
         # staleness guard as QueryGraph.packed()).
-        key = (tuple((id(g), g.n_nodes, len(g.edges)) for g in graphs),
-               id(scalers))
+        return (tuple((id(g), g.n_nodes, len(g.edges)) for g in graphs),
+                id(scalers))
+
+    def get(self, graphs, scalers=None):
+        graphs = list(graphs)
+        key = self._key(graphs, scalers)
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -327,9 +336,48 @@ class BatchCache:
         self.misses += 1
         batch = make_batch(graphs, scalers)
         self._entries[key] = (graphs, scalers, batch)
+        if graphs:
+            self._chunk_heads[(id(graphs[0]), id(scalers))] = key
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, entry = self._entries.popitem(last=False)
+            head_key = (id(entry[0][0]), id(entry[1])) if entry[0] else None
+            if head_key is not None \
+                    and self._chunk_heads.get(head_key) == evicted_key:
+                del self._chunk_heads[head_key]
         return batch
+
+    def get_chunks(self, graphs, scalers=None, batch_size=256):
+        """Batches covering ``graphs`` in order, at most ``batch_size`` each.
+
+        Chunk boundaries prefer previously cached chunks: at each position,
+        if the upcoming graphs reproduce a chunk that was cached starting at
+        this graph, that chunk is re-used — so calling with a longer, shorter
+        or differently assembled list still hits for every unchanged
+        subsequence instead of re-batching on shifted boundaries.
+        """
+        graphs = list(graphs)
+        batches = []
+        position, n = 0, len(graphs)
+        while position < n:
+            hint = self._chunk_heads.get((id(graphs[position]), id(scalers)))
+            if hint is not None and hint in self._entries:
+                length = len(hint[0])
+                if (0 < length <= batch_size and length <= n - position
+                        and self._key(graphs[position:position + length],
+                                      scalers) == hint):
+                    batches.append(self.get(graphs[position:position + length],
+                                            scalers))
+                    position += length
+                    continue
+            chunk = graphs[position:position + batch_size]
+            batches.append(self.get(chunk, scalers))
+            position += len(chunk)
+        return batches
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
 
     def clear(self):
         self._entries.clear()
+        self._chunk_heads.clear()

@@ -4,6 +4,13 @@ Every feature has the same semantics on any database: operator identities are
 one-hot over a fixed physical-operator vocabulary, cardinalities and page
 counts enter as ``log1p``, data types as one-hot over the four logical types.
 Literals never appear — only their complexity (``literal_feat``).
+
+Two forms per node type: the scalar builders (``plan_features`` & co.) make
+one vector at a time and serve as the executable spec; the ``*_matrix``
+assemblers build a whole ``(n, dim)`` block column-wise from raw value
+arrays and are what the vectorized graph builder uses.  Both apply the same
+IEEE operations (``log1p`` / ``maximum`` / one-hot scatter) so their outputs
+are bit-identical.
 """
 
 from __future__ import annotations
@@ -16,7 +23,10 @@ from ..storage import DataType
 
 __all__ = ["FEATURE_DIMS", "plan_features", "predicate_features",
            "table_features", "attribute_features", "output_features",
-           "PLAN_NUMERIC_DIMS"]
+           "PLAN_NUMERIC_DIMS", "OPERATOR_INDEX", "PRED_INDEX", "DTYPE_INDEX",
+           "AGG_INDEX", "STORAGE_FORMAT_INDEX", "plan_features_matrix",
+           "predicate_features_matrix", "table_features_matrix",
+           "attribute_features_matrix", "output_features_matrix"]
 
 _OPERATOR_INDEX = {name: i for i, name in enumerate(OPERATOR_NAMES)}
 _PRED_OPS = list(PredOp)
@@ -26,6 +36,14 @@ _DTYPE_INDEX = {dtype: i for i, dtype in enumerate(_DTYPES)}
 _AGGS = ("none", "count", "sum", "avg", "min", "max")
 _AGG_INDEX = {name: i for i, name in enumerate(_AGGS)}
 _STORAGE_FORMATS = ("row", "column")
+
+# Public index maps: the vectorized builder resolves categorical features to
+# integer codes during traversal and one-hot-scatters them in bulk.
+OPERATOR_INDEX = _OPERATOR_INDEX
+PRED_INDEX = _PRED_INDEX
+DTYPE_INDEX = _DTYPE_INDEX
+AGG_INDEX = _AGG_INDEX
+STORAGE_FORMAT_INDEX = {name: i for i, name in enumerate(_STORAGE_FORMATS)}
 
 # Number of leading numeric (non-one-hot) feature slots of plan nodes;
 # used by tests and the flattened baseline.
@@ -91,3 +109,57 @@ def output_features(aggregation):
     if aggregation not in _AGG_INDEX:
         raise ValueError(f"unknown aggregation {aggregation!r}")
     return _one_hot(_AGG_INDEX[aggregation], len(_AGGS))
+
+
+# ----------------------------------------------------------------------
+# Column-wise matrix assembly (vectorized featurization)
+# ----------------------------------------------------------------------
+def _log1p_col(values):
+    return np.log1p(np.maximum(np.asarray(values, dtype=np.float64), 0.0))
+
+
+def _one_hot_scatter(matrix, start, indices):
+    matrix[np.arange(len(indices)), start + np.asarray(indices)] = 1.0
+
+
+def plan_features_matrix(card_out, card_prod, width, workers, op_indices):
+    """``(n, dim)`` plan-node block; rows equal ``plan_features`` bit-for-bit."""
+    out = np.zeros((len(op_indices), FEATURE_DIMS["plan"]))
+    out[:, 0] = _log1p_col(card_out)
+    out[:, 1] = _log1p_col(card_prod)
+    out[:, 2] = _log1p_col(width)
+    out[:, 3] = np.asarray(workers, dtype=np.float64)
+    _one_hot_scatter(out, PLAN_NUMERIC_DIMS, op_indices)
+    return out
+
+
+def predicate_features_matrix(literal_features, op_indices):
+    out = np.zeros((len(op_indices), FEATURE_DIMS["predicate"]))
+    out[:, 0] = _log1p_col(literal_features)
+    _one_hot_scatter(out, 1, op_indices)
+    return out
+
+
+def table_features_matrix(reltuples, relpages, format_indices):
+    out = np.zeros((len(format_indices), FEATURE_DIMS["table"]))
+    out[:, 0] = _log1p_col(reltuples)
+    out[:, 1] = _log1p_col(relpages)
+    _one_hot_scatter(out, 2, format_indices)
+    return out
+
+
+def attribute_features_matrix(widths, correlations, ndistincts, null_fracs,
+                              dtype_indices):
+    out = np.zeros((len(dtype_indices), FEATURE_DIMS["attribute"]))
+    out[:, 0] = _log1p_col(widths)
+    out[:, 1] = np.asarray(correlations, dtype=np.float64)
+    out[:, 2] = _log1p_col(ndistincts)
+    out[:, 3] = np.asarray(null_fracs, dtype=np.float64)
+    _one_hot_scatter(out, 4, dtype_indices)
+    return out
+
+
+def output_features_matrix(agg_indices):
+    out = np.zeros((len(agg_indices), FEATURE_DIMS["output"]))
+    _one_hot_scatter(out, 0, agg_indices)
+    return out

@@ -1,0 +1,158 @@
+"""Structural plan fingerprints and the content-keyed featurization cache.
+
+``BatchCache`` (batching layer) memoizes by *object identity* — it can only
+help when the caller holds on to the very same ``QueryGraph`` objects.  One
+layer up, repeated workloads and the benchmark suite's per-cardinality-mode
+evaluations re-featurize plans that are *equal but distinct*: re-planned
+queries, re-generated traces, plans shipped from another process.  This
+module closes that gap:
+
+* :func:`plan_fingerprint` hashes everything featurization reads — the plan
+  tree (operators, estimates, true rows, widths, workers), predicate
+  structure *and* literals (literals feed the cardinality estimators even
+  though they never enter the features), join edges, aggregates, group-by /
+  sort keys, the cardinality source, the database fingerprint and the
+  storage-format map — into a 16-byte BLAKE2 digest.
+* :class:`FeaturizationCache` maps fingerprints to built ``QueryGraph``
+  objects, so re-featurizing an equal plan is one hash + one dict lookup
+  instead of annotation + graph construction.
+
+Contract: two calls with equal fingerprints would produce graphs with
+identical features **except** for the ``"deepdb"`` source, whose estimates
+are sampling-based — there the cache pins the *first* annotation (a feature,
+not a bug: repeated evaluations of one workload should see one consistent
+encoding).  Database content changes are visible only through
+:meth:`~repro.storage.Database.fingerprint` (name + per-table row counts);
+in-place value mutations that keep row counts require an explicit
+``clear()``, same as the estimator caches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from hashlib import blake2b
+
+from ..sql import BooleanPredicate, Comparison
+
+__all__ = ["plan_fingerprint", "FeaturizationCache"]
+
+
+def _predicate_token(predicate):
+    if predicate is None:
+        return None
+    if isinstance(predicate, Comparison):
+        literal = predicate.literal
+        if isinstance(literal, list):
+            literal = tuple(literal)
+        return ("C", predicate.table, predicate.column, predicate.op.value,
+                literal)
+    if isinstance(predicate, BooleanPredicate):
+        return ("B", predicate.op.value,
+                tuple(_predicate_token(child) for child in predicate.children))
+    raise TypeError(f"unknown predicate {type(predicate)!r}")
+
+
+def _plan_token(node):
+    """Canonical token tree covering every plan field featurization reads."""
+    join = node.join
+    return (
+        node.op_name, node.table, node.index_column,
+        node.est_rows, node.true_rows, node.width, node.workers,
+        node.storage_format, tuple(node.scanned_columns),
+        _predicate_token(node.filter_predicate),
+        ((join.child_table, join.child_column,
+          join.parent_table, join.parent_column) if join is not None else None),
+        tuple((agg.func, agg.table, agg.column) for agg in node.aggregates),
+        tuple(node.group_by), tuple(node.sort_keys),
+        tuple(_plan_token(child) for child in node.children),
+    )
+
+
+def _digest(db_fingerprint, cards, sf_token, plan):
+    payload = ((db_fingerprint, cards, sf_token), _plan_token(plan))
+    return blake2b(repr(payload).encode(), digest_size=16).digest()
+
+
+def plan_fingerprint(db, plan, cards, storage_formats=None):
+    """16-byte content digest of (plan, cardinality source, database).
+
+    Equal plans — same structure, estimates, recorded true rows, predicates
+    with literals — against the same database state and card source collide
+    deliberately; any featurization-relevant difference changes the digest
+    (``repr`` round-trips floats exactly).  Identical to the digests
+    :meth:`FeaturizationCache.key` produces (both go through the same
+    helper), so it can be used to probe or pre-seed a cache.
+    """
+    sf_token = (tuple(sorted(storage_formats.items()))
+                if storage_formats else None)
+    return _digest(db.fingerprint(), cards, sf_token, plan)
+
+
+class FeaturizationCache:
+    """Bounded LRU from plan fingerprints to featurized ``QueryGraph``s.
+
+    Unlike ``BatchCache`` there is nothing to pin: keys are content digests,
+    so they can never be aliased by object reuse.  Cached graphs carry their
+    ``PackedGraph`` arrays, and because repeated lookups return the *same*
+    graph objects, a downstream identity-keyed ``BatchCache`` hits too —
+    warm re-featurization of a whole trace is pure lookups end to end.
+    """
+
+    def __init__(self, max_entries=4096):
+        self.max_entries = int(max_entries)
+        self._entries = OrderedDict()
+        # id(plan) -> (plan, {(db_fp, cards, sf_token): digest}).  Plans are
+        # immutable once executed (a mutated variant is a new plan object),
+        # so hashing each object's content once is sound; entries pin the
+        # plan so ids cannot be recycled, and the memo is bounded.
+        self._key_memo = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def key(self, db, plan, cards, storage_formats=None, db_fingerprint=None):
+        """Cache key for (plan, card source, db): a content digest.
+
+        Per-plan-object digests are memoized — warm lookups cost two dict
+        probes instead of a re-hash.  ``db_fingerprint`` lets batch callers
+        amortize the database fingerprint across a whole trace.
+        """
+        entry = self._key_memo.get(id(plan))
+        if entry is None or entry[0] is not plan:
+            entry = (plan, {})
+            self._key_memo[id(plan)] = entry
+            while len(self._key_memo) > 4 * self.max_entries:
+                self._key_memo.popitem(last=False)
+        if db_fingerprint is None:
+            db_fingerprint = db.fingerprint()
+        sf_token = (tuple(sorted(storage_formats.items()))
+                    if storage_formats else None)
+        context = (db_fingerprint, cards, sf_token)
+        digest = entry[1].get(context)
+        if digest is None:
+            digest = _digest(db_fingerprint, cards, sf_token, plan)
+            entry[1][context] = digest
+        return digest
+
+    def get(self, key):
+        graph = self._entries.get(key)
+        if graph is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return graph
+
+    def put(self, key, graph):
+        self._entries[key] = graph
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def clear(self):
+        self._entries.clear()

@@ -9,7 +9,7 @@ so node indices are already a topological order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -20,13 +20,13 @@ NODE_TYPES = ("plan", "predicate", "table", "attribute", "output")
 TYPE_CODES = {node_type: code for code, node_type in enumerate(NODE_TYPES)}
 
 
-@dataclass
-class PackedGraph:
+class PackedGraph(NamedTuple):
     """Array view of a :class:`QueryGraph`, cached for vectorized batching.
 
     Computed once per graph and reused by every ``make_batch`` call that
     includes the graph (training epochs, repeated evaluations), removing the
-    per-node python loops from the batching hot path.
+    per-node python loops from the batching hot path.  A ``NamedTuple`` so
+    construction (once per featurized graph) is a single C call.
     """
 
     n_nodes: int
@@ -37,22 +37,99 @@ class PackedGraph:
     levels: np.ndarray               # (n,) int64 longest-path level
 
 
-@dataclass
 class QueryGraph:
-    """One encoded query plan."""
+    """One encoded query plan.
 
-    node_types: list = field(default_factory=list)      # per node: type name
-    features: list = field(default_factory=list)        # per node: np.ndarray
-    edges: list = field(default_factory=list)           # (child_idx, parent_idx)
-    root: int = -1
-    _packed: PackedGraph = field(default=None, repr=False, compare=False)
+    ``node_types`` / ``features`` / ``edges`` are parallel per-node (resp.
+    per-edge) containers.  The vectorized builder constructs graphs with
+    *lazy* feature rows: per-node vectors are views into the batch-wide
+    per-type matrices and are only materialized into a list when something
+    actually iterates ``features`` (scaler fitting, the reference batcher,
+    tests) — the hot path reads the matrices through :meth:`packed`.
+    """
+
+    __slots__ = ("edges", "root", "_packed", "_lazy_packed", "_node_types",
+                 "_lazy_codes", "_features", "_lazy_features")
+
+    def __init__(self, node_types=None, features=None, edges=None, root=-1,
+                 packed=None, lazy_packed=None, lazy_codes=None,
+                 lazy_features=None):
+        if node_types is None and lazy_codes is None:
+            node_types = []
+        self._node_types = node_types
+        self._lazy_codes = lazy_codes
+        self.edges = [] if edges is None else edges
+        self.root = root
+        self._packed = packed
+        self._lazy_packed = lazy_packed
+        self._lazy_features = lazy_features
+        if features is None and lazy_features is None:
+            features = []
+        self._features = features
+
+    def __repr__(self):
+        return (f"QueryGraph(n_nodes={self.n_nodes}, "
+                f"n_edges={len(self.edges)}, root={self.root})")
+
+    @property
+    def node_types(self):
+        """Per-node type names (materialized from codes on first access)."""
+        if self._node_types is None:
+            self._node_types = [NODE_TYPES[code] for code in self._lazy_codes]
+        return self._node_types
+
+    @property
+    def features(self):
+        """Per-node feature vectors (materialized on first access).
+
+        Lazy graphs record only (type codes, per-type start rows, batch
+        matrices): nodes of one type occupy consecutive matrix rows in
+        creation order, so walking the codes with per-type counters
+        reproduces each node's feature row.
+        """
+        if self._features is None:
+            codes, starts, matrices = self._lazy_features
+            counters = list(starts)
+            features = []
+            append = features.append
+            for code in codes:
+                row = counters[code]
+                append(matrices[code][row])
+                counters[code] = row + 1
+            self._features = features
+            self._lazy_features = None
+        return self._features
 
     def packed(self) -> PackedGraph:
-        """Cached array form for batching (recomputed if the graph grew)."""
+        """Cached array form for batching (recomputed if the graph grew).
+
+        Graphs from the vectorized builder carry a *lazy* pack — views into
+        the batch-wide arrays plus the per-type row spans — assembled into a
+        :class:`PackedGraph` on first use, so featurization never pays for
+        graphs that are cached away or filtered before batching.
+        """
         cached = self._packed
         if (cached is not None and cached.n_nodes == self.n_nodes
                 and cached.n_edges == len(self.edges)):
             return cached
+        lazy = self._lazy_packed
+        if lazy is not None:
+            self._lazy_packed = None
+            type_codes, starts, ends, matrices, edges_array, levels = lazy
+            if (len(type_codes) == self.n_nodes
+                    and len(edges_array) == len(self.edges)):
+                features_by_code = {}
+                for code in range(len(NODE_TYPES)):
+                    if ends[code] > starts[code]:
+                        features_by_code[code] = \
+                            matrices[code][starts[code]:ends[code]]
+                self._packed = PackedGraph(
+                    n_nodes=len(type_codes), n_edges=len(edges_array),
+                    type_codes=type_codes, features_by_code=features_by_code,
+                    edges=edges_array,
+                    levels=np.asarray(levels, dtype=np.int64))
+                return self._packed
+            # The graph was mutated before first packing: recompute below.
         type_codes = np.array([TYPE_CODES[t] for t in self.node_types],
                               dtype=np.int64)
         features_by_code = {}
@@ -86,7 +163,8 @@ class QueryGraph:
 
     @property
     def n_nodes(self):
-        return len(self.node_types)
+        types = self._node_types
+        return len(types if types is not None else self._lazy_codes)
 
     def children_of(self, node):
         return [c for c, p in self.edges if p == node]
@@ -101,18 +179,24 @@ class QueryGraph:
         return level
 
     def validate(self):
-        """Sanity checks used by tests and the builder."""
+        """Sanity checks used by tests and the builder (vectorized).
+
+        Edges are topological (child < parent), so following parent pointers
+        strictly increases the node index and must terminate at a parentless
+        node; every node reaches the root if and only if the root is the
+        *only* parentless node.  That turns the original reachability sweep
+        into two array checks.
+        """
         if self.root < 0 or self.root >= self.n_nodes:
             raise ValueError("graph has no valid root")
-        for child, parent in self.edges:
-            if child >= parent:
+        has_parent = np.zeros(self.n_nodes, dtype=bool)
+        if self.edges:
+            edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+            if not (edges[:, 0] < edges[:, 1]).all():
                 raise ValueError("edges must point from earlier to later nodes "
                                  "(topological construction)")
-        # Root must be reachable from every node by following parents.
-        reach = {self.root}
-        for child, parent in sorted(self.edges, key=lambda e: -e[1]):
-            if parent in reach:
-                reach.add(child)
-        if len(reach) != self.n_nodes:
+            has_parent[edges[:, 0]] = True
+        orphans = np.flatnonzero(~has_parent)
+        if orphans.size != 1 or orphans[0] != self.root:
             raise ValueError("graph has nodes disconnected from the root")
         return True

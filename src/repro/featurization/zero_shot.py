@@ -11,19 +11,380 @@ Translates an annotated physical plan into a :class:`QueryGraph`:
 
 Attribute nodes are shared within a query (one per table.column), as in the
 paper's encoding.
+
+Two implementations share this module:
+
+* :func:`build_query_graphs` (and its single-plan wrapper
+  :func:`build_query_graph`) is the engine's **vectorized** path: the plan
+  traversal only collects raw feature values (cardinalities, stats, operator
+  codes) into per-node-type columns; feature matrices for *all* plans of the
+  batch are then assembled column-wise in a handful of numpy operations
+  (``features.*_matrix``), and each graph receives row views plus a
+  pre-built :class:`~repro.featurization.graph.PackedGraph` (type codes,
+  edges, levels) so batching never recomputes them.
+* :func:`build_query_graph_reference` keeps the original per-node loop
+  implementation as an executable specification (same pattern as
+  ``make_batch_reference``); the vectorized path must produce bit-identical
+  graphs, which the test suite asserts over all node types and cardinality
+  sources.
 """
 
 from __future__ import annotations
 
-from ..sql import BooleanPredicate, Comparison, PredOp
-from .features import (attribute_features, output_features, plan_features,
-                       predicate_features, table_features)
-from .graph import QueryGraph
+import numpy as np
 
-__all__ = ["build_query_graph"]
+from .. import perfstats
+from ..sql import (BooleanPredicate, Comparison, PredOp,
+                   like_pattern_complexity)
+from .features import (AGG_INDEX, DTYPE_INDEX, OPERATOR_INDEX, PRED_INDEX,
+                       STORAGE_FORMAT_INDEX, attribute_features,
+                       attribute_features_matrix, output_features,
+                       output_features_matrix, plan_features,
+                       plan_features_matrix, predicate_features,
+                       predicate_features_matrix, table_features,
+                       table_features_matrix)
+from .graph import NODE_TYPES, QueryGraph, TYPE_CODES
+
+__all__ = ["build_query_graph", "build_query_graphs",
+           "build_query_graph_reference"]
+
+_PLAN = TYPE_CODES["plan"]
+_PREDICATE = TYPE_CODES["predicate"]
+_TABLE = TYPE_CODES["table"]
+_ATTRIBUTE = TYPE_CODES["attribute"]
+_OUTPUT = TYPE_CODES["output"]
+_EQ_INDEX = PRED_INDEX[PredOp.EQ]
+_AGG_OPS = ("Aggregate", "HashAggregate")
+
+_SCAN_OPS = ("SeqScan", "IndexScan", "ColumnarScan")
+_JOIN_OPS = ("HashJoin", "NestedLoopJoin", "MergeJoin")
+
+# Sentinels for fused cardinality annotation: instead of a per-node dict,
+# the traversal reads cardinalities straight off the plan's recorded rows.
+_EXACT_CARDS = object()
+_OPTIMIZER_CARDS = object()
+_CARD_SENTINELS = {"exact": _EXACT_CARDS, "optimizer": _OPTIMIZER_CARDS}
+
+# Upper bound on plans encoded into one shared matrix batch (memory
+# retention cap for graphs that outlive their batch).
+_MAX_ENCODE_BATCH = 512
 
 
+def _encode_batch(db, plan_cards, storage_formats, columns, memos):
+    """Traverse many plans, appending raw rows to the batch-wide columns.
+
+    Only structure is built here — node type codes, longest-path levels and
+    edges; every feature value lands in the shared ``columns`` lists and is
+    turned into matrices once per batch.  Node and edge creation order is
+    identical to the reference builder, so the resulting graphs are
+    bit-identical.  The node builders are closures created *once* per batch;
+    per-graph state (``codes``/``levels``/``edges``/``attributes``) lives in
+    enclosing-scope cells that the plan loop rebinds between graphs — this
+    is the featurization hot loop.
+    """
+    plan_rows, pred_rows, table_rows, attr_rows, output_rows = columns
+    attr_stats, table_stats = memos
+    # Node type codes and edges accumulate batch-wide (per-graph views are
+    # sliced out afterwards); levels stay per-graph because the traversal
+    # reads them back by local node id — which is ``len(levels)`` at
+    # creation time.
+    all_codes, all_edges = [], []
+    codes_append, edges_append = all_codes.append, all_edges.append
+    levels = None
+    levels_append = None
+    attributes = {}
+    cards = exact = fused = None
+    column_stats, table_stats_of = db.column_stats, db.table_stats
+    storage_format_of = storage_formats.get
+
+    def attribute_node(table, column):
+        key = (table, column)
+        node = attributes.get(key)
+        if node is None:
+            raw = attr_stats.get(key)
+            if raw is None:
+                stats = column_stats(table, column)
+                raw = (stats.width, stats.correlation, stats.ndistinct,
+                       stats.null_frac, DTYPE_INDEX[stats.dtype])
+                attr_stats[key] = raw
+            attr_rows.append(raw)
+            node = len(levels)
+            codes_append(_ATTRIBUTE)
+            levels_append(0)
+            attributes[key] = node
+        return node
+
+    def table_node(table):
+        fmt = storage_format_of(table, "row")
+        fmt_index = STORAGE_FORMAT_INDEX.get(fmt)
+        if fmt_index is None:
+            raise ValueError(f"{fmt!r} is not in list")
+        raw = table_stats.get(table)
+        if raw is None:
+            stats = table_stats_of(table)
+            raw = (stats.reltuples, stats.relpages)
+            table_stats[table] = raw
+        table_rows.append((raw[0], raw[1], fmt_index))
+        node = len(levels)
+        codes_append(_TABLE)
+        levels_append(0)
+        return node
+
+    def predicate_node(predicate):
+        if isinstance(predicate, Comparison):
+            attr = attribute_node(predicate.table, predicate.column)
+            op = predicate.op
+            # Inlined Comparison.literal_feature (predicate hot loop).
+            if op is PredOp.IN:
+                literal_feature = float(len(predicate.literal))
+            elif op is PredOp.LIKE or op is PredOp.NOT_LIKE:
+                literal_feature = like_pattern_complexity(predicate.literal)
+            else:
+                literal_feature = 1.0
+            pred_rows.append((literal_feature, PRED_INDEX[op]))
+            node = len(levels)
+            codes_append(_PREDICATE)
+            levels_append(levels[attr] + 1)
+            edges_append((attr, node))
+            return node
+        if isinstance(predicate, BooleanPredicate):
+            children = [predicate_node(child) for child in predicate.children]
+            pred_rows.append((float(len(predicate.children)),
+                              PRED_INDEX[predicate.op]))
+            node = len(levels)
+            level = 0
+            for child in children:
+                if levels[child] > level:
+                    level = levels[child]
+            codes_append(_PREDICATE)
+            levels_append(level + 1)
+            for child in children:
+                edges_append((child, node))
+            return node
+        raise TypeError(f"unknown predicate {type(predicate)!r}")
+
+    def join_predicate_node(join):
+        child_attr = attribute_node(join.child_table, join.child_column)
+        parent_attr = attribute_node(join.parent_table, join.parent_column)
+        pred_rows.append((1.0, _EQ_INDEX))
+        node = len(levels)
+        level = max(levels[child_attr], levels[parent_attr])
+        codes_append(_PREDICATE)
+        levels_append(level + 1)
+        edges_append((child_attr, node))
+        edges_append((parent_attr, node))
+        return node
+
+    def output_node(aggregate):
+        attr = None
+        if aggregate.column is not None:
+            attr = attribute_node(aggregate.table, aggregate.column)
+        agg_index = AGG_INDEX.get(aggregate.func)
+        if agg_index is None:
+            raise ValueError(f"unknown aggregation {aggregate.func!r}")
+        output_rows.append(agg_index)
+        node = len(levels)
+        codes_append(_OUTPUT)
+        levels_append(0 if attr is None else levels[attr] + 1)
+        if attr is not None:
+            edges_append((attr, node))
+        return node
+
+    def plan_node(node):
+        children = [plan_node(child) for child in node.children]
+        op_name = node.op_name
+        if op_name in _SCAN_OPS:
+            children.append(table_node(node.table))
+            if node.filter_predicate is not None:
+                children.append(predicate_node(node.filter_predicate))
+        elif op_name in _JOIN_OPS and node.join is not None:
+            children.append(join_predicate_node(node.join))
+        elif op_name in _AGG_OPS:
+            for aggregate in node.aggregates:
+                children.append(output_node(aggregate))
+            for table, column in node.group_by:
+                children.append(attribute_node(table, column))
+        elif op_name == "Sort":
+            for table, column in node.sort_keys:
+                children.append(attribute_node(table, column))
+
+        if fused:
+            rows = node.true_rows
+            card_out = float(rows if exact and rows is not None
+                             else node.est_rows)
+            card_prod = 1.0
+            for child in node.children:
+                rows = child.true_rows
+                card = float(rows if exact and rows is not None
+                             else child.est_rows)
+                if card > 1.0:
+                    card_prod *= card
+        else:
+            card_out = cards.get(id(node), node.est_rows)
+            card_prod = 1.0
+            for child in node.children:
+                card = cards.get(id(child), child.est_rows)
+                if card > 1.0:
+                    card_prod *= card
+        plan_rows.append((card_out, card_prod, node.width, node.workers,
+                          OPERATOR_INDEX[op_name]))
+        plan_id = len(levels)
+        level = 0
+        for child in children:
+            if levels[child] > level:
+                level = levels[child]
+        codes_append(_PLAN)
+        levels_append(level + 1 if children else 0)
+        for child in children:
+            edges_append((child, plan_id))
+        return plan_id
+
+    metas = []
+    ends = (0, 0, 0, 0, 0)
+    for plan, cards in plan_cards:
+        # Rebind the per-graph cells; the closures above see the new state.
+        levels = []
+        levels_append = levels.append
+        attributes = {}
+        exact = cards is _EXACT_CARDS
+        fused = exact or cards is _OPTIMIZER_CARDS
+        starts = ends
+        node_start, edge_start = len(all_codes), len(all_edges)
+        root = plan_node(plan)
+        ends = (len(plan_rows), len(pred_rows), len(table_rows),
+                len(attr_rows), len(output_rows))
+        metas.append((node_start, edge_start, levels, root, starts, ends))
+    return metas, all_codes, all_edges
+
+
+def _assemble_matrices(columns):
+    """Column-wise feature-matrix assembly: one pass per node type."""
+    plan_rows, pred_rows, table_rows, attr_rows, output_rows = columns
+    matrices = [None] * len(NODE_TYPES)
+    if plan_rows:
+        card_out, card_prod, width, workers, ops = zip(*plan_rows)
+        matrices[_PLAN] = plan_features_matrix(card_out, card_prod, width,
+                                               workers, ops)
+    if pred_rows:
+        literal_features, ops = zip(*pred_rows)
+        matrices[_PREDICATE] = predicate_features_matrix(literal_features, ops)
+    if table_rows:
+        reltuples, relpages, fmts = zip(*table_rows)
+        matrices[_TABLE] = table_features_matrix(reltuples, relpages, fmts)
+    if attr_rows:
+        widths, corrs, ndistincts, null_fracs, dtypes = zip(*attr_rows)
+        matrices[_ATTRIBUTE] = attribute_features_matrix(
+            widths, corrs, ndistincts, null_fracs, dtypes)
+    if output_rows:
+        matrices[_OUTPUT] = output_features_matrix(output_rows)
+    return matrices
+
+
+def _materialize_graph(meta, matrices, batch_arrays):
+    """Turn one traversal record + the batch matrices into a QueryGraph.
+
+    Structural invariants (child < parent, single parentless root) hold by
+    construction — children are always created before their parent and every
+    non-root node is edged to a parent at creation — so no per-graph check
+    runs here; :meth:`QueryGraph.validate` stays available and the
+    equivalence tests assert bit-identity with the validated reference
+    builder.  Node-type names and per-node feature rows are left lazy: the
+    hot path reads the attached :class:`PackedGraph` only.
+    """
+    (node_start, edge_start, levels, root, starts, ends,
+     node_end, edge_end) = meta
+    codes = batch_arrays["codes"][node_start:node_end]
+    edges = batch_arrays["edges"][edge_start:edge_end]
+    lazy_packed = (batch_arrays["codes_array"][node_start:node_end],
+                   starts, ends, matrices,
+                   batch_arrays["edges_array"][edge_start:edge_end], levels)
+    return QueryGraph(lazy_codes=codes,
+                      lazy_features=(codes, starts, matrices),
+                      edges=edges, root=root, lazy_packed=lazy_packed)
+
+
+def build_query_graphs(db, plans, card_maps, storage_formats=None):
+    """Encode many annotated plans of one database in one vectorized pass.
+
+    ``card_maps[i]`` maps ``id(plan_node) -> cardinality`` for ``plans[i]``.
+    Alternatively ``card_maps`` may be the string ``"exact"`` or
+    ``"optimizer"``: per-node cardinalities are then read directly off the
+    plans' recorded true/estimated rows during the traversal (fused
+    annotation — value-identical to building the
+    :func:`~repro.cardest.annotate_cardinalities` dict first, without the
+    extra plan walk).
+
+    Equivalent to calling :func:`build_query_graph` per plan, but feature
+    matrices for the whole batch are assembled column-wise at once, so the
+    per-plan cost is the structural traversal only.
+    """
+    storage_formats = storage_formats or {}
+    plans = list(plans)
+    # Graphs hold views into their batch's matrices (lazy features/packing),
+    # so one surviving graph pins its whole batch's arrays.  Encoding in
+    # bounded chunks caps that retention at one chunk per graph while
+    # keeping the column-wise assembly amortized.
+    if len(plans) > _MAX_ENCODE_BATCH:
+        if not isinstance(card_maps, str):
+            card_maps = list(card_maps)
+        graphs = []
+        for start in range(0, len(plans), _MAX_ENCODE_BATCH):
+            chunk_cards = (card_maps if isinstance(card_maps, str)
+                           else card_maps[start:start + _MAX_ENCODE_BATCH])
+            graphs.extend(build_query_graphs(
+                db, plans[start:start + _MAX_ENCODE_BATCH], chunk_cards,
+                storage_formats=storage_formats))
+        return graphs
+    if isinstance(card_maps, str):
+        sentinel = _CARD_SENTINELS[card_maps]
+        plan_cards = ((plan, sentinel) for plan in plans)
+    else:
+        plan_cards = zip(plans, card_maps)
+    columns = ([], [], [], [], [])
+    memos = ({}, {})
+    metas, all_codes, all_edges = _encode_batch(db, plan_cards,
+                                                storage_formats, columns,
+                                                memos)
+    matrices = _assemble_matrices(columns)
+    # Batch-wide array conversions; per-graph packed arrays are views.
+    batch_arrays = {
+        "codes": all_codes,
+        "edges": all_edges,
+        "codes_array": np.asarray(all_codes, dtype=np.int64),
+        "edges_array": (np.asarray(all_edges, dtype=np.int64)
+                        if all_edges else np.empty((0, 2), dtype=np.int64)),
+    }
+    graphs = []
+    for index, meta in enumerate(metas):
+        next_meta = metas[index + 1] if index + 1 < len(metas) else None
+        node_end = next_meta[0] if next_meta else len(all_codes)
+        edge_end = next_meta[1] if next_meta else len(all_edges)
+        graphs.append(_materialize_graph(meta + (node_end, edge_end),
+                                         matrices, batch_arrays))
+    perfstats.increment("featurize.vectorized", len(graphs))
+    return graphs
+
+
+def build_query_graph(db, plan, cards, storage_formats=None) -> QueryGraph:
+    """Encode an annotated plan as a transferable query graph.
+
+    ``cards`` maps ``id(plan_node) -> cardinality`` (see
+    :func:`repro.cardest.annotate_cardinalities`); the choice of source is
+    how the exact / DeepDB / optimizer variants of the paper are realized.
+    The strings ``"exact"`` / ``"optimizer"`` select fused annotation, as in
+    :func:`build_query_graphs`.
+    """
+    card_maps = cards if isinstance(cards, str) else [cards]
+    return build_query_graphs(db, [plan], card_maps,
+                              storage_formats=storage_formats)[0]
+
+
+# ----------------------------------------------------------------------
+# Reference (loop) implementation — executable specification
+# ----------------------------------------------------------------------
 class _GraphBuilder:
+    """Original per-node builder: one feature vector per ``add_node`` call."""
+
     def __init__(self, db, cards, storage_formats=None):
         self.db = db
         self.cards = cards
@@ -119,15 +480,16 @@ class _GraphBuilder:
         return plan_id
 
 
-def build_query_graph(db, plan, cards, storage_formats=None) -> QueryGraph:
-    """Encode an annotated plan as a transferable query graph.
+def build_query_graph_reference(db, plan, cards,
+                                storage_formats=None) -> QueryGraph:
+    """Loop-based reference construction (executable spec for tests/bench).
 
-    ``cards`` maps ``id(plan_node) -> cardinality`` (see
-    :func:`repro.cardest.annotate_cardinalities`); the choice of source is
-    how the exact / DeepDB / optimizer variants of the paper are realized.
+    Kept deliberately close to the original per-node implementation; the
+    vectorized :func:`build_query_graph` must produce bit-identical graphs.
     """
     builder = _GraphBuilder(db, cards, storage_formats)
     root = builder.plan_node(plan)
     builder.graph.root = root
     builder.graph.validate()
+    perfstats.increment("featurize.reference")
     return builder.graph

@@ -1,0 +1,38 @@
+"""Process-wide dispatch counters for the engine's fast paths.
+
+Every fast-path entry point (vectorized featurization, batched cardinality
+annotation, fingerprint-cache hits, graph-free inference) bumps a named
+counter here, and the reference/loop implementations bump their own.  The
+perf harness records a snapshot into ``BENCH_engine.json`` and the tier-1
+smoke test asserts that exercising the public API dispatches to the fast
+paths — a regression that silently falls back to a loop implementation
+fails the suite instead of only showing up as a slow benchmark.
+
+Counters are plain module state: cheap (one dict increment per *graph*, not
+per node), process-wide, and reset only when a test asks for a clean slate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["counters", "increment", "snapshot", "reset"]
+
+counters = defaultdict(int)
+
+
+def increment(name, n=1):
+    """Bump counter ``name`` by ``n``."""
+    counters[name] += n
+
+
+def snapshot(names=None):
+    """A plain-dict copy of the counters (optionally restricted to ``names``)."""
+    if names is None:
+        return dict(counters)
+    return {name: counters[name] for name in names}
+
+
+def reset():
+    """Clear all counters (test isolation)."""
+    counters.clear()

@@ -70,7 +70,7 @@ def _comparison_mask(node: Comparison, table: Table):
 
     # Dictionary-encoded column: resolve string literals to codes.
     dictionary = column.dictionary
-    code_of = {word: code for code, word in enumerate(dictionary)}
+    code_of = column.dictionary_index
 
     if node.op in (PredOp.LIKE, PredOp.NOT_LIKE):
         codes = matching_codes_for_like(dictionary, node.literal)

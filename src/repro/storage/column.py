@@ -47,6 +47,8 @@ class Column:
     dtype: DataType
     values: np.ndarray
     dictionary: list = field(default=None, repr=False)
+    _dictionary_index: dict = field(default=None, repr=False, compare=False)
+    _null_mask_cache: tuple = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         if self.dtype.is_numeric:
@@ -66,11 +68,29 @@ class Column:
         return len(self.values)
 
     @property
+    def dictionary_index(self):
+        """``word -> code`` map (built once; predicate evaluation hot path)."""
+        index = self._dictionary_index
+        if index is None or len(index) != len(self.dictionary):
+            index = {word: code for code, word in enumerate(self.dictionary)}
+            self._dictionary_index = index
+        return index
+
+    @property
     def null_mask(self):
-        """Boolean mask of NULL entries."""
-        if self.dtype.is_numeric:
-            return np.isnan(self.values)
-        return self.values == NULL_CODE
+        """Boolean mask of NULL entries (cached per backing array).
+
+        Appends replace ``values`` with a new array, which invalidates the
+        cache via the identity check; callers treat the mask as read-only.
+        """
+        values = self.values
+        cached = self._null_mask_cache
+        if cached is not None and cached[0] is values:
+            return cached[1]
+        mask = (np.isnan(values) if self.dtype.is_numeric
+                else values == NULL_CODE)
+        self._null_mask_cache = (values, mask)
+        return mask
 
     @property
     def null_frac(self):

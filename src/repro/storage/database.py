@@ -45,6 +45,18 @@ class Database:
     def total_rows(self):
         return sum(len(t) for t in self.tables.values())
 
+    def fingerprint(self):
+        """Cheap content fingerprint: name + per-table row counts.
+
+        Used by the estimator and featurization caches to notice rebuilt or
+        grown databases that reuse a name (appends change row counts).
+        In-place value edits that keep every row count are not detected —
+        callers doing that must invalidate explicitly.
+        """
+        return (self.name,
+                tuple(sorted((name, len(table))
+                             for name, table in self.tables.items())))
+
     # ------------------------------------------------------------------
     # Catalog
     # ------------------------------------------------------------------

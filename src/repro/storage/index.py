@@ -47,6 +47,20 @@ class Index:
         right = np.searchsorted(self._keys[: self._n_valid], value, side="right")
         return self._row_ids[left:right]
 
+    def eq_bounds_batch(self, values):
+        """Vectorized equality probe for many keys at once.
+
+        Returns ``(left, right, row_ids)``: key ``values[i]`` matches the
+        sorted-order slice ``row_ids[left[i]:right[i]]`` — exactly what
+        ``lookup_eq`` would return per key, without a python call per key.
+        NaN keys produce empty slices (b-tree semantics, as in ``lookup_eq``).
+        """
+        keys = self._keys[: self._n_valid]
+        values = np.asarray(values, dtype=np.float64)
+        return (keys.searchsorted(values, side="left"),
+                keys.searchsorted(values, side="right"),
+                self._row_ids)
+
     def lookup_range(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
         """Row ids with keys inside the given (possibly open) range."""
         keys = self._keys[: self._n_valid]

@@ -1,0 +1,349 @@
+"""Equivalence and caching tests for the featurization pipeline engine.
+
+Three contracts from the engine rebuild:
+
+* the vectorized graph builder is bit-identical to the loop reference for
+  every node type and every cardinality source,
+* the batched DeepDB annotation is bit-identical to the original recursive
+  visit — including consuming the exact same RNG stream,
+* the fingerprint cache hits on equal-but-distinct plans and misses on any
+  featurization-relevant mutation.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.cardest import (DataDrivenEstimator, annotate_cardinalities,
+                           annotate_cardinalities_reference)
+from repro.core import EstimatorCache, featurize_records
+from repro.executor import execute_plan
+from repro.featurization import (BatchCache, FeatureScalers,
+                                 FeaturizationCache, build_query_graph,
+                                 build_query_graph_reference,
+                                 build_query_graphs, make_batch,
+                                 make_batch_reference, plan_fingerprint)
+from repro.optimizer import plan_query
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+@pytest.fixture(scope="module")
+def workload(gen_db):
+    """Executed plans covering scans, joins, aggregates, sorts, complex
+    predicates (LIKE / IN / IS NULL / disjunctions)."""
+    queries = []
+    for mode, n, seed in (("standard", 12, 3), ("complex", 12, 4)):
+        generator = WorkloadGenerator(
+            gen_db, WorkloadConfig(mode=mode, max_joins=3,
+                                   group_by_prob=0.4, order_by_prob=0.4),
+            seed=seed)
+        queries.extend(generator.generate(n))
+    plans = []
+    for query in queries:
+        plan = plan_query(gen_db, query)
+        execute_plan(gen_db, plan)
+        plans.append(plan)
+    return plans
+
+
+def assert_graphs_identical(fast, reference):
+    assert fast.node_types == reference.node_types
+    assert list(map(tuple, fast.edges)) == list(map(tuple, reference.edges))
+    assert fast.root == reference.root
+    assert len(fast.features) == len(reference.features)
+    for fast_row, reference_row in zip(fast.features, reference.features):
+        np.testing.assert_array_equal(np.asarray(fast_row), reference_row)
+    np.testing.assert_array_equal(fast.packed().levels, reference.levels())
+    packed_fast, packed_reference = fast.packed(), reference.packed()
+    np.testing.assert_array_equal(packed_fast.type_codes,
+                                  packed_reference.type_codes)
+    np.testing.assert_array_equal(packed_fast.edges, packed_reference.edges)
+    for code in packed_reference.features_by_code:
+        np.testing.assert_array_equal(packed_fast.features_by_code[code],
+                                      packed_reference.features_by_code[code])
+    fast.validate()
+
+
+class TestVectorizedFeaturization:
+    @pytest.mark.parametrize("source", ["exact", "optimizer", "deepdb"])
+    def test_bit_identical_to_reference(self, gen_db, workload, source):
+        estimator = (DataDrivenEstimator(gen_db, seed=0)
+                     if source == "deepdb" else None)
+        card_maps = [annotate_cardinalities(gen_db, plan, source,
+                                            estimator=estimator)
+                     for plan in workload]
+        fast = build_query_graphs(gen_db, workload, card_maps)
+        for graph, plan, cards in zip(fast, workload, card_maps):
+            reference = build_query_graph_reference(gen_db, plan, cards)
+            assert_graphs_identical(graph, reference)
+
+    @pytest.mark.parametrize("source", ["exact", "optimizer"])
+    def test_fused_cards_equal_dict_cards(self, gen_db, workload, source):
+        card_maps = [annotate_cardinalities(gen_db, plan, source)
+                     for plan in workload]
+        via_dict = build_query_graphs(gen_db, workload, card_maps)
+        fused = build_query_graphs(gen_db, workload, source)
+        for a, b in zip(via_dict, fused):
+            assert a.node_types == b.node_types
+            for row_a, row_b in zip(a.features, b.features):
+                np.testing.assert_array_equal(np.asarray(row_a),
+                                              np.asarray(row_b))
+
+    def test_all_node_types_covered(self, gen_db, workload):
+        graphs = build_query_graphs(gen_db, workload, "exact")
+        seen = {t for g in graphs for t in g.node_types}
+        assert seen == {"plan", "predicate", "table", "attribute", "output"}
+
+    def test_storage_formats_respected(self, gen_db, workload):
+        formats = {gen_db.schema.table_names[0]: "column"}
+        fast = build_query_graph(gen_db, workload[0], "exact",
+                                 storage_formats=formats)
+        cards = annotate_cardinalities(gen_db, workload[0], "exact")
+        reference = build_query_graph_reference(gen_db, workload[0], cards,
+                                                storage_formats=formats)
+        assert_graphs_identical(fast, reference)
+
+    def test_batches_identical_through_both_builders(self, gen_db, workload):
+        fast = build_query_graphs(gen_db, workload, "exact")
+        card_maps = [annotate_cardinalities(gen_db, plan, "exact")
+                     for plan in workload]
+        reference = [build_query_graph_reference(gen_db, plan, cards)
+                     for plan, cards in zip(workload, card_maps)]
+        scalers = FeatureScalers().fit(fast)
+        batch_fast = make_batch(fast, scalers)
+        batch_reference = make_batch_reference(reference, scalers)
+        for node_type in batch_reference.features:
+            np.testing.assert_array_equal(batch_fast.features[node_type],
+                                          batch_reference.features[node_type])
+        np.testing.assert_array_equal(batch_fast.mp_positions,
+                                      batch_reference.mp_positions)
+
+    def test_lazy_graph_supports_mutation_api(self, gen_db, workload):
+        from repro.featurization import FEATURE_DIMS
+        graph = build_query_graph(gen_db, workload[0], "exact")
+        n_nodes = graph.n_nodes
+        node = graph.add_node("output", np.zeros(FEATURE_DIMS["output"]))
+        assert node == n_nodes
+        assert graph.node_types[-1] == "output"
+        assert graph.packed().n_nodes == n_nodes + 1  # cache invalidated
+
+
+class TestBatchedAnnotation:
+    def test_deepdb_bit_identical_including_rng(self, gen_db, workload):
+        """The batched annotation (cached predicates, vectorized sampling)
+        must equal the recursive reference per value *and* consume the same
+        RNG stream (gradcheck-style equivalence for the whole trace)."""
+        fast = DataDrivenEstimator(gen_db, seed=7)
+        reference = DataDrivenEstimator(gen_db, seed=7)
+        for plan in workload:
+            cards_fast = annotate_cardinalities(gen_db, plan, "deepdb",
+                                                estimator=fast)
+            cards_reference = annotate_cardinalities_reference(
+                gen_db, plan, "deepdb", estimator=reference)
+            assert cards_fast == cards_reference
+        assert fast._rng.bit_generator.state == \
+            reference._rng.bit_generator.state
+
+    def test_join_sample_matches_reference(self, gen_db):
+        estimator = DataDrivenEstimator(gen_db, seed=0)
+        tables = set(gen_db.schema.table_names[:3])
+        joins = [fk for fk in gen_db.schema.foreign_keys
+                 if {fk.child_table, fk.parent_table} <= tables]
+        from repro.sql import JoinEdge
+        joins = [JoinEdge.from_foreign_key(fk) for fk in joins]
+        sample_fast, weights_fast, root_fast, size_fast = \
+            estimator.join_sample(tables, joins, seed=123)
+        sample_ref, weights_ref, root_ref, size_ref = \
+            estimator.join_sample_reference(tables, joins, seed=123)
+        assert root_fast == root_ref and size_fast == size_ref
+        np.testing.assert_array_equal(weights_fast, weights_ref)
+        for table in sample_ref:
+            np.testing.assert_array_equal(sample_fast[table],
+                                          sample_ref[table])
+
+    def test_simple_sources_unchanged(self, gen_db, workload):
+        for source in ("exact", "optimizer"):
+            for plan in workload[:5]:
+                assert annotate_cardinalities(gen_db, plan, source) == \
+                    annotate_cardinalities_reference(gen_db, plan, source)
+
+    def test_unknown_source_rejected(self, gen_db, workload):
+        with pytest.raises(ValueError):
+            annotate_cardinalities(gen_db, workload[0], "tarot")
+
+
+class TestFingerprintCache:
+    def make_records(self, db, n=8, seed=11):
+        queries = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                    seed=seed).generate(n)
+        return list(generate_trace(db, queries, seed=seed))
+
+    def test_equal_but_distinct_plans_hit(self, gen_db):
+        records = self.make_records(gen_db)
+        dbs = {gen_db.name: gen_db}
+        cache = FeaturizationCache()
+        first = featurize_records(records, dbs, cards="exact",
+                                  feat_cache=cache)
+        clones = copy.deepcopy(records)
+        second = featurize_records(clones, dbs, cards="exact",
+                                   feat_cache=cache)
+        assert cache.hits == len(records)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_mutated_plan_misses(self, gen_db):
+        records = self.make_records(gen_db)
+        dbs = {gen_db.name: gen_db}
+        cache = FeaturizationCache()
+        featurize_records(records, dbs, cards="exact", feat_cache=cache)
+        mutated = copy.deepcopy(records[0])
+        mutated.plan.est_rows += 1.0
+        misses_before = cache.misses
+        featurize_records([mutated], dbs, cards="exact", feat_cache=cache)
+        assert cache.misses == misses_before + 1
+
+    def test_literal_changes_fingerprint(self, gen_db):
+        from repro.sql import Comparison, iter_predicate_nodes
+        records = self.make_records(gen_db)
+        target = next(r for r in records
+                      if any(n.filter_predicate is not None
+                             for n in r.plan.iter_nodes()))
+        clone = copy.deepcopy(target)
+        for node in clone.plan.iter_nodes():
+            if node.filter_predicate is None:
+                continue
+            leaf = next(p for p in iter_predicate_nodes(node.filter_predicate)
+                        if isinstance(p, Comparison) and p.literal is not None)
+            object.__setattr__(leaf, "literal", "zzz-different")
+            break
+        original = plan_fingerprint(gen_db, target.plan, "exact")
+        changed = plan_fingerprint(gen_db, clone.plan, "exact")
+        assert original != changed
+
+    def test_different_card_source_misses(self, gen_db):
+        records = self.make_records(gen_db)
+        dbs = {gen_db.name: gen_db}
+        cache = FeaturizationCache()
+        featurize_records(records[:2], dbs, cards="exact", feat_cache=cache)
+        misses = cache.misses
+        featurize_records(records[:2], dbs, cards="optimizer",
+                          feat_cache=cache)
+        assert cache.misses == misses + 2  # different card source
+
+    def test_deepdb_featurization_pins_first_annotation(self, gen_db):
+        records = self.make_records(gen_db)
+        dbs = {gen_db.name: gen_db}
+        cache = FeaturizationCache()
+        estimators = EstimatorCache(seed=0)
+        first = featurize_records(records, dbs, cards="deepdb",
+                                  estimator_cache=estimators,
+                                  feat_cache=cache)
+        second = featurize_records(copy.deepcopy(records), dbs,
+                                   cards="deepdb",
+                                   estimator_cache=estimators,
+                                   feat_cache=cache)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_bounded(self, gen_db):
+        records = self.make_records(gen_db, n=6)
+        cache = FeaturizationCache(max_entries=3)
+        featurize_records(records, {gen_db.name: gen_db}, cards="exact",
+                          feat_cache=cache)
+        assert len(cache) <= 3
+
+    def test_duplicates_survive_eviction(self, gen_db):
+        """An intra-batch duplicate must resolve even when its first
+        occurrence was already evicted from a tiny cache."""
+        records = self.make_records(gen_db, n=6)
+        batch = records + [copy.deepcopy(records[0])]
+        cache = FeaturizationCache(max_entries=2)
+        graphs = featurize_records(batch, {gen_db.name: gen_db},
+                                   cards="exact", feat_cache=cache)
+        assert all(graph is not None for graph in graphs)
+        assert graphs[-1].node_types == graphs[0].node_types
+
+    def test_public_fingerprint_matches_cache_key(self, gen_db):
+        records = self.make_records(gen_db, n=2)
+        cache = FeaturizationCache()
+        assert plan_fingerprint(gen_db, records[0].plan, "exact") == \
+            cache.key(gen_db, records[0].plan, "exact")
+
+
+class TestEstimatorCacheStaleness:
+    def test_rebuilt_database_invalidates(self, gen_db):
+        cache = EstimatorCache(sample_size=64, seed=0)
+        first = cache.get(gen_db)
+        assert cache.get(gen_db) is first  # stable while content unchanged
+        # Same name, different content (row counts differ): must rebuild.
+        from repro.datagen import generate_database, random_database_spec
+        spec = random_database_spec(gen_db.name, seed=78, layout="snowflake",
+                                    base_rows=500, n_tables=3, complexity=0.4)
+        rebuilt = generate_database(spec)
+        assert rebuilt.name == gen_db.name
+        second = cache.get(rebuilt)
+        assert second is not first
+        assert second.db is rebuilt
+
+    def test_grown_database_invalidates(self):
+        from repro.datagen import generate_database, random_database_spec
+        spec = random_database_spec("growdb", seed=9, layout="star",
+                                    base_rows=300, n_tables=3, complexity=0.3)
+        db = generate_database(spec)
+        cache = EstimatorCache(sample_size=64, seed=0)
+        first = cache.get(db)
+        table = db.table(db.schema.table_names[0])
+        table.append({name: column.values[:1]
+                      for name, column in table.columns.items()})
+        second = cache.get(db)
+        assert second is not first
+
+
+class TestBatchCacheChunking:
+    def _graphs(self, db, n=12, seed=5):
+        queries = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                    seed=seed).generate(n)
+        records = list(generate_trace(db, queries, seed=seed))
+        return featurize_records(records, {db.name: db}, cards="exact")
+
+    def test_chunks_stable_across_varying_lists(self, gen_db):
+        graphs = self._graphs(gen_db)
+        cache = BatchCache(max_entries=16)
+        cache.get_chunks(graphs, batch_size=4)
+        assert cache.misses == 3 and cache.hits == 0
+        # Same list again: all chunks hit.
+        cache.get_chunks(graphs, batch_size=4)
+        assert cache.hits == 3
+        # Extended list: the three known chunks hit, only the tail is new.
+        extra = self._graphs(gen_db, n=2, seed=6)
+        cache.get_chunks(graphs + extra, batch_size=4)
+        assert cache.hits == 6 and cache.misses == 4
+        # List starting mid-way: chunks cached from aligned boundaries
+        # still serve their subsequences.
+        cache.get_chunks(graphs[4:], batch_size=4)
+        assert cache.hits == 8
+
+    def test_chunk_reuse_preserves_prediction_order(self, gen_db):
+        from repro.core.training import predict_runtimes
+        from repro.core.model import ZeroShotModel
+        from repro.featurization import FeatureScalers, TargetScaler
+        graphs = self._graphs(gen_db)
+        model = ZeroShotModel(hidden_dim=16, seed=0).eval()
+        scalers = FeatureScalers().fit(graphs)
+        target = TargetScaler()
+        target.mean, target.std = 0.0, 1.0
+        cache = BatchCache(max_entries=16)
+        base = predict_runtimes(model, graphs, scalers, target,
+                                batch_size=5, batch_cache=cache)
+        shifted = predict_runtimes(model, graphs[3:], scalers, target,
+                                   batch_size=5, batch_cache=cache)
+        np.testing.assert_allclose(shifted, base[3:], rtol=1e-6)
+
+    def test_mutated_graph_not_served_stale(self, gen_db):
+        import numpy as np
+        from repro.featurization import FEATURE_DIMS
+        graphs = self._graphs(gen_db, n=4)
+        cache = BatchCache()
+        cache.get_chunks(graphs, batch_size=4)
+        graphs[0].add_node("output", np.zeros(FEATURE_DIMS["output"]))
+        batches = cache.get_chunks(graphs, batch_size=4)
+        assert batches[0].n_nodes == sum(g.n_nodes for g in graphs)

@@ -1,0 +1,81 @@
+"""Tier-1 smoke test for the perf harness: every fast path must dispatch.
+
+Runs ``benchmarks/perf/harness.py`` on a tiny corpus and asserts — via the
+``repro.perfstats`` dispatch counters and the cache hit counters — that the
+public API actually took the vectorized featurizer, the batched annotation,
+the fingerprint cache and the graph-free inference path.  A regression that
+silently falls back to a loop implementation fails here instead of only
+showing up as a slow benchmark number.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import perfstats
+
+HARNESS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "perf"
+sys.path.insert(0, str(HARNESS_DIR))
+
+import harness  # noqa: E402  (benchmarks/perf/harness.py)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return harness.build_plan_corpus(n_queries=10, seed=1, base_rows=400)
+
+
+class TestHarnessSmoke:
+    def test_featurization_dispatches_vectorized(self, tiny_corpus):
+        db, records = tiny_corpus
+        perfstats.reset()
+        rate = harness.bench_featurization(db, records, repeats=1)
+        assert rate > 0
+        counters = perfstats.snapshot()
+        assert counters.get("featurize.vectorized", 0) >= len(records)
+        assert counters.get("featurize.reference", 0) == 0
+
+    def test_annotation_dispatches_batched(self, tiny_corpus):
+        db, records = tiny_corpus
+        perfstats.reset()
+        rate = harness.bench_annotation(db, records, repeats=1,
+                                        sample_size=128)
+        assert rate > 0
+        counters = perfstats.snapshot()
+        assert counters.get("annotate.batched", 0) >= len(records)
+        assert counters.get("annotate.reference", 0) == 0
+
+    def test_fingerprint_cache_hits_warm(self, tiny_corpus):
+        db, records = tiny_corpus
+        rate, stats = harness.bench_featurization_cached(db, records,
+                                                         repeats=2)
+        assert rate > 0
+        # Warm passes must be pure lookups: at least 2 full rounds of hits.
+        assert stats["hits"] >= 2 * len(records)
+        assert stats["misses"] <= len(records)
+
+    def test_inference_runs_graph_free_with_batch_cache_hits(self,
+                                                             tiny_corpus):
+        db, records = tiny_corpus
+        import numpy as np
+        from repro.core import featurize_records
+        graphs = featurize_records(records, {db.name: db}, cards="exact")
+        runtimes = np.array([r.runtime_ms for r in records])
+        perfstats.reset()
+        rate, stats = harness.bench_inference(graphs, runtimes, hidden_dim=16,
+                                              repeats=3, use_cache=True)
+        assert rate > 0
+        assert perfstats.snapshot().get("model.graph_free_inference", 0) >= 3
+        assert stats["hits"] >= 2  # warm BatchCache after the first pass
+
+    def test_run_pipeline_reference_exercises_loop_specs(self, tiny_corpus):
+        db, records = tiny_corpus
+        perfstats.reset()
+        harness.bench_featurization(db, records, repeats=1,
+                                    use_reference=True)
+        harness.bench_annotation(db, records, repeats=1, use_reference=True,
+                                 sample_size=128)
+        counters = perfstats.snapshot()
+        assert counters.get("featurize.reference", 0) >= len(records)
+        assert counters.get("annotate.reference", 0) >= len(records)
