@@ -5,6 +5,18 @@ exactly once per session (``benchmark.pedantic(rounds=1)``) on the shared
 artifact cache.  Select the suite scale with ``REPRO_SCALE``
 (tiny | small | medium; default small).
 
+**Warm vs cold sessions.**  A *cold* session generates the 20 benchmark
+databases, executes every workload trace, featurizes the plans and trains
+the models from scratch.  Set ``REPRO_ARTIFACT_DIR=/some/dir`` to make the
+session *warm-startable*: every artifact is persisted there keyed on its
+content fingerprint, and the next pytest session hydrates databases,
+traces, graph lists and trained models from disk instead of rebuilding
+them (stale or corrupt entries rebuild automatically; wipe the directory
+after semantic changes to datagen/workloads/featurization).  Independent
+model trainings inside fig5/fig6/fig12 additionally fan out over forked
+workers — ``REPRO_PARALLEL`` pins the worker count (``1`` forces the
+serial path, which produces bit-identical results).
+
 Everything in this directory is marked ``slow`` and deselected by default
 (see ``pytest.ini``), so the tier-1 suite stays fast; run the figures with
 ``pytest benchmarks -m slow``.

@@ -19,8 +19,12 @@ speedups.
 
 from __future__ import annotations
 
+import cProfile
 import gc
 import inspect
+import io
+import pstats
+import tempfile
 import time
 from contextlib import contextmanager
 
@@ -29,17 +33,19 @@ import numpy as np
 from repro import perfstats
 from repro.cardest import (DataDrivenEstimator, annotate_cardinalities,
                            annotate_cardinalities_reference)
-from repro.core import TrainingConfig, featurize_records
+from repro.core import TrainingConfig, featurize_records, train_model
 from repro.core.model import ZeroShotModel
 from repro.core.training import predict_runtimes
 from repro.featurization import (FeatureScalers, FeaturizationCache,
                                  TargetScaler, build_query_graph_reference,
                                  make_batch)
-from repro.nn import Adam, QErrorLoss, clip_grad_norm
+from repro.nn import (Adam, Adam_reference, QErrorLoss, clip_grad_norm,
+                      clip_grad_norm_reference)
 
 __all__ = ["build_plan_corpus", "build_corpus", "bench_featurization",
            "bench_annotation", "bench_featurization_cached",
            "bench_batch_construction", "bench_training_step",
+           "bench_train_epoch", "bench_experiment_warm_start",
            "bench_inference", "run_all", "run_pipeline_reference"]
 
 
@@ -168,9 +174,17 @@ def bench_batch_construction(graphs, batch_size=64, repeats=5, scalers=None):
 
 
 def bench_training_step(graphs, runtimes, hidden_dim=64, batch_size=64,
-                        epochs=3, repeats=3, seed=0):
-    """Plans/second through forward + backward + clip + Adam step."""
+                        epochs=3, repeats=3, seed=0, use_reference=False):
+    """Plans/second through forward + backward + clip + Adam step.
+
+    Fast path: the flat-parameter :class:`Adam` (contiguous per-dtype
+    buffers, whole-model vectorized step).  Reference: the preserved
+    per-parameter ``Adam_reference`` / ``clip_grad_norm_reference`` loops —
+    the executable spec the flat optimizer matches bit-for-bit.
+    """
     config = TrainingConfig(hidden_dim=hidden_dim, batch_size=batch_size)
+    optimizer_cls = Adam_reference if use_reference else Adam
+    clip = clip_grad_norm_reference if use_reference else clip_grad_norm
     scalers = FeatureScalers().fit(graphs)
     target = TargetScaler().fit(runtimes)
     log_targets = np.log(np.maximum(runtimes, 1e-3))
@@ -185,7 +199,8 @@ def bench_training_step(graphs, runtimes, hidden_dim=64, batch_size=64,
             if hasattr(model, "to"):
                 model.to(getattr(config, "dtype", "float64"))
             model.train()
-            optimizer = Adam(model.parameters(), lr=1.5e-3)
+            params = list(model.parameters())
+            optimizer = optimizer_cls(params, lr=1.5e-3)
             start = time.perf_counter()
             for _ in range(epochs):
                 for batch, target_log in batches:
@@ -193,10 +208,71 @@ def bench_training_step(graphs, runtimes, hidden_dim=64, batch_size=64,
                     pred_log = model(batch) * target.std + target.mean
                     loss = loss_fn(pred_log, target_log)
                     loss.backward()
-                    clip_grad_norm(model.parameters(), 5.0)
+                    clip(params, 5.0)
                     optimizer.step()
             timings.append(time.perf_counter() - start)
     return _best_rate(len(graphs) * epochs, timings)
+
+
+def bench_train_epoch(graphs, runtimes, hidden_dim=64, batch_size=64,
+                      epochs=3, repeats=3, seed=0, use_reference=False):
+    """Plans/second through the *full* ``train_model`` entry point.
+
+    Unlike :func:`bench_training_step` this pays the epoch-level machinery
+    too: validation passes, early-stopping snapshots (one flat buffer copy
+    on the fast path vs a per-tensor ``state_dict`` on the reference path)
+    and the final best-state restore.
+    """
+    config = TrainingConfig(hidden_dim=hidden_dim, batch_size=batch_size,
+                            epochs=epochs, seed=seed,
+                            flat_optimizer=not use_reference)
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            model = ZeroShotModel(hidden_dim=hidden_dim, dropout=0.05,
+                                  seed=seed)
+            start = time.perf_counter()
+            train_model(model, graphs, runtimes, config)
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(graphs) * epochs, timings)
+
+
+def bench_experiment_warm_start(store_dir=None, n_queries=12, epochs=4,
+                                hidden_dim=16, seed=0):
+    """Cold vs warm benchmark session through the disk artifact store.
+
+    Runs a miniature suite session (generate databases, execute a trace,
+    featurize, train a model) twice against one ``ArtifactStore``: the
+    first session pays full generation cost, the second hydrates everything
+    from disk.  Returns ``(cold_s, warm_s, store_stats)`` where
+    ``store_stats`` holds the warm session's hit/miss counters.
+    """
+    from dataclasses import replace
+    from repro.bench import Artifacts, ArtifactStore, SuiteConfig
+
+    config = SuiteConfig(scale="tiny", seed=seed,
+                         database_names=("airline", "imdb"))
+    training = replace(config.training_config, epochs=epochs,
+                       hidden_dim=hidden_dim)
+
+    def session(store):
+        art = Artifacts(config, store=store)
+        trace = art.trace("airline", n=n_queries)
+        art.graphs(trace, "exact")
+        art.train_zero_shot([trace], cards="exact", config=training)
+        return art
+
+    def timed_session(store):
+        start = time.perf_counter()
+        session(store)
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = store_dir or tmp
+        cold_s = timed_session(ArtifactStore(root))
+        warm_store = ArtifactStore(root)
+        warm_s = timed_session(warm_store)
+        return cold_s, warm_s, warm_store.stats()
 
 
 def bench_inference(graphs, runtimes, hidden_dim=64, batch_size=256,
@@ -245,8 +321,27 @@ def run_pipeline_reference(n_queries=192, seed=0):
     }
 
 
-def run_all(n_queries=192, hidden_dim=64, seed=0):
-    """Run all microbenchmarks; returns {metric: value}."""
+def _stage(name, fn, profile=False):
+    """Run one benchmark stage, optionally under cProfile (top-20 printed)."""
+    if not profile:
+        return fn()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn()
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(
+        "cumulative").print_stats(20)
+    print(f"\n--- profile: {name} (top 20 by cumulative time) ---")
+    print(stream.getvalue())
+    return result
+
+
+def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
+    """Run all microbenchmarks; returns {metric: value}.
+
+    ``profile=True`` additionally prints a cProfile top-20 per stage.
+    """
     perfstats.reset()
     db, records = build_plan_corpus(n_queries=n_queries, seed=seed)
     graphs = featurize_records(records, {db.name: db}, cards="exact")
@@ -254,22 +349,54 @@ def run_all(n_queries=192, hidden_dim=64, seed=0):
     # The loop references are timed immediately before their fast
     # counterparts: the recorded baseline tracks the trajectory PR over PR,
     # while these same-run rates give a machine-drift-immune speedup.
-    featurize_reference = bench_featurization(db, records, repeats=3,
-                                              use_reference=True)
-    featurize = bench_featurization(db, records)
-    featurize_cached, feat_cache_stats = bench_featurization_cached(db, records)
-    annotate_reference = bench_annotation(db, records, repeats=2,
-                                          use_reference=True)
-    annotate = bench_annotation(db, records)
-    batch_construction = bench_batch_construction(graphs)
-    train_step = bench_training_step(graphs, runtimes, hidden_dim=hidden_dim,
-                                     seed=seed)
+    featurize_reference = _stage(
+        "featurize_reference",
+        lambda: bench_featurization(db, records, repeats=3,
+                                    use_reference=True), profile)
+    featurize = _stage("featurize", lambda: bench_featurization(db, records),
+                       profile)
+    featurize_cached, feat_cache_stats = _stage(
+        "featurize_cached", lambda: bench_featurization_cached(db, records),
+        profile)
+    annotate_reference = _stage(
+        "annotate_reference",
+        lambda: bench_annotation(db, records, repeats=2, use_reference=True),
+        profile)
+    annotate = _stage("annotate", lambda: bench_annotation(db, records),
+                      profile)
+    batch_construction = _stage(
+        "batch_construction", lambda: bench_batch_construction(graphs),
+        profile)
+    train_step_reference = _stage(
+        "train_step_reference",
+        lambda: bench_training_step(graphs, runtimes, hidden_dim=hidden_dim,
+                                    seed=seed, repeats=2, use_reference=True),
+        profile)
+    train_step = _stage(
+        "train_step",
+        lambda: bench_training_step(graphs, runtimes, hidden_dim=hidden_dim,
+                                    seed=seed), profile)
+    train_epoch_reference = _stage(
+        "train_epoch_reference",
+        lambda: bench_train_epoch(graphs, runtimes, hidden_dim=hidden_dim,
+                                  seed=seed, repeats=2, use_reference=True),
+        profile)
+    train_epoch = _stage(
+        "train_epoch",
+        lambda: bench_train_epoch(graphs, runtimes, hidden_dim=hidden_dim,
+                                  seed=seed), profile)
     # Run the two inference variants back to back so machine drift cannot
     # skew the cached/uncached comparison.
-    inference = bench_inference(graphs, runtimes, hidden_dim=hidden_dim,
-                                seed=seed)
-    inference_cached, batch_cache_stats = bench_inference(
-        graphs, runtimes, hidden_dim=hidden_dim, seed=seed, use_cache=True)
+    inference = _stage(
+        "inference",
+        lambda: bench_inference(graphs, runtimes, hidden_dim=hidden_dim,
+                                seed=seed), profile)
+    inference_cached, batch_cache_stats = _stage(
+        "inference_cached",
+        lambda: bench_inference(graphs, runtimes, hidden_dim=hidden_dim,
+                                seed=seed, use_cache=True), profile)
+    warm_cold_s, warm_warm_s, warm_store_stats = _stage(
+        "experiment_warm_start", bench_experiment_warm_start, profile)
     return {
         "featurize_plans_per_s": featurize,
         "annotate_plans_per_s": annotate,
@@ -278,16 +405,24 @@ def run_all(n_queries=192, hidden_dim=64, seed=0):
         "annotate_reference_plans_per_s": annotate_reference,
         "batch_construction_plans_per_s": batch_construction,
         "train_step_plans_per_s": train_step,
+        "train_step_reference_plans_per_s": train_step_reference,
+        "train_epoch_plans_per_s": train_epoch,
+        "train_epoch_reference_plans_per_s": train_epoch_reference,
         "inference_plans_per_s": inference,
         "inference_cached_plans_per_s": inference_cached,
+        "experiment_cold_s": warm_cold_s,
+        "experiment_warm_s": warm_warm_s,
+        "experiment_warm_start_speedup": warm_cold_s / warm_warm_s,
         "n_queries": n_queries,
         "hidden_dim": hidden_dim,
         "cache_stats": {
             "featurization_cache": feat_cache_stats,
             "batch_cache": batch_cache_stats,
+            "artifact_store_warm": warm_store_stats,
         },
         "dispatch_counters": perfstats.snapshot(
             ["featurize.vectorized", "featurize.reference",
              "annotate.batched", "annotate.reference",
-             "model.graph_free_inference"]),
+             "model.graph_free_inference", "optim.flat_step",
+             "optim.reference_step", "training.flat_snapshot"]),
     }

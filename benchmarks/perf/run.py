@@ -37,7 +37,12 @@ DEFAULT_OUTPUT = REPO / "BENCH_engine.json"
 RATE_KEYS = ("featurize_plans_per_s", "annotate_plans_per_s",
              "featurize_cached_plans_per_s",
              "batch_construction_plans_per_s", "train_step_plans_per_s",
+             "train_epoch_plans_per_s",
              "inference_plans_per_s", "inference_cached_plans_per_s")
+
+# Metrics with an in-run executable reference implementation (loop specs /
+# per-parameter optimizer): reported as machine-drift-immune ratios.
+SAME_RUN_KEYS = ("featurize", "annotate", "train_step", "train_epoch")
 
 
 def main(argv=None):
@@ -51,6 +56,8 @@ def main(argv=None):
     parser.add_argument("--save-loop-baseline", action="store_true",
                         help="re-record the featurize/annotate loop-baseline "
                              "entries from the reference implementations")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a cProfile top-20 per benchmark stage")
     args = parser.parse_args(argv)
 
     from harness import run_all, run_pipeline_reference
@@ -68,7 +75,7 @@ def main(argv=None):
             print(f"  {key}: {value:.1f}")
         return 0
 
-    results = run_all(n_queries=n_queries)
+    results = run_all(n_queries=n_queries, profile=args.profile)
 
     if args.save_baseline:
         BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
@@ -96,15 +103,19 @@ def main(argv=None):
         cold = results.get("featurize_plans_per_s")
         if warm and cold:
             report["featurization_cache_warm_over_cold"] = warm / cold
-    # Machine-drift-immune: loop references timed in this very run.
+    # Machine-drift-immune: reference implementations timed in this very
+    # run (pipeline loop specs + the per-parameter Adam_reference).
     same_run = {}
-    for key in ("featurize", "annotate"):
+    for key in SAME_RUN_KEYS:
         fast = results.get(f"{key}_plans_per_s")
         reference = results.get(f"{key}_reference_plans_per_s")
         if fast and reference:
             same_run[f"{key}_plans_per_s"] = fast / reference
     if same_run:
         report["speedup_vs_loop_same_run"] = same_run
+    warm = results.get("experiment_warm_start_speedup")
+    if warm:
+        report["experiment_warm_start_speedup"] = warm
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {args.output}")
@@ -116,7 +127,10 @@ def main(argv=None):
         print(line)
     if same_run:
         for key, value in same_run.items():
-            print(f"  {key} vs same-run loop reference: {value:.2f}x")
+            print(f"  {key} vs same-run reference: {value:.2f}x")
+    if warm:
+        print(f"  experiment_warm_start: cold {results['experiment_cold_s']:.2f}s"
+              f" -> warm {results['experiment_warm_s']:.2f}s ({warm:.1f}x)")
     print(f"  cache_stats: {results['cache_stats']}")
     print(f"  dispatch: {results['dispatch_counters']}")
 

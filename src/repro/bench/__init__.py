@@ -1,7 +1,12 @@
-"""Experiment harness: benchmark suite, cached artifacts, the experiment
-functions regenerating every evaluation table/figure, and ASCII reporting."""
+"""Experiment harness: benchmark suite, cached artifacts (in-memory and
+disk-backed via ``REPRO_ARTIFACT_DIR``), deterministic parallel experiment
+execution, the experiment functions regenerating every evaluation
+table/figure, and ASCII reporting."""
 
-from .suite import SuiteConfig, Artifacts, get_artifacts, scale_from_env
+from .suite import (SuiteConfig, Artifacts, get_artifacts, artifacts_for,
+                    register_artifacts, scale_from_env)
+from .store import ArtifactStore, store_from_env
+from .parallel import parallel_map, worker_count
 from .reporting import format_table, format_bars, print_experiment
 from .experiments import (
     exp_fig1_motivation, exp_fig5_zero_shot_accuracy,
@@ -12,7 +17,9 @@ from .experiments import (
 )
 
 __all__ = [
-    "SuiteConfig", "Artifacts", "get_artifacts", "scale_from_env",
+    "SuiteConfig", "Artifacts", "get_artifacts", "artifacts_for",
+    "register_artifacts", "scale_from_env",
+    "ArtifactStore", "store_from_env", "parallel_map", "worker_count",
     "format_table", "format_bars", "print_experiment",
     "exp_fig1_motivation", "exp_fig5_zero_shot_accuracy",
     "exp_fig6_vs_workload_driven", "exp_fig7_job_full", "exp_fig8_updates",

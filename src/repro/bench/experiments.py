@@ -4,11 +4,20 @@ Every function takes the shared :class:`~repro.bench.suite.Artifacts` and
 returns the rows it printed, so benchmark tests can assert the qualitative
 *shape* of each result (who wins, rough factors, crossovers) while
 EXPERIMENTS.md records paper-vs-measured numbers.
+
+The model-training sweeps (fig5's 20 leave-one-out models, fig6's per-count
+baselines, fig12's database-count rotation) fan their independent tasks out
+over :func:`~repro.bench.parallel.parallel_map`: shared artifacts are
+materialized *before* the fork (so workers inherit them copy-on-write or
+hydrate them from the artifact store), every task is a pure seeded function
+of its parameters, and results come back in task order — bit-identical to
+the serial loop (``REPRO_PARALLEL=1`` forces the serial path).
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -20,7 +29,9 @@ from ..datagen import grow_database
 from ..distributed import (distributed_storage_formats,
                            generate_distributed_trace)
 from ..workloads import WorkloadConfig, WorkloadGenerator, imdb_workload
+from .parallel import parallel_map
 from .reporting import format_table, print_experiment
+from .suite import artifacts_for, register_artifacts
 
 __all__ = [
     "exp_fig1_motivation", "exp_fig5_zero_shot_accuracy",
@@ -42,29 +53,40 @@ def _query_counts(pool_size):
 # ----------------------------------------------------------------------
 # Figure 5: zero-shot accuracy across all 20 unseen databases
 # ----------------------------------------------------------------------
+def _fig5_task(task):
+    """One leave-one-out rotation: train on 19 databases, evaluate the 20th."""
+    config, held_out, eval_queries, epochs = task
+    art = artifacts_for(config)
+    training_config = replace(art.config.training_config, epochs=epochs)
+    train_traces = [art.trace(n) for n in art.config.database_names
+                    if n != held_out]
+    model = art.train_zero_shot(train_traces, cards="exact",
+                                config=training_config)
+    scaled = ScaledOptimizerModel().fit(train_traces)
+    eval_trace = art.trace(held_out, seed_offset=7, n=eval_queries)
+    return {
+        "database": held_out,
+        "scaled_optimizer": scaled.evaluate(eval_trace)["median"],
+        "zero_shot_deepdb": art.evaluate_model(model, eval_trace,
+                                               "deepdb")["median"],
+        "zero_shot_exact": art.evaluate_model(model, eval_trace,
+                                              "exact")["median"],
+    }
+
+
 def exp_fig5_zero_shot_accuracy(art, eval_queries=80):
     """Leave-one-database-out across the benchmark (median Q-errors)."""
-    from dataclasses import replace
     # 20 models are trained here; a reduced epoch budget keeps the rotation
     # affordable without changing the ordering of the methods.
-    config = replace(art.config.training_config,
-                     epochs=max(12, art.config.training_config.epochs // 2))
-    rows = []
-    for held_out in art.config.database_names:
-        train_traces = [art.trace(n) for n in art.config.database_names
-                        if n != held_out]
-        model = art.train_zero_shot(train_traces, cards="exact",
-                                    config=config)
-        scaled = ScaledOptimizerModel().fit(train_traces)
-        eval_trace = art.trace(held_out, seed_offset=7, n=eval_queries)
-        rows.append({
-            "database": held_out,
-            "scaled_optimizer": scaled.evaluate(eval_trace)["median"],
-            "zero_shot_deepdb": art.evaluate_model(model, eval_trace,
-                                                   "deepdb")["median"],
-            "zero_shot_exact": art.evaluate_model(model, eval_trace,
-                                                  "exact")["median"],
-        })
+    epochs = max(12, art.config.training_config.epochs // 2)
+    register_artifacts(art)
+    # Shared inputs live in the parent before the fork: every worker reuses
+    # the same executed traces and featurized training graphs.
+    for name in art.config.database_names:
+        art.graphs(art.trace(name), "exact")
+    rows = parallel_map(_fig5_task,
+                        [(art.config, held_out, eval_queries, epochs)
+                         for held_out in art.config.database_names])
     print_experiment("Figure 5 — Zero-Shot Generalization across Databases",
                      format_table(rows))
     return rows
@@ -73,50 +95,78 @@ def exp_fig5_zero_shot_accuracy(art, eval_queries=80):
 # ----------------------------------------------------------------------
 # Figure 1 / Figure 6: zero-shot vs workload-driven on IMDB
 # ----------------------------------------------------------------------
+def _fig6_count_task(task):
+    """All per-count model trainings + evaluations for one query budget.
+
+    ``scaled_medians`` (count-independent) are computed once pre-fork and
+    travel in the task tuple instead of refitting per worker.
+    """
+    config, count, workloads, scaled_medians = task
+    art = artifacts_for(config)
+    pool = art.trace("imdb", seed_offset=3)
+    subset = pool[:count]
+    hours = subset.total_execution_hours()
+    zero_shot = art.main_model
+    imdb_db = art.databases["imdb"]
+    e2e = E2EModel(imdb_db, hidden_dim=art.config.training_config.hidden_dim,
+                   seed=0).fit(subset, epochs=40)
+    mscn = MSCNModel(imdb_db, hidden_dim=art.config.training_config.hidden_dim,
+                     seed=0).fit(subset, epochs=40)
+    few_shot = zero_shot.fine_tune(
+        list(subset), art.databases, cards="exact",
+        graphs=art.graphs(subset, "exact"), runtimes=art.runtimes(subset))
+    rows = []
+    for workload in workloads:
+        eval_trace = art.imdb_eval_trace(workload)
+        zs_deepdb = art.evaluate_model(zero_shot, eval_trace, "deepdb")
+        zs_exact = art.evaluate_model(zero_shot, eval_trace, "exact")
+        fs_deepdb = art.evaluate_model(few_shot, eval_trace, "deepdb")
+        fs_exact = art.evaluate_model(few_shot, eval_trace, "exact")
+        e2e_metrics = e2e.evaluate(eval_trace)
+        mscn_metrics = mscn.evaluate(eval_trace)
+        rows.append({
+            "workload": workload,
+            "train_queries": count,
+            "exec_hours": hours,
+            "scaled_optimizer": scaled_medians[workload],
+            "mscn": mscn_metrics["median"],
+            "e2e": e2e_metrics["median"],
+            "zero_shot_deepdb": zs_deepdb["median"],
+            "zero_shot_exact": zs_exact["median"],
+            "few_shot_deepdb": fs_deepdb["median"],
+            "few_shot_exact": fs_exact["median"],
+            "e2e_p95": e2e_metrics["p95"],
+            "mscn_p95": mscn_metrics["p95"],
+            "zero_shot_deepdb_p95": zs_deepdb["p95"],
+            "few_shot_deepdb_p95": fs_deepdb["p95"],
+        })
+    return rows
+
+
 def exp_fig6_vs_workload_driven(art, workloads=IMDB_EVAL_WORKLOADS):
     """Q-error vs number of IMDB training queries for all model families."""
     pool = art.trace("imdb", seed_offset=3)   # workload-driven training pool
     counts = _query_counts(len(pool))
+    register_artifacts(art)
+    # Materialize everything the per-count workers share before the fork:
+    # training traces, the pre-trained zero-shot model, the training pool's
+    # graphs (fine-tune subsets hit their plan fingerprints), and the
+    # evaluation traces with both cardinality encodings.
     train_traces = art.training_traces()
+    art.main_model
+    art.graphs(pool, "exact")
     scaled = ScaledOptimizerModel().fit(train_traces)
-    zero_shot = art.main_model
-    imdb_db = art.databases["imdb"]
-
-    rows = []
-    for count in counts:
-        subset = pool[:count]
-        hours = subset.total_execution_hours()
-        e2e = E2EModel(imdb_db, hidden_dim=art.config.training_config.hidden_dim,
-                       seed=0).fit(subset, epochs=40)
-        mscn = MSCNModel(imdb_db, hidden_dim=art.config.training_config.hidden_dim,
-                         seed=0).fit(subset, epochs=40)
-        few_shot = zero_shot.fine_tune(
-            list(subset), art.databases, cards="exact",
-            graphs=art.graphs(subset, "exact"), runtimes=art.runtimes(subset))
-        for workload in workloads:
-            eval_trace = art.imdb_eval_trace(workload)
-            zs_deepdb = art.evaluate_model(zero_shot, eval_trace, "deepdb")
-            zs_exact = art.evaluate_model(zero_shot, eval_trace, "exact")
-            fs_deepdb = art.evaluate_model(few_shot, eval_trace, "deepdb")
-            fs_exact = art.evaluate_model(few_shot, eval_trace, "exact")
-            e2e_metrics = e2e.evaluate(eval_trace)
-            mscn_metrics = mscn.evaluate(eval_trace)
-            rows.append({
-                "workload": workload,
-                "train_queries": count,
-                "exec_hours": hours,
-                "scaled_optimizer": scaled.evaluate(eval_trace)["median"],
-                "mscn": mscn_metrics["median"],
-                "e2e": e2e_metrics["median"],
-                "zero_shot_deepdb": zs_deepdb["median"],
-                "zero_shot_exact": zs_exact["median"],
-                "few_shot_deepdb": fs_deepdb["median"],
-                "few_shot_exact": fs_exact["median"],
-                "e2e_p95": e2e_metrics["p95"],
-                "mscn_p95": mscn_metrics["p95"],
-                "zero_shot_deepdb_p95": zs_deepdb["p95"],
-                "few_shot_deepdb_p95": fs_deepdb["p95"],
-            })
+    scaled_medians = {}
+    for workload in workloads:
+        eval_trace = art.imdb_eval_trace(workload)
+        art.graphs(eval_trace, "deepdb")
+        art.graphs(eval_trace, "exact")
+        scaled_medians[workload] = scaled.evaluate(eval_trace)["median"]
+    per_count = parallel_map(_fig6_count_task,
+                             [(art.config, count, tuple(workloads),
+                               scaled_medians)
+                              for count in counts])
+    rows = [row for count_rows in per_count for row in count_rows]
     print_experiment(
         "Figure 6 — Workload-Driven vs Zero-Shot (IMDB)",
         format_table(rows, columns=["workload", "train_queries", "exec_hours",
@@ -425,24 +475,41 @@ def exp_fig11_ablation(art):
 # ----------------------------------------------------------------------
 # Figure 12: number of training databases
 # ----------------------------------------------------------------------
+def _fig12_task(task):
+    """Train on a database subset, evaluate on the IMDB workloads."""
+    config, train_names = task
+    art = artifacts_for(config)
+    subset = [art.trace(name) for name in train_names]
+    model = art.train_zero_shot(subset, cards="exact")
+    row = {"n_databases": len(train_names)}
+    for workload in IMDB_EVAL_WORKLOADS:
+        eval_trace = art.imdb_eval_trace(workload)
+        row[f"{workload}_deepdb"] = art.evaluate_model(
+            model, eval_trace, "deepdb")["median"]
+        row[f"{workload}_exact"] = art.evaluate_model(
+            model, eval_trace, "exact")["median"]
+    return row
+
+
 def exp_fig12_num_databases(art, db_counts=(1, 3, 5, 10, 15, 19)):
     """Generalization error vs number of training databases."""
     rng = np.random.default_rng(art.config.seed)
     order = rng.permutation(len(art.training_names))
-    all_traces = art.training_traces()
-    rows = []
+    register_artifacts(art)
+    # Shared pre-fork materialization: training traces + graphs (subsets
+    # reuse them) and the evaluation traces under both cardinality modes.
+    for trace in art.training_traces():
+        art.graphs(trace, "exact")
+    for workload in IMDB_EVAL_WORKLOADS:
+        eval_trace = art.imdb_eval_trace(workload)
+        art.graphs(eval_trace, "deepdb")
+        art.graphs(eval_trace, "exact")
+    tasks = []
     for count in db_counts:
-        count = min(count, len(all_traces))
-        subset = [all_traces[i] for i in order[:count]]
-        model = art.train_zero_shot(subset, cards="exact")
-        row = {"n_databases": count}
-        for workload in IMDB_EVAL_WORKLOADS:
-            eval_trace = art.imdb_eval_trace(workload)
-            row[f"{workload}_deepdb"] = art.evaluate_model(
-                model, eval_trace, "deepdb")["median"]
-            row[f"{workload}_exact"] = art.evaluate_model(
-                model, eval_trace, "exact")["median"]
-        rows.append(row)
+        count = min(count, len(art.training_names))
+        tasks.append((art.config,
+                      tuple(art.training_names[i] for i in order[:count])))
+    rows = parallel_map(_fig12_task, tasks)
     print_experiment("Figure 12 — Generalization by #Training Databases",
                      format_table(rows))
     return rows

@@ -1,0 +1,75 @@
+"""Deterministic multiprocessing fan-out for independent experiment tasks.
+
+The expensive experiments are embarrassingly parallel: fig5 trains 20
+leave-one-out models, fig12 sweeps database counts, fig6 trains per-count
+baseline models — every task is a pure function of (suite config, task
+parameters) with all randomness behind explicit seeds.  :func:`parallel_map`
+fans such tasks out over forked worker processes and returns results in
+task order, so the output is **bit-identical** to running each task serially
+from the same process state.
+
+Workers are started with the ``fork`` method: they inherit the parent's
+artifact caches copy-on-write (databases, traces, featurized graphs and the
+main model materialized before the fan-out are simply *there*), and hydrate
+anything else from the shared disk :class:`~repro.bench.store.ArtifactStore`
+when ``REPRO_ARTIFACT_DIR`` is set.  Task functions must be module-level
+(picklable by reference) and should resolve their artifacts through
+:func:`repro.bench.suite.artifacts_for` with the config carried in the task
+tuple.
+
+Worker-side cache warm-up (featurization entries, DeepDB estimators) stays
+in the worker — it does not flow back to the parent.  Results do: only the
+returned row dicts / model payloads cross the process boundary.
+
+``REPRO_PARALLEL`` controls the fan-out: unset uses ``os.cpu_count()``
+workers, an integer pins the worker count, and ``0``/``1`` force serial
+execution (useful for debugging and for the determinism tests' reference
+runs).  Platforms without ``fork`` run serially as well.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from .. import perfstats
+
+__all__ = ["parallel_map", "worker_count"]
+
+
+def worker_count(n_tasks):
+    """Effective worker count for ``n_tasks`` under ``REPRO_PARALLEL``."""
+    env = os.environ.get("REPRO_PARALLEL")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError("REPRO_PARALLEL must be an integer") from None
+    else:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, n_tasks))
+
+
+def parallel_map(fn, tasks, processes=None):
+    """``[fn(t) for t in tasks]`` fanned out over forked workers, in order.
+
+    Falls back to the serial loop when only one worker is effective or the
+    platform lacks ``fork``; either way the results (and their order) are
+    identical.
+    """
+    tasks = list(tasks)
+    processes = (worker_count(len(tasks)) if processes is None
+                 else max(1, min(processes, len(tasks))))
+    if processes <= 1 or len(tasks) <= 1:
+        perfstats.increment("parallel.serial_tasks", len(tasks))
+        return [fn(task) for task in tasks]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        perfstats.increment("parallel.serial_tasks", len(tasks))
+        return [fn(task) for task in tasks]
+    perfstats.increment("parallel.fanout")
+    perfstats.increment("parallel.worker_tasks", len(tasks))
+    with context.Pool(processes) as pool:
+        # chunksize=1: tasks are few and heavy; order is preserved by map.
+        return pool.map(fn, tasks, chunksize=1)

@@ -1,0 +1,124 @@
+"""Disk-backed artifact store for the benchmark suite.
+
+The expensive experiment artifacts — generated databases, executed traces,
+featurized graph lists and trained models — are pure functions of the suite
+configuration and the content they derive from.  This module persists them
+under ``REPRO_ARTIFACT_DIR`` so a *second* benchmark session warm-starts
+from disk instead of regenerating, re-executing, re-featurizing and
+re-training everything.
+
+Keying and validation:
+
+* Every entry is addressed by a **content key**: a BLAKE2 digest of the
+  generating configuration (suite scale/seed, workload parameters) plus a
+  store-format version.  Different configurations can never collide.
+* Every entry additionally records an **input fingerprint** — the digest of
+  what the artifact was derived *from* (e.g. a trace records its database's
+  row-count fingerprint; a model records the
+  :func:`~repro.featurization.records_fingerprint` of its training traces).
+  On load the caller passes the fingerprint it currently expects; a
+  mismatch means the upstream artifact changed (regenerated database,
+  different datagen code) and the stale entry is discarded and rebuilt —
+  never silently reused.
+* Unreadable/corrupt entries (truncated files, unpicklable payloads) are
+  deleted and rebuilt.
+
+Hits and misses are mirrored into the :mod:`repro.perfstats` counters
+(``store.hit.<kind>`` / ``store.miss.<kind>``), which the warm-start smoke
+test asserts on.  Writes are atomic (temp file + rename), so concurrent
+experiment workers sharing one store directory cannot corrupt entries.
+
+Wipe the directory whenever featurization, workload generation or the
+storage engine changes semantically — the store versions its format
+(``STORE_VERSION``) but intentionally does not fingerprint the code.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from hashlib import blake2b
+from pathlib import Path
+
+from .. import perfstats
+
+__all__ = ["ArtifactStore", "store_from_env", "STORE_VERSION"]
+
+# Bump to orphan every existing entry (format or semantic change).
+STORE_VERSION = 1
+
+
+class ArtifactStore:
+    """Content-keyed pickle store under one root directory."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(*parts):
+        """Hex content key from reprs of the generating configuration."""
+        payload = repr((STORE_VERSION,) + parts).encode()
+        return blake2b(payload, digest_size=16).hexdigest()
+
+    def _path(self, kind, key):
+        return self.root / kind / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def load(self, kind, key, fingerprint=None):
+        """The stored value, or ``None`` on miss/corruption/staleness.
+
+        ``fingerprint`` is compared against the input fingerprint recorded
+        at :meth:`save` time; a mismatch discards the entry (stale upstream
+        artifact) instead of returning it.
+        """
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            stored_fingerprint, value = payload
+        except FileNotFoundError:
+            return self._miss(kind)
+        except Exception:
+            # Truncated or unreadable entry: delete so the rebuild can
+            # overwrite it cleanly.
+            path.unlink(missing_ok=True)
+            return self._miss(kind)
+        if fingerprint is not None and stored_fingerprint != fingerprint:
+            path.unlink(missing_ok=True)
+            return self._miss(kind)
+        self.hits += 1
+        perfstats.increment(f"store.hit.{kind}")
+        return value
+
+    def save(self, kind, key, value, fingerprint=None):
+        """Persist ``value`` atomically under ``(kind, key)``."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump((fingerprint, value), handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return value
+
+    def _miss(self, kind):
+        self.misses += 1
+        perfstats.increment(f"store.miss.{kind}")
+        return None
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self):
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+def store_from_env(env="REPRO_ARTIFACT_DIR"):
+    """An :class:`ArtifactStore` rooted at ``$REPRO_ARTIFACT_DIR``, or None."""
+    root = os.environ.get(env)
+    return ArtifactStore(root) if root else None

@@ -2,8 +2,13 @@
 
 The experiments share expensive artifacts — the 20 databases, their executed
 traces, featurized graphs, and the main zero-shot model trained on the 19
-non-IMDB databases.  :func:`get_artifacts` memoizes them per scale so the
-whole benchmark session builds each exactly once.
+non-IMDB databases.  :func:`get_artifacts` memoizes them per suite config so
+the whole benchmark session builds each exactly once, and — when
+``REPRO_ARTIFACT_DIR`` is set — persists them through a disk-backed
+:class:`~repro.bench.store.ArtifactStore`, so a *second* session skips
+database generation, trace execution, featurization and model training
+entirely (content keys + input-fingerprint validation guarantee stale
+artifacts are rebuilt, never silently reused).
 
 Scales (select with ``REPRO_SCALE`` or an explicit :class:`SuiteConfig`):
 
@@ -19,17 +24,19 @@ medium    14000       250              50      64
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
 
 import numpy as np
 
 from ..core import EstimatorCache, TrainingConfig, ZeroShotCostModel, featurize_records
-from ..featurization import BatchCache, FeaturizationCache
+from ..featurization import BatchCache, FeaturizationCache, records_fingerprint
 from ..datagen import BENCHMARK_NAMES, make_benchmark_database
 from ..workloads import (WorkloadConfig, WorkloadGenerator, generate_trace,
                          imdb_workload)
+from .store import store_from_env
 
-__all__ = ["SuiteConfig", "Artifacts", "get_artifacts", "scale_from_env"]
+__all__ = ["SuiteConfig", "Artifacts", "get_artifacts", "artifacts_for",
+           "register_artifacts", "scale_from_env"]
 
 _SCALES = {
     "tiny": dict(base_rows=1500, queries_per_db=60, epochs=15, hidden_dim=32),
@@ -71,15 +78,20 @@ class SuiteConfig:
 
 
 class Artifacts:
-    """Lazily built, cached benchmark artifacts."""
+    """Lazily built benchmark artifacts, cached in memory and (optionally)
+    hydrated from / persisted to a disk :class:`ArtifactStore`."""
 
-    def __init__(self, config: SuiteConfig):
+    def __init__(self, config: SuiteConfig, store=None):
         self.config = config
+        self.store = store
         self._databases = None
         self._traces = {}
         self._imdb_eval = {}
         self._graphs = {}
         self._main_model = None
+        # id(trace) -> (trace, {cards: digest}): the held trace reference
+        # keeps the id from being recycled while the memo entry lives.
+        self._trace_fps = {}
         self.estimator_cache = EstimatorCache(sample_size=1024,
                                               seed=config.seed)
         # Evaluations reuse the cached graph lists from self.graphs(), so
@@ -89,14 +101,29 @@ class Artifacts:
         # equal-but-regenerated plans skip featurization entirely.
         self.featurization_cache = FeaturizationCache(max_entries=16384)
 
+    def _generation_key(self):
+        """The config facets that determine artifact generation."""
+        return (self.config.scale, self.config.seed, self.config.max_joins,
+                self.config.database_names, self.config.base_rows,
+                self.config.queries_per_db)
+
     # ------------------------------------------------------------------
     @property
     def databases(self):
         if self._databases is None:
-            self._databases = {
-                name: make_benchmark_database(name, self.config.base_rows)
-                for name in self.config.database_names
-            }
+            databases = {}
+            for name in self.config.database_names:
+                db, key = None, None
+                if self.store is not None:
+                    key = self.store.key("database", name,
+                                         self.config.base_rows)
+                    db = self.store.load("database", key)
+                if db is None:
+                    db = make_benchmark_database(name, self.config.base_rows)
+                    if self.store is not None:
+                        self.store.save("database", key, db)
+                databases[name] = db
+            self._databases = databases
         return self._databases
 
     @property
@@ -107,22 +134,37 @@ class Artifacts:
     # ------------------------------------------------------------------
     def trace(self, db_name, mode="standard", n=None, seed_offset=0,
               max_joins=None):
-        """Standard/complex/index workload trace for one database (cached)."""
+        """Standard/complex/index workload trace for one database (cached).
+
+        Store entries are keyed on the full generation config and validated
+        against the database's row-count fingerprint, so a regenerated or
+        differently sized database rebuilds its traces.
+        """
         key = (db_name, mode, n, seed_offset, max_joins)
         if key not in self._traces:
             db = self.databases[db_name]
-            config = WorkloadConfig(
-                mode="standard" if mode == "index" else mode,
-                max_joins=max_joins if max_joins is not None
-                else self.config.max_joins)
-            generator = WorkloadGenerator(
-                db, config,
-                seed=self.config.seed + seed_offset
-                + 1000 * self.config.database_names.index(db_name))
-            queries = generator.generate(n or self.config.queries_per_db)
-            self._traces[key] = generate_trace(
-                db, queries, seed=self.config.seed,
-                index_mode=(mode == "index"))
+            trace, store_key = None, None
+            if self.store is not None:
+                store_key = self.store.key("trace", self._generation_key(),
+                                           key)
+                trace = self.store.load("trace", store_key,
+                                        fingerprint=db.fingerprint())
+            if trace is None:
+                config = WorkloadConfig(
+                    mode="standard" if mode == "index" else mode,
+                    max_joins=max_joins if max_joins is not None
+                    else self.config.max_joins)
+                generator = WorkloadGenerator(
+                    db, config,
+                    seed=self.config.seed + seed_offset
+                    + 1000 * self.config.database_names.index(db_name))
+                queries = generator.generate(n or self.config.queries_per_db)
+                trace = generate_trace(db, queries, seed=self.config.seed,
+                                       index_mode=(mode == "index"))
+                if self.store is not None:
+                    self.store.save("trace", store_key, trace,
+                                    fingerprint=db.fingerprint())
+            self._traces[key] = trace
         return self._traces[key]
 
     def training_traces(self, mode="standard", max_joins=None):
@@ -133,25 +175,69 @@ class Artifacts:
         """Named IMDB evaluation workload executed on the IMDB database."""
         if workload_name not in self._imdb_eval:
             db = self.databases["imdb"]
-            queries = imdb_workload(db, workload_name)
-            self._imdb_eval[workload_name] = generate_trace(
-                db, queries, seed=self.config.seed)
+            trace, store_key = None, None
+            if self.store is not None:
+                store_key = self.store.key("trace", self._generation_key(),
+                                           ("imdb_eval", workload_name))
+                trace = self.store.load("trace", store_key,
+                                        fingerprint=db.fingerprint())
+            if trace is None:
+                queries = imdb_workload(db, workload_name)
+                trace = generate_trace(db, queries, seed=self.config.seed)
+                if self.store is not None:
+                    self.store.save("trace", store_key, trace,
+                                    fingerprint=db.fingerprint())
+            self._imdb_eval[workload_name] = trace
         return self._imdb_eval[workload_name]
 
     # ------------------------------------------------------------------
-    def graphs(self, trace, cards):
-        """Featurized graphs for a trace, cached per (trace, card source).
+    def trace_fingerprint(self, trace, cards):
+        """Content digest of ``(trace records, cards)`` (memoized).
 
-        The list memo keeps repeated lookups free; the fingerprint cache
-        underneath additionally serves *equal* plans across different trace
-        objects (re-generated workloads, subsets) without re-featurizing.
+        The memo is keyed by object identity for speed but each entry pins
+        its trace, so a recycled ``id()`` can never alias another trace's
+        digest; the digest itself is pure content (per-plan fingerprints +
+        database row counts), so equal traces share it.
         """
-        key = (id(trace), cards)
+        entry = self._trace_fps.get(id(trace))
+        if entry is None or entry[0] is not trace:
+            entry = (trace, {})
+            self._trace_fps[id(trace)] = entry
+            while len(self._trace_fps) > 4096:
+                self._trace_fps.pop(next(iter(self._trace_fps)))
+        digest = entry[1].get(cards)
+        if digest is None:
+            digest = records_fingerprint(list(trace), self.databases, cards,
+                                         key_cache=self.featurization_cache)
+            entry[1][cards] = digest
+        return digest
+
+    def graphs(self, trace, cards):
+        """Featurized graphs for a trace, keyed on *content* fingerprint.
+
+        Equal traces — re-generated workloads, subsets, unpickled copies —
+        share one graph list even across distinct objects (the former
+        ``id(trace)`` key could be recycled by the allocator after a trace
+        was GC'd, serving another trace's graphs).  With a store attached,
+        graph lists persist across sessions.
+        """
+        key = self.trace_fingerprint(trace, cards)
         if key not in self._graphs:
-            self._graphs[key] = featurize_records(
-                list(trace), self.databases, cards=cards,
-                estimator_cache=self.estimator_cache,
-                feat_cache=self.featurization_cache)
+            built, store_key = None, None
+            if self.store is not None:
+                # Through ArtifactStore.key so STORE_VERSION bumps orphan
+                # graph lists like every other kind.
+                store_key = self.store.key("graphs", key.hex())
+                built = self.store.load("graphs", store_key, fingerprint=key)
+            if built is None:
+                built = featurize_records(
+                    list(trace), self.databases, cards=cards,
+                    estimator_cache=self.estimator_cache,
+                    feat_cache=self.featurization_cache)
+                if self.store is not None:
+                    self.store.save("graphs", store_key, built,
+                                    fingerprint=key)
+            self._graphs[key] = built
         return self._graphs[key]
 
     def runtimes(self, trace):
@@ -159,15 +245,37 @@ class Artifacts:
 
     # ------------------------------------------------------------------
     def train_zero_shot(self, traces, cards="exact", config=None):
-        """Train a zero-shot model on the given traces (graphs cached)."""
+        """Train a zero-shot model on the given traces (graphs cached).
+
+        With a store attached, the trained model is persisted keyed on the
+        content fingerprint of its training records plus the training
+        config — a later session (or a forked experiment worker) hydrates
+        it instead of re-training.
+        """
         config = config or self.config.training_config
+        store_key = None
+        if self.store is not None:
+            records = [r for trace in traces for r in trace]
+            fingerprint = records_fingerprint(
+                records, self.databases, cards,
+                key_cache=self.featurization_cache)
+            store_key = self.store.key("model", fingerprint.hex(),
+                                       astuple(config))
+            model = self.store.load("model", store_key,
+                                    fingerprint=fingerprint)
+            if model is not None:
+                return model
         graphs, runtimes = [], []
         for trace in traces:
             graphs.extend(self.graphs(trace, cards))
             runtimes.append(self.runtimes(trace))
-        return ZeroShotCostModel.train(
+        model = ZeroShotCostModel.train(
             traces, self.databases, cards=cards, config=config,
             graphs=graphs, runtimes=np.concatenate(runtimes))
+        if self.store is not None:
+            self.store.save("model", store_key, model,
+                            fingerprint=fingerprint)
+        return model
 
     @property
     def main_model(self):
@@ -186,10 +294,32 @@ class Artifacts:
 _ARTIFACT_CACHE = {}
 
 
+def artifacts_for(config: SuiteConfig):
+    """Process-wide artifact cache (one entry per suite config).
+
+    Forked experiment workers resolve their task's config through here and
+    find the parent's instance (inherited copy-on-write); fresh processes
+    build a new one wired to ``REPRO_ARTIFACT_DIR`` when set.
+    """
+    art = _ARTIFACT_CACHE.get(config)
+    if art is None:
+        art = Artifacts(config, store=store_from_env())
+        _ARTIFACT_CACHE[config] = art
+    return art
+
+
+def register_artifacts(art: Artifacts):
+    """Make ``art`` the process-wide instance for its config.
+
+    Experiment functions call this before fanning tasks out, so workers
+    operating on an explicitly constructed :class:`Artifacts` (tests,
+    notebooks) see that exact instance after the fork.
+    """
+    _ARTIFACT_CACHE[art.config] = art
+    return art
+
+
 def get_artifacts(scale=None, seed=0):
-    """Process-wide artifact cache (one entry per scale/seed)."""
+    """Artifacts for the (env-selected) scale — the main entry point."""
     scale = scale or scale_from_env()
-    key = (scale, seed)
-    if key not in _ARTIFACT_CACHE:
-        _ARTIFACT_CACHE[key] = Artifacts(SuiteConfig(scale=scale, seed=seed))
-    return _ARTIFACT_CACHE[key]
+    return artifacts_for(SuiteConfig(scale=scale, seed=seed))

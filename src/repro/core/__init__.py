@@ -1,10 +1,12 @@
 """The zero-shot cost model: architecture, training, few-shot mode, API."""
 
 from .model import ZeroShotModel
-from .training import TrainingConfig, train_model, predict_runtimes
+from .training import (TrainingConfig, train_model, predict_runtimes,
+                       predict_cache_stats, reset_predict_cache)
 from .api import ZeroShotCostModel, featurize_records, EstimatorCache
 
 __all__ = [
     "ZeroShotModel", "TrainingConfig", "train_model", "predict_runtimes",
+    "predict_cache_stats", "reset_predict_cache",
     "ZeroShotCostModel", "featurize_records", "EstimatorCache",
 ]

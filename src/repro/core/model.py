@@ -33,10 +33,90 @@ import numpy as np
 
 from .. import perfstats
 from ..featurization import FEATURE_DIMS, GraphBatch, NODE_TYPES
-from ..nn import MLP, Module, Tensor, concat, scatter_sum
-from ..nn.tensor import is_grad_enabled
+from ..nn import MLP, Module, Tensor, concat, scatter_sum, segment_sum
+from ..nn.tensor import (activation_numpy, dropout_keep_mask, is_grad_enabled,
+                         _unbroadcast)
 
 __all__ = ["ZeroShotModel"]
+
+
+def _combine_first_layer(assembled, initial, group, n_group, mlp):
+    """The combine step's input stage as one tape node.
+
+    Fuses gather(children) → segment-sum → concat with gather(own) → first
+    combiner layer (affine + activation + dropout) — the op chain the loop
+    version builds from five separate nodes.  Forward values, gradients and
+    the dropout rng stream are identical; the backward pass accumulates
+    straight into ``assembled.grad`` / ``initial.grad`` rows (children and
+    update slots are unique and disjoint across groups, so row-wise adds
+    equal the dense scatters they replace) without per-group dense buffers.
+    """
+    layer = mlp.linears[0]
+    weight, bias = layer.weight, layer.bias
+    dtype = initial.data.dtype
+    hidden = initial.data.shape[1]
+    combined = np.zeros((n_group, 2 * hidden), dtype=dtype)
+    child_positions = group.child_positions
+    if group.edge_children.size:
+        segment_sum(assembled.data[child_positions],
+                    group.edge_parent_slots, n_group,
+                    out=combined[:, :hidden])
+    combined[:, hidden:] = initial.data[group.node_indices]
+
+    pre = combined @ weight.data
+    if bias is not None:
+        pre += bias.data
+    data = activation_numpy(mlp.activation, pre, mlp.negative_slope)
+    if mlp.activation == "relu":
+        deriv = pre > 0
+    elif mlp.activation == "leaky_relu":
+        deriv = np.where(pre > 0, pre.dtype.type(1.0),
+                         pre.dtype.type(mlp.negative_slope))
+    elif mlp.activation == "tanh":
+        deriv = data * data
+        np.subtract(1.0, deriv, out=deriv)
+    else:  # sigmoid
+        deriv = data * (1.0 - data)
+    if mlp.training and mlp.dropout > 0.0:
+        keep = dropout_keep_mask(mlp._dropout_rngs[0], data.shape,
+                                 mlp.dropout, dtype)
+        data *= keep
+        deriv = deriv * keep
+
+    def backward(grad, asm=assembled, init=initial, w=weight, b=bias,
+                 d=deriv, comb=combined, grp=group, n=n_group):
+        grad_pre = grad * d
+        if w.requires_grad:
+            w._accumulate(comb.T @ grad_pre, owned=True)
+        if b is not None and b.requires_grad:
+            g = _unbroadcast(grad_pre, b.data.shape)
+            b._accumulate(g, owned=g is not grad_pre)
+        needs_asm = asm is not None and asm.requires_grad \
+            and grp.edge_children.size
+        needs_init = init.requires_grad
+        if not (needs_asm or needs_init):
+            return
+        grad_comb = grad_pre @ w.data.T
+        if needs_asm:
+            if asm.grad is None:
+                asm.grad = np.zeros(asm.data.shape, dtype=asm.data.dtype)
+            # Each node is the child of exactly one parent, so these rows
+            # are written by exactly one group: the row-wise add is the
+            # dense zero-buffer scatter of the loop version, minus the
+            # buffer.
+            asm.grad[grp.child_positions] += \
+                grad_comb[:, :hidden][grp.edge_parent_slots]
+        if needs_init:
+            if init.grad is None:
+                init.grad = np.zeros(init.data.shape, dtype=init.data.dtype)
+            init.grad[grp.node_indices] += grad_comb[:, hidden:]
+
+    parents = [initial, weight]
+    if assembled is not None:
+        parents.append(assembled)
+    if bias is not None:
+        parents.append(bias)
+    return Tensor._make(data, tuple(parents), backward)
 
 
 class ZeroShotModel(Module):
@@ -92,21 +172,34 @@ class ZeroShotModel(Module):
                 assembled = concat(parts, axis=0)
             for group in level_groups:
                 n_group = len(group.node_indices)
+                mlp = self.combiners[group.node_type]
+                if len(mlp.linears) > 1:
+                    # Gather + segment-sum + concat + first combiner layer
+                    # as one tape node (bit-identical to the op chain).
+                    hidden = _combine_first_layer(assembled, initial, group,
+                                                  n_group, mlp)
+                    parts.append(mlp.forward_tail(hidden, start=1))
+                    continue
                 if group.edge_children.size:
-                    child_states = assembled.gather_rows(group.child_positions)
+                    # child_positions / node_indices are unique by
+                    # construction (each node is one child, updated once),
+                    # so backward scatters with plain assignment.
+                    child_states = assembled.gather_rows(
+                        group.child_positions, assume_unique=True)
                     child_sum = scatter_sum(child_states,
                                             group.edge_parent_slots, n_group)
                 else:
                     child_sum = Tensor(np.zeros((n_group, self.hidden_dim),
                                                 dtype=dtype))
-                own = initial.gather_rows(group.node_indices)
-                parts.append(self.combiners[group.node_type](
-                    concat([child_sum, own], axis=1)))
+                own = initial.gather_rows(group.node_indices,
+                                          assume_unique=True)
+                parts.append(mlp(concat([child_sum, own], axis=1)))
 
         # Step 4: estimation MLP on the root states (gathered from the
         # concatenated blocks through the mp-order positions).
         updated = concat(parts, axis=0)
-        root_states = updated.gather_rows(batch.root_positions)
+        root_states = updated.gather_rows(batch.root_positions,
+                                          assume_unique=True)
         return self.estimator(root_states).reshape(-1)
 
     def forward_inference(self, batch: GraphBatch) -> np.ndarray:
@@ -135,10 +228,16 @@ class ZeroShotModel(Module):
         for level_groups in batch.levels:
             for group in level_groups:
                 n_group = len(group.node_indices)
-                child_sum = np.zeros((n_group, self.hidden_dim), dtype=dtype)
                 if group.edge_children.size:
-                    np.add.at(child_sum, group.edge_parent_slots,
-                              updated[group.edge_children])
+                    # Parent slots are emitted sorted by the batcher, so the
+                    # reduceat-based segmented sum applies (bit-identical to
+                    # the np.add.at scatter it replaces).
+                    child_sum = segment_sum(
+                        updated[group.edge_children],
+                        group.edge_parent_slots, n_group)
+                else:
+                    child_sum = np.zeros((n_group, self.hidden_dim),
+                                         dtype=dtype)
                 combined = np.concatenate(
                     (child_sum, initial[group.node_indices]), axis=1)
                 updated[group.node_indices] = \

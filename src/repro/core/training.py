@@ -5,6 +5,15 @@ The engine's dtype policy lives here: training runs in float32 by default
 matmul-bound hot loop; pass ``dtype="float64"`` to opt into full precision.
 The model, its Adam state, the batch features and the log targets are all
 cast once up front, so no per-step conversions occur.
+
+Optimization runs on the flat-parameter engine by default: the flat
+:class:`~repro.nn.Adam` moves all parameters into one contiguous buffer per
+dtype, so a step is a handful of whole-model vectorized ops and each
+early-stopping snapshot/restore is a single buffer copy instead of a
+per-tensor ``state_dict`` deep copy.  ``TrainingConfig(flat_optimizer=False)``
+trains through the preserved per-parameter reference path
+(:class:`~repro.nn.Adam_reference`, ``state_dict`` snapshots); both paths
+are bit-identical, which the tier-1 suite asserts.
 """
 
 from __future__ import annotations
@@ -13,15 +22,37 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .. import perfstats
 from ..featurization import BatchCache, FeatureScalers, TargetScaler, make_batch
-from ..nn import Adam, QErrorLoss, clip_grad_norm, no_grad
+from ..nn import (Adam, Adam_reference, QErrorLoss, clip_grad_norm,
+                  clip_grad_norm_reference, no_grad)
 
-__all__ = ["TrainingConfig", "train_model", "predict_runtimes"]
+__all__ = ["TrainingConfig", "train_model", "predict_runtimes",
+           "predict_cache_stats", "reset_predict_cache"]
 
 # Shared across predict_runtimes calls: the benchmark suite and the public
 # API evaluate the same featurized graphs repeatedly (per cardinality mode,
 # per experiment), so batches are rebuilt only on genuinely new graph lists.
+# Bounded (LRU); hit/miss deltas are mirrored into the perfstats counters
+# ``predict.batch_cache.hits`` / ``.misses`` so the smoke tests can observe
+# it like every other engine cache, and :func:`reset_predict_cache` drops
+# all pinned batches (long sessions, scaler turnover, test isolation).
 _PREDICT_BATCH_CACHE = BatchCache(max_entries=64)
+
+
+def predict_cache_stats():
+    """Hit/miss/entry counters of the shared ``predict_runtimes`` cache."""
+    return _PREDICT_BATCH_CACHE.stats()
+
+
+def reset_predict_cache():
+    """Drop every batch pinned by the shared ``predict_runtimes`` cache.
+
+    The cache keys on graph *and scaler* identity, so a long session that
+    keeps replacing models/scalers would otherwise pin stale scaler-bound
+    batches until LRU eviction gets to them.
+    """
+    _PREDICT_BATCH_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -40,6 +71,10 @@ class TrainingConfig:
     seed: int = 0
     verbose: bool = False
     dtype: str = "float32"
+    # False trains through the per-parameter reference optimizer path
+    # (Adam_reference + state_dict snapshots) — the executable spec the
+    # flat engine must match bit-for-bit.
+    flat_optimizer: bool = True
 
     def few_shot(self, epochs=15, learning_rate=4e-4):
         """Config variant for fine-tuning (lower LR, fewer epochs)."""
@@ -84,8 +119,15 @@ def train_model(model, graphs, runtimes_ms, config, feature_scalers=None,
 
     log_targets = np.log(np.maximum(runtimes_ms, 1e-3)).astype(dtype)
     loss_fn = QErrorLoss()
-    optimizer = Adam(model.parameters(), lr=config.learning_rate,
-                     weight_decay=config.weight_decay)
+    params = list(model.parameters())
+    if config.flat_optimizer:
+        optimizer = Adam(params, lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        clip = clip_grad_norm
+    else:
+        optimizer = Adam_reference(params, lr=config.learning_rate,
+                                   weight_decay=config.weight_decay)
+        clip = clip_grad_norm_reference
 
     # Batches are materialized once, cast to the training dtype once, and
     # reused across epochs (shuffling the batch *order* per epoch): batch
@@ -120,7 +162,7 @@ def train_model(model, graphs, runtimes_ms, config, feature_scalers=None,
             optimizer.zero_grad()
             loss = batch_loss(train_batches[batch_index])
             loss.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
+            clip(params, config.grad_clip)
             optimizer.step()
             epoch_losses.append(loss.item())
         history["train_loss"].append(float(np.mean(epoch_losses)))
@@ -132,7 +174,13 @@ def train_model(model, graphs, runtimes_ms, config, feature_scalers=None,
             history["val_loss"].append(val_loss)
             if val_loss < best_val - 1e-4:
                 best_val = val_loss
-                best_state = model.state_dict()
+                if config.flat_optimizer:
+                    # One contiguous copy per dtype instead of a per-tensor
+                    # state_dict deep copy.
+                    best_state = optimizer.space.snapshot()
+                    perfstats.increment("training.flat_snapshot")
+                else:
+                    best_state = model.state_dict()
                 patience_left = config.early_stopping_patience
             else:
                 patience_left -= 1
@@ -145,7 +193,11 @@ def train_model(model, graphs, runtimes_ms, config, feature_scalers=None,
                   f"{val_text}")
 
     if best_state is not None:
-        model.load_state_dict(best_state)
+        if config.flat_optimizer:
+            optimizer.space.restore(best_state)
+            perfstats.increment("training.flat_restore")
+        else:
+            model.load_state_dict(best_state)
     model.eval()
     return feature_scalers, target_scaler, history
 
@@ -177,8 +229,14 @@ def predict_runtimes(model, graphs, feature_scalers, target_scaler,
             # get_chunks keys each chunk consistently: a graph list that
             # shifted or grew still hits every previously cached chunk
             # instead of re-batching on the new boundaries.
+            hits0, misses0 = batch_cache.hits, batch_cache.misses
             for batch in batch_cache.get_chunks(graphs, feature_scalers,
                                                 batch_size):
                 outputs.append(model(batch).numpy())
+            if batch_cache is _PREDICT_BATCH_CACHE:
+                perfstats.increment("predict.batch_cache.hits",
+                                    batch_cache.hits - hits0)
+                perfstats.increment("predict.batch_cache.misses",
+                                    batch_cache.misses - misses0)
     scaled = np.concatenate(outputs)
     return target_scaler.to_runtime_ms(scaled)

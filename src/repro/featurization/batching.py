@@ -379,5 +379,6 @@ class BatchCache:
                 "entries": len(self._entries)}
 
     def clear(self):
+        """Drop all cached batches (and the pinned graph references)."""
         self._entries.clear()
         self._chunk_heads.clear()

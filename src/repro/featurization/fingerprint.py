@@ -34,7 +34,7 @@ from hashlib import blake2b
 
 from ..sql import BooleanPredicate, Comparison
 
-__all__ = ["plan_fingerprint", "FeaturizationCache"]
+__all__ = ["plan_fingerprint", "records_fingerprint", "FeaturizationCache"]
 
 
 def _predicate_token(predicate):
@@ -86,6 +86,38 @@ def plan_fingerprint(db, plan, cards, storage_formats=None):
     sf_token = (tuple(sorted(storage_formats.items()))
                 if storage_formats else None)
     return _digest(db.fingerprint(), cards, sf_token, plan)
+
+
+def records_fingerprint(records, dbs, cards, storage_formats=None,
+                        key_cache=None):
+    """16-byte content digest of an ordered trace-record sequence.
+
+    Concatenates the per-plan :func:`plan_fingerprint` digests (so order
+    matters — graph lists are positional) and hashes them once more.  Two
+    equal-but-distinct traces (re-generated workloads, unpickled copies)
+    collide deliberately; any change to a plan, a database's row counts, or
+    the cardinality source changes the digest.  Used to key the benchmark
+    suite's graph lists and the disk artifact store.
+
+    ``key_cache`` may be a :class:`FeaturizationCache`, whose per-plan-object
+    digest memo makes warm re-fingerprinting two dict probes per record.
+    """
+    db_fingerprints = {}
+    pieces = bytearray()
+    for record in records:
+        db = dbs[record.db_name]
+        fingerprint = db_fingerprints.get(record.db_name)
+        if fingerprint is None:
+            fingerprint = db.fingerprint()
+            db_fingerprints[record.db_name] = fingerprint
+        if key_cache is not None:
+            pieces += key_cache.key(db, record.plan, cards, storage_formats,
+                                    db_fingerprint=fingerprint)
+        else:
+            sf_token = (tuple(sorted(storage_formats.items()))
+                        if storage_formats else None)
+            pieces += _digest(fingerprint, cards, sf_token, record.plan)
+    return blake2b(bytes(pieces), digest_size=16).digest()
 
 
 class FeaturizationCache:

@@ -6,21 +6,26 @@ optimizers and the Q-error loss from the paper.
 """
 
 from .tensor import (Tensor, concat, maximum, scatter_sum, linear,
-                     fused_act_dropout, no_grad, is_grad_enabled,
+                     fused_act_dropout, linear_act_dropout, segment_sum,
+                     FlatParameterSpace, no_grad, is_grad_enabled,
                      set_default_dtype, get_default_dtype, default_dtype)
 from .modules import (Module, Linear, ReLU, LeakyReLU, Tanh, Sigmoid,
                       Dropout, Sequential, MLP)
-from .optim import SGD, Adam, clip_grad_norm
+from .optim import (SGD, Adam, Adam_reference, clip_grad_norm,
+                    clip_grad_norm_reference)
 from .losses import q_error, q_error_metrics, QErrorLoss, mse_loss, huber_loss
 from .serialize import save_state, load_state
 
 __all__ = [
     "Tensor", "concat", "maximum", "scatter_sum", "linear",
-    "fused_act_dropout", "no_grad", "is_grad_enabled",
+    "fused_act_dropout", "linear_act_dropout", "segment_sum",
+    "FlatParameterSpace",
+    "no_grad", "is_grad_enabled",
     "set_default_dtype", "get_default_dtype", "default_dtype",
     "Module", "Linear", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
     "Dropout", "Sequential", "MLP",
-    "SGD", "Adam", "clip_grad_norm",
+    "SGD", "Adam", "Adam_reference", "clip_grad_norm",
+    "clip_grad_norm_reference",
     "q_error", "q_error_metrics", "QErrorLoss", "mse_loss", "huber_loss",
     "save_state", "load_state",
 ]

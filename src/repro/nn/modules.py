@@ -18,8 +18,8 @@ import re
 
 import numpy as np
 
-from .tensor import (Tensor, activation_numpy, dropout_keep_mask,
-                     fused_act_dropout, linear)
+from .tensor import (Tensor, activation_numpy, dropout_keep_mask, linear,
+                     linear_act_dropout)
 
 __all__ = ["Module", "Linear", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
            "Dropout", "Sequential", "MLP"]
@@ -295,9 +295,9 @@ class MLP(Module):
     units to 32 outputs, with the chosen activation between layers (none after
     the final layer) and optional dropout after each hidden activation.
 
-    The forward pass is fused: each hidden layer is one ``linear`` tape node
-    followed by one ``fused_act_dropout`` node (activation and dropout mask
-    applied in a single op) instead of a chain of separate layer modules.
+    The forward pass is fused: each hidden layer is a single
+    ``linear_act_dropout`` tape node (affine map, activation and dropout
+    mask in one op) instead of a chain of separate layer modules.
     """
 
     def __init__(self, in_features, hidden_sizes, out_features,
@@ -321,14 +321,26 @@ class MLP(Module):
         self.out_features = out_features
 
     def forward(self, x):
+        return self.forward_tail(x, start=0)
+
+    def forward_tail(self, x, start=0):
+        """Forward from layer ``start`` on (0 = the whole MLP).
+
+        Lets a caller that fused layer 0 into an upstream op (the zero-shot
+        model's combine step) run the remaining layers through the same
+        code path.
+        """
         last = len(self.linears) - 1
-        for i, layer in enumerate(self.linears):
-            x = linear(x, layer.weight, layer.bias)
+        for i in range(start, len(self.linears)):
+            layer = self.linears[i]
             if i < last:
-                x = fused_act_dropout(
-                    x, self.activation, p=self.dropout,
-                    rng=self._dropout_rngs[i], training=self.training,
+                x = linear_act_dropout(
+                    x, layer.weight, layer.bias, self.activation,
+                    p=self.dropout, rng=self._dropout_rngs[i],
+                    training=self.training,
                     negative_slope=self.negative_slope)
+            else:
+                x = linear(x, layer.weight, layer.bias)
         return x
 
     def forward_numpy(self, x):

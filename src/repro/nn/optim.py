@@ -1,23 +1,45 @@
 """Optimizers for :mod:`repro.nn` models.
 
-Optimizer state follows each parameter's dtype (the engine trains in
-float32 by default, float64 on request); state buffers are lazily
-(re)allocated so casting a model with ``Module.to`` after constructing the
-optimizer stays correct.  The Adam step works in preallocated scratch
-buffers to avoid per-step temporaries in the training hot loop.
+The engine's :class:`Adam` is *flat*: constructing it moves all parameters
+into a :class:`~repro.nn.tensor.FlatParameterSpace` (one contiguous buffer
+per dtype, parameters become views), its moment state lives in matching
+flat buffers, and a step is a constant number of vectorized ops over the
+whole model instead of a per-parameter Python loop.  The per-parameter
+implementation is preserved as :class:`Adam_reference` — an executable
+specification the flat path must match bit-for-bit (asserted by the tier-1
+tests); the same pairing exists for :func:`clip_grad_norm` /
+:func:`clip_grad_norm_reference`.
+
+Bit-identity details worth knowing:
+
+* Every update op is elementwise, so running it over the concatenated
+  buffer produces exactly the per-parameter results.
+* The gradient norm is still accumulated per parameter (same ``vdot`` per
+  slice, same Python-float summation order as the reference) — a single
+  ``vdot`` over the flat buffer would change the floating-point reduction
+  order.  Only the *scaling* is collapsed to one in-place multiply.
+* A step in which some parameters received no gradient (a batch without
+  some node type) falls back to a per-parameter walk over the flat views —
+  the reference skips those parameters entirely, and decaying their moments
+  anyway would diverge from it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["SGD", "Adam", "clip_grad_norm"]
+from .. import perfstats
+from .tensor import FlatParameterSpace
+
+__all__ = ["SGD", "Adam", "Adam_reference", "clip_grad_norm",
+           "clip_grad_norm_reference"]
 
 
-def clip_grad_norm(parameters, max_norm):
-    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+def clip_grad_norm_reference(parameters, max_norm):
+    """Per-parameter reference for :func:`clip_grad_norm` (executable spec).
 
-    Returns the pre-clipping norm (useful for monitoring training stability).
+    Scales gradients in place so their global L2 norm is at most
+    ``max_norm``; returns the pre-clipping norm.
     """
     parameters = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float(np.vdot(p.grad, p.grad))
@@ -26,6 +48,40 @@ def clip_grad_norm(parameters, max_norm):
         scale = max_norm / total
         for param in parameters:
             param.grad *= scale
+    return total
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for monitoring training stability).
+    The norm itself is accumulated per parameter — bit-identical to
+    :func:`clip_grad_norm_reference` — but gradients that together tile one
+    flat buffer (parameters flattened by :class:`Adam` /
+    :class:`~repro.nn.tensor.FlatParameterSpace`) are rescaled with a single
+    in-place multiply on the buffer.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float(np.vdot(p.grad, p.grad))
+                              for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        by_base = {}
+        for param in parameters:
+            base = param.grad.base if isinstance(param.grad, np.ndarray) \
+                else None
+            by_base.setdefault(id(base) if base is not None else None,
+                               (base, []))[1].append(param)
+        for base, group in by_base.values():
+            if base is not None and sum(p.grad.size for p in group) == base.size:
+                # The group's views cover the flat buffer exactly: scaling
+                # the buffer scales each gradient, elementwise-identical to
+                # the per-parameter loop.
+                base *= scale
+                perfstats.increment("optim.flat_clip")
+            else:
+                for param in group:
+                    param.grad *= scale
     return total
 
 
@@ -71,8 +127,14 @@ class SGD(Optimizer):
             param.data -= self.lr * grad
 
 
-class Adam(Optimizer):
-    """Adam (Kingma & Ba) — the optimizer used for all learned models here."""
+class Adam_reference(Optimizer):
+    """Per-parameter Adam (Kingma & Ba) — the executable reference spec.
+
+    Optimizer state follows each parameter's dtype; state buffers are lazily
+    (re)allocated so casting a model with ``Module.to`` after constructing
+    the optimizer stays correct.  The step works in preallocated scratch
+    buffers to avoid per-step temporaries.
+    """
 
     def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
                  weight_decay=0.0):
@@ -87,6 +149,7 @@ class Adam(Optimizer):
         self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self):
+        perfstats.increment("optim.reference_step")
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
@@ -109,6 +172,133 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad ** 2
             # update = lr * m_hat / (sqrt(v_hat) + eps), computed in scratch:
             # sqrt(v_hat) = sqrt(v) / sqrt(bias2), m_hat = m / bias1.
+            np.sqrt(v, out=scratch)
+            scratch /= sqrt_bias2
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= self.lr / bias1
+            param.data -= scratch
+
+
+class Adam(Optimizer):
+    """Flat-parameter Adam: the whole model updated in ~8 vectorized ops.
+
+    Construction flattens the parameters (see
+    :class:`~repro.nn.tensor.FlatParameterSpace`); moments and scratch live
+    in flat buffers aligned with the parameter buffer.  When every
+    parameter's gradient was accumulated into the flat gradient buffer (the
+    common case), the step runs whole-buffer ops; otherwise it walks the
+    flat views per parameter, skipping missing gradients exactly like
+    :class:`Adam_reference`.  Both paths are bit-identical to the reference.
+    """
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self.space = FlatParameterSpace(self.parameters)
+        self._alloc_state()
+
+    def _alloc_state(self, old_state=None):
+        """Flat m/v/scratch per group; preserves old moments across rebinds."""
+        self._m, self._v, self._scratch, self._scratch2 = {}, {}, {}, {}
+        for group in self.space.groups:
+            m = np.zeros_like(group.data)
+            v = np.zeros_like(group.data)
+            if old_state is not None:
+                for param, (start, stop) in zip(group.params, group.slices):
+                    old = old_state.get(id(param))
+                    if old is not None:
+                        m[start:stop] = old[0].ravel()
+                        v[start:stop] = old[1].ravel()
+            self._m[id(group)] = m
+            self._v[id(group)] = v
+            self._scratch[id(group)] = np.empty_like(group.data)
+            self._scratch2[id(group)] = (np.empty_like(group.data)
+                                         if self.weight_decay else None)
+
+    def _rebind(self):
+        """Re-flatten after ``Module.to`` / ``load_state_dict`` rebound data.
+
+        Matches the reference's lazy state handling: moments survive (cast
+        to the parameter's new dtype by the flat copy).
+        """
+        old_state = {}
+        for group in self.space.groups:
+            m, v = self._m[id(group)], self._v[id(group)]
+            for param, (start, stop) in zip(group.params, group.slices):
+                shape = param.data.shape
+                old_state[id(param)] = (m[start:stop].reshape(shape),
+                                        v[start:stop].reshape(shape))
+        self.space.rebind()
+        self._alloc_state(old_state)
+
+    def step(self):
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        sqrt_bias2 = np.sqrt(bias2)
+        if not self.space.bound():
+            self._rebind()
+        for group in self.space.groups:
+            if group.grads_complete():
+                self._step_flat(group, bias1, sqrt_bias2)
+            else:
+                self._step_partial(group, bias1, sqrt_bias2)
+
+    def _step_flat(self, group, bias1, sqrt_bias2):
+        """Whole-buffer update: elementwise-identical to the reference loop."""
+        perfstats.increment("optim.flat_step")
+        m, v = self._m[id(group)], self._v[id(group)]
+        scratch = self._scratch[id(group)]
+        grad = group.grad
+        if self.weight_decay:
+            g_eff = self._scratch2[id(group)]
+            np.multiply(group.data, self.weight_decay, out=g_eff)
+            g_eff += grad
+            grad = g_eff
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=scratch)
+        m += scratch
+        v *= self.beta2
+        np.multiply(grad, grad, out=scratch)
+        scratch *= 1.0 - self.beta2
+        v += scratch
+        np.sqrt(v, out=scratch)
+        scratch /= sqrt_bias2
+        scratch += self.eps
+        np.divide(m, scratch, out=scratch)
+        scratch *= self.lr / bias1
+        group.data -= scratch
+
+    def _step_partial(self, group, bias1, sqrt_bias2):
+        """Per-parameter walk over the flat views (some grads missing).
+
+        Same op sequence as :class:`Adam_reference`, so parameters that do
+        have gradients move identically while the others — moments included
+        — stay untouched.
+        """
+        perfstats.increment("optim.partial_step")
+        m_flat, v_flat = self._m[id(group)], self._v[id(group)]
+        scratch_flat = self._scratch[id(group)]
+        for param, (start, stop) in zip(group.params, group.slices):
+            if param.grad is None:
+                continue
+            shape = param.data.shape
+            m = m_flat[start:stop].reshape(shape)
+            v = v_flat[start:stop].reshape(shape)
+            scratch = scratch_flat[start:stop].reshape(shape)
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
             np.sqrt(v, out=scratch)
             scratch /= sqrt_bias2
             scratch += self.eps

@@ -10,7 +10,7 @@ new :class:`Tensor` holding references to its parents and a closure that
 propagates gradients to them.  Calling :meth:`Tensor.backward` performs a
 topological sort of the graph and accumulates gradients.
 
-Two engine-level features keep the hot loop fast:
+Three engine-level features keep the hot loop fast:
 
 * **Fused ops** — :func:`linear` (matmul + bias in one tape node) and
   :func:`fused_act_dropout` (activation + inverted dropout in one node)
@@ -20,6 +20,13 @@ Two engine-level features keep the hot loop fast:
   instead of deep-copying it.  Unowned gradients (views or shared upstream
   buffers) are still copied on first accumulation, so a parameter's ``grad``
   never aliases another node's buffer.
+* **Flat parameter storage** — :class:`FlatParameterSpace` rebinds a fixed
+  set of parameters so their ``data`` (and accumulated ``grad``) are views
+  into one contiguous per-dtype buffer.  Optimizers then update the whole
+  model with a handful of vectorized ops (see :class:`repro.nn.optim.Adam`)
+  and early-stopping snapshots become a single buffer copy.  A parameter
+  carrying a ``_grad_view`` receives its first gradient *into* the flat
+  buffer instead of adopting the caller's array.
 
 Floating-point precision is configurable module-wide: training runs in
 ``float32`` by default (see :class:`repro.core.training.TrainingConfig`),
@@ -33,7 +40,9 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["Tensor", "concat", "maximum", "scatter_sum", "linear",
-           "fused_act_dropout", "activation_numpy", "dropout_keep_mask",
+           "fused_act_dropout", "linear_act_dropout", "activation_numpy",
+           "dropout_keep_mask",
+           "segment_sum", "FlatParameterSpace",
            "no_grad", "is_grad_enabled",
            "set_default_dtype", "get_default_dtype", "default_dtype"]
 
@@ -98,9 +107,11 @@ def activation_numpy(kind, x, negative_slope=0.01):
     all evaluate through here, so the two execution paths cannot diverge.
     """
     if kind == "relu":
-        return np.where(x > 0, x, 0.0)
+        return np.maximum(x, 0.0)
     if kind == "leaky_relu":
-        return np.where(x > 0, x, negative_slope * x)
+        # max(x, slope*x) picks x exactly where x > 0 and slope*x elsewhere
+        # (0 < slope < 1): same values as the where() form, one less temp.
+        return np.maximum(x, negative_slope * x)
     if kind == "tanh":
         return np.tanh(x)
     if kind == "sigmoid":
@@ -109,8 +120,24 @@ def activation_numpy(kind, x, negative_slope=0.01):
 
 
 def dropout_keep_mask(rng, shape, p, dtype):
-    """Inverted-dropout keep mask (zeros with probability ``p``, rescaled)."""
-    return ((rng.random(shape) >= p) / (1.0 - p)).astype(dtype, copy=False)
+    """Inverted-dropout keep mask (zeros with probability ``p``, rescaled).
+
+    The uniform draw runs natively in the working dtype: float32 models
+    draw float32 randoms (half the generator work and memory traffic).
+    Note a float32 draw consumes a *different* rng stream than a float64
+    draw, so masks differ across dtypes — but they are deterministic per
+    (rng state, dtype), which is the property the engine's bit-identity
+    contracts rely on: every code path (fused tape ops, ``forward_numpy``,
+    flat vs reference optimizer runs) draws through this one helper.
+    The mask is built as a 0/1 array scaled in place — the kept entries are
+    exactly 1, so scaling commutes with the cast and the values equal the
+    ``(draw >= p) / (1 - p)`` formulation without full-size temporaries.
+    """
+    dtype = np.dtype(dtype)
+    draw_dtype = dtype if dtype == np.dtype(np.float32) else np.float64
+    keep = (rng.random(shape, dtype=draw_dtype) >= p).astype(dtype, copy=False)
+    keep *= dtype.type(1.0 / (1.0 - p))
+    return keep
 
 
 def _unbroadcast(grad, shape):
@@ -149,7 +176,8 @@ def _as_array(value):
 class Tensor:
     """A numpy array with an optional gradient and autograd history."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward",
+                 "name", "_grad_view")
 
     def __init__(self, data, requires_grad=False, _parents=(), _backward=None, name=None):
         self.data = _coerce(data)
@@ -158,6 +186,7 @@ class Tensor:
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
         self.name = name
+        self._grad_view = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -220,8 +249,19 @@ class Tensor:
         no other reference, letting the first accumulation adopt the buffer
         in place of a deep copy.  Unowned gradients (upstream buffers, views)
         are copied so ``self.grad`` never aliases another node's state.
+
+        Parameters living in a :class:`FlatParameterSpace` carry a
+        ``_grad_view`` into the space's flat gradient buffer; their first
+        gradient is written into that view so optimizers see the whole
+        model's gradient as one contiguous array.
         """
         if self.grad is None:
+            view = self._grad_view
+            if view is not None and view.shape == self.data.shape \
+                    and view.dtype == self.data.dtype:
+                np.copyto(view, grad)
+                self.grad = view
+                return
             dtype = self.data.dtype
             if (owned and isinstance(grad, np.ndarray) and grad.dtype == dtype
                     and grad.flags.owndata and grad.flags.writeable):
@@ -445,15 +485,23 @@ class Tensor:
 
         return Tensor._make(data, (self,), backward)
 
-    def gather_rows(self, index):
-        """Select rows ``self[index]`` (first axis); repeats are allowed."""
+    def gather_rows(self, index, assume_unique=False):
+        """Select rows ``self[index]`` (first axis); repeats are allowed.
+
+        ``assume_unique=True`` promises the caller that ``index`` has no
+        repeats, so the backward pass scatters with plain fancy-index
+        assignment instead of ``np.add.at`` (identical result, much faster).
+        """
         index = np.asarray(index, dtype=np.int64)
         data = self.data[index]
 
-        def backward(grad, a=self, idx=index):
+        def backward(grad, a=self, idx=index, unique=assume_unique):
             if a.requires_grad:
-                acc = np.zeros_like(a.data)
-                np.add.at(acc, idx, grad)
+                acc = np.zeros(a.data.shape, dtype=a.data.dtype)
+                if unique:
+                    acc[idx] = grad
+                else:
+                    np.add.at(acc, idx, grad)
                 a._accumulate(acc, owned=True)
 
         return Tensor._make(data, (self,), backward)
@@ -543,10 +591,14 @@ def fused_act_dropout(x, activation="leaky_relu", p=0.0, rng=None,
     if activation == "relu":
         deriv = xd > 0
     elif activation == "leaky_relu":
-        deriv = np.where(xd > 0, 1.0, negative_slope).astype(xd.dtype,
-                                                             copy=False)
+        # dtype-typed scalars keep where() in the working dtype (no float64
+        # intermediate + cast); the values are the same float32/float64
+        # constants either way.
+        deriv = np.where(xd > 0, xd.dtype.type(1.0),
+                         xd.dtype.type(negative_slope))
     elif activation == "tanh":
-        deriv = 1.0 - data ** 2
+        deriv = data * data
+        np.subtract(1.0, deriv, out=deriv)
     else:  # sigmoid
         deriv = data * (1.0 - data)
 
@@ -554,7 +606,7 @@ def fused_act_dropout(x, activation="leaky_relu", p=0.0, rng=None,
         if rng is None:
             raise ValueError("dropout requires an rng in training mode")
         keep = dropout_keep_mask(rng, data.shape, p, xd.dtype)
-        data = data * keep
+        data *= keep
         deriv = deriv * keep
 
     def backward(grad, a=x, d=deriv):
@@ -562,6 +614,54 @@ def fused_act_dropout(x, activation="leaky_relu", p=0.0, rng=None,
             a._accumulate(grad * d, owned=True)
 
     return Tensor._make(data, (x,), backward)
+
+
+def linear_act_dropout(x, weight, bias=None, activation="leaky_relu", p=0.0,
+                       rng=None, training=True, negative_slope=0.01):
+    """One hidden MLP layer — affine map, activation, inverted dropout — as a
+    single tape node.
+
+    Equivalent to ``fused_act_dropout(linear(x, w, b), ...)`` op for op
+    (bit-identical values and gradients, same rng stream), with one fewer
+    tape node, closure and gradient hand-off per hidden layer.
+    """
+    if activation not in _FUSED_ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}")
+    if not isinstance(x, Tensor):
+        x = Tensor(_as_array(x))
+    pre = x.data @ weight.data
+    if bias is not None:
+        pre += bias.data
+    data = activation_numpy(activation, pre, negative_slope)
+    if activation == "relu":
+        deriv = pre > 0
+    elif activation == "leaky_relu":
+        deriv = np.where(pre > 0, pre.dtype.type(1.0),
+                         pre.dtype.type(negative_slope))
+    elif activation == "tanh":
+        deriv = data * data
+        np.subtract(1.0, deriv, out=deriv)
+    else:  # sigmoid
+        deriv = data * (1.0 - data)
+    if training and p > 0.0:
+        if rng is None:
+            raise ValueError("dropout requires an rng in training mode")
+        keep = dropout_keep_mask(rng, data.shape, p, pre.dtype)
+        data *= keep
+        deriv = deriv * keep
+
+    def backward(grad, a=x, w=weight, b=bias, d=deriv):
+        grad_pre = grad * d
+        if a.requires_grad:
+            a._accumulate(grad_pre @ w.data.T, owned=True)
+        if w.requires_grad:
+            w._accumulate(a.data.T @ grad_pre, owned=True)
+        if b is not None and b.requires_grad:
+            g = _unbroadcast(grad_pre, b.data.shape)
+            b._accumulate(g, owned=g is not grad_pre)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(data, parents, backward)
 
 
 def concat(tensors, axis=0):
@@ -602,6 +702,35 @@ def maximum(a, b):
     return Tensor._make(data, (a, b), backward)
 
 
+def segment_sum(source, index, num_segments, out=None):
+    """``out[j] = sum_{i: index[i]=j} source[i]`` on plain numpy arrays.
+
+    Non-decreasing indices (how the batcher emits edges: grouped by parent)
+    take a ``reduceat`` over the runs of equal values, which accumulates
+    each segment's rows in the same sequential order as ``np.add.at`` — the
+    result is identical without the per-element dispatch cost of ``at``.
+    Unsorted indices fall back to ``np.add.at``.  ``out`` (zero-filled by
+    the caller, ``num_segments`` rows) avoids the output allocation.
+    """
+    if out is None:
+        out = np.zeros((num_segments,) + source.shape[1:], dtype=source.dtype)
+    n = len(index)
+    if not n:
+        return out
+    if n == 1:
+        out[index[0]] = source[0]
+        return out
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    np.not_equal(index[1:], index[:-1], out=change[1:])
+    if bool((index[1:] >= index[:-1]).all()):
+        starts = np.flatnonzero(change)
+        out[index[starts]] = np.add.reduceat(source, starts, axis=0)
+    else:
+        np.add.at(out, index, source)
+    return out
+
+
 def scatter_sum(source, index, num_segments):
     """Sum rows of ``source`` into ``num_segments`` buckets given by ``index``.
 
@@ -611,12 +740,109 @@ def scatter_sum(source, index, num_segments):
     index = np.asarray(index, dtype=np.int64)
     if index.ndim != 1 or len(index) != len(source.data):
         raise ValueError("index must be 1-D and match the number of source rows")
-    data = np.zeros((num_segments,) + source.data.shape[1:],
-                    dtype=source.data.dtype)
-    np.add.at(data, index, source.data)
+    data = segment_sum(source.data, index, num_segments)
 
     def backward(grad, src=source, idx=index):
         if src.requires_grad:
             src._accumulate(grad[idx], owned=True)
 
     return Tensor._make(data, (source,), backward)
+
+
+class _FlatGroup:
+    """One dtype's contiguous storage inside a :class:`FlatParameterSpace`."""
+
+    __slots__ = ("dtype", "data", "grad", "params", "data_views",
+                 "grad_views", "slices")
+
+    def __init__(self, dtype, params):
+        self.dtype = dtype
+        self.params = params
+        total = sum(p.data.size for p in params)
+        self.data = np.empty(total, dtype=dtype)
+        self.grad = np.zeros(total, dtype=dtype)
+        self.data_views, self.grad_views, self.slices = [], [], []
+        offset = 0
+        for param in params:
+            size = param.data.size
+            shape = param.data.shape
+            data_view = self.data[offset:offset + size].reshape(shape)
+            grad_view = self.grad[offset:offset + size].reshape(shape)
+            np.copyto(data_view, param.data)
+            had_grad = param.grad is not None
+            if had_grad:
+                np.copyto(grad_view, param.grad)
+            param.data = data_view
+            param._grad_view = grad_view
+            param.grad = grad_view if had_grad else None
+            self.data_views.append(data_view)
+            self.grad_views.append(grad_view)
+            self.slices.append((offset, offset + size))
+            offset += size
+
+    def bound(self):
+        """True while every parameter's ``data`` is still our view."""
+        return all(p.data is v for p, v in zip(self.params, self.data_views))
+
+    def grads_complete(self):
+        """True when every parameter's grad was accumulated into our buffer."""
+        return all(p.grad is v for p, v in zip(self.params, self.grad_views))
+
+
+class FlatParameterSpace:
+    """All of a model's parameters as views into per-dtype flat buffers.
+
+    Flattening copies each parameter's current values into one contiguous
+    buffer per dtype and rebinds ``param.data`` (and the gradient
+    accumulation target, via ``param._grad_view``) to views of it.  The
+    whole model can then be snapshotted, restored, or stepped by an
+    optimizer with a constant number of vectorized ops, independent of the
+    parameter count.
+
+    Anything that replaces a parameter's ``data`` array wholesale
+    (``Module.to`` with a new dtype, ``load_state_dict``) silently unbinds
+    the views; :meth:`bound` detects that and :meth:`rebind` re-flattens —
+    optimizers check once per step, so external mutation stays correct, just
+    off the fast path for that step.
+    """
+
+    def __init__(self, parameters):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("cannot flatten zero parameters")
+        self.groups = []
+        self._flatten()
+
+    def _flatten(self):
+        by_dtype = {}
+        for param in self.parameters:
+            by_dtype.setdefault(param.data.dtype, []).append(param)
+        self.groups = [_FlatGroup(dtype, params)
+                       for dtype, params in by_dtype.items()]
+
+    def bound(self):
+        return all(group.bound() for group in self.groups)
+
+    def rebind(self):
+        """Re-flatten after external rebinding of ``param.data`` arrays.
+
+        Current parameter values (and any pending grads) are preserved; the
+        parameters simply move into fresh flat buffers.
+        """
+        self._flatten()
+
+    def num_values(self):
+        return sum(group.data.size for group in self.groups)
+
+    def snapshot(self):
+        """One contiguous copy per dtype — the flat early-stopping snapshot."""
+        return [group.data.copy() for group in self.groups]
+
+    def restore(self, snapshots):
+        """Write a :meth:`snapshot` back into the parameters (in place)."""
+        if len(snapshots) != len(self.groups):
+            raise ValueError("snapshot does not match this parameter space")
+        if not self.bound():
+            self.rebind()
+        for group, saved in zip(self.groups, snapshots):
+            np.copyto(group.data, saved)

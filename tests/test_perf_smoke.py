@@ -3,9 +3,11 @@
 Runs ``benchmarks/perf/harness.py`` on a tiny corpus and asserts — via the
 ``repro.perfstats`` dispatch counters and the cache hit counters — that the
 public API actually took the vectorized featurizer, the batched annotation,
-the fingerprint cache and the graph-free inference path.  A regression that
-silently falls back to a loop implementation fails here instead of only
-showing up as a slow benchmark number.
+the fingerprint cache, the graph-free inference path, the flat-parameter
+Adam step, the flat early-stopping snapshot, and (on a warm re-run) the
+disk artifact store.  A regression that silently falls back to a loop
+implementation fails here instead of only showing up as a slow benchmark
+number.
 """
 
 import sys
@@ -79,3 +81,50 @@ class TestHarnessSmoke:
         counters = perfstats.snapshot()
         assert counters.get("featurize.reference", 0) >= len(records)
         assert counters.get("annotate.reference", 0) >= len(records)
+
+    def test_training_step_dispatches_flat_adam(self, tiny_corpus):
+        db, records = tiny_corpus
+        import numpy as np
+        from repro.core import featurize_records
+        graphs = featurize_records(records, {db.name: db}, cards="exact")
+        runtimes = np.array([r.runtime_ms for r in records])
+        perfstats.reset()
+        rate = harness.bench_training_step(graphs, runtimes, hidden_dim=16,
+                                           repeats=1, epochs=1)
+        assert rate > 0
+        counters = perfstats.snapshot()
+        # Every step must take the whole-buffer flat path (all node types
+        # present per batch here), never the per-parameter loops.
+        assert counters.get("optim.flat_step", 0) > 0
+        assert counters.get("optim.reference_step", 0) == 0
+
+    def test_train_epoch_uses_flat_snapshots(self, tiny_corpus):
+        db, records = tiny_corpus
+        import numpy as np
+        from repro.core import featurize_records
+        graphs = featurize_records(records, {db.name: db}, cards="exact")
+        runtimes = np.array([r.runtime_ms for r in records])
+        perfstats.reset()
+        rate = harness.bench_train_epoch(graphs, runtimes, hidden_dim=16,
+                                         repeats=1, epochs=2)
+        assert rate > 0
+        counters = perfstats.snapshot()
+        assert counters.get("optim.flat_step", 0) > 0
+        # Early-stopping bookkeeping must run the flat-buffer snapshot, not
+        # the per-tensor state_dict copy.
+        assert counters.get("training.flat_snapshot", 0) > 0
+
+    def test_experiment_warm_start_hits_artifact_store(self, tmp_path):
+        perfstats.reset()
+        cold_s, warm_s, stats = harness.bench_experiment_warm_start(
+            store_dir=tmp_path, n_queries=6, epochs=2, hidden_dim=8)
+        assert cold_s > 0 and warm_s > 0
+        # The warm session must be served entirely from the store: database
+        # generation, trace execution, featurization and training skipped.
+        assert stats["misses"] == 0
+        assert stats["hits"] >= 5
+        counters = perfstats.snapshot()
+        assert counters.get("store.hit.database", 0) >= 2
+        assert counters.get("store.hit.trace", 0) >= 1
+        assert counters.get("store.hit.graphs", 0) >= 1
+        assert counters.get("store.hit.model", 0) >= 1
