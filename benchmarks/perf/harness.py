@@ -1,18 +1,22 @@
-"""Engine microbenchmark harness: featurization, annotation, batching,
-training, inference.
+"""Engine microbenchmark harness: corpus generation, trace execution, SPN
+learning, runtime simulation, featurization, annotation, batching, training,
+inference.
 
 All benchmarks use only the public API of the *current* revision
-(``featurize_records``, ``annotate_cardinalities``, ``make_batch``,
+(``execute_trace``, ``simulate_runtime_ms_batch``, ``learn_spn``,
+``featurize_records``, ``annotate_cardinalities``, ``make_batch``,
 ``ZeroShotModel``, ``predict_runtimes``); historical engines are
 represented by the numbers recorded in ``baseline_seed.json``, not by
-re-running this module against old checkouts.  Throughput is plans/second,
-best of ``repeats`` timed passes with the cyclic GC paused (timeit's
-policy), so one collector pause cannot sink a number.
+re-running this module against old checkouts.  Throughput is plans/second
+(tables/second for datagen and SPN learning), best of ``repeats`` timed
+passes with the cyclic GC paused (timeit's policy), so one collector pause
+cannot sink a number.
 
-The pipeline benchmarks take ``use_reference=True`` to time the executable
-loop specifications (``annotate_cardinalities_reference``,
-``build_query_graph_reference``) — that is how ``run.py
---save-loop-baseline`` re-anchors the pipeline entries of the recorded
+The pipeline and corpus benchmarks take ``use_reference=True`` to time the
+executable loop specifications (``annotate_cardinalities_reference``,
+``build_query_graph_reference``, per-plan ``execute_plan`` /
+``simulate_runtime_ms``, ``learn_spn_reference``) — that is how ``run.py
+--save-loop-baseline`` re-anchors the loop entries of the recorded
 baseline, and how ``run_all`` derives the machine-drift-immune same-run
 speedups.
 """
@@ -42,11 +46,14 @@ from repro.featurization import (FeatureScalers, FeaturizationCache,
 from repro.nn import (Adam, Adam_reference, QErrorLoss, clip_grad_norm,
                       clip_grad_norm_reference)
 
-__all__ = ["build_plan_corpus", "build_corpus", "bench_featurization",
-           "bench_annotation", "bench_featurization_cached",
-           "bench_batch_construction", "bench_training_step",
-           "bench_train_epoch", "bench_experiment_warm_start",
-           "bench_inference", "run_all", "run_pipeline_reference"]
+__all__ = ["build_plan_corpus", "build_corpus", "build_exec_corpus",
+           "exec_corpus_size", "bench_datagen", "bench_trace_execution",
+           "bench_runtime_simulation", "bench_spn_learning",
+           "bench_featurization", "bench_annotation",
+           "bench_featurization_cached", "bench_batch_construction",
+           "bench_training_step", "bench_train_epoch",
+           "bench_experiment_warm_start", "bench_inference", "run_all",
+           "run_pipeline_reference"]
 
 
 def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
@@ -61,6 +68,43 @@ def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
                                 seed=seed).generate(n_queries)
     trace = generate_trace(db, queries, seed=seed)
     return db, list(trace)
+
+
+def exec_corpus_size(quick):
+    """One authority for the stage-0 execution corpus sizing.
+
+    ``run_all`` and ``run_pipeline_reference`` both resolve through here,
+    so --quick runs and loop-baseline recordings always measure matching
+    corpus scales (mixing them would make the recorded speedups
+    incomparable).
+    """
+    return (dict(n_queries=64, base_rows=16000) if quick
+            else dict(n_queries=128, base_rows=48000))
+
+
+def build_exec_corpus(n_queries=128, seed=0, max_joins=5, base_rows=48000,
+                      n_tables=7):
+    """A corpus-scale planned workload (db + plans) for the stage-0 benches.
+
+    Deliberately larger and more join-heavy than :func:`build_plan_corpus`:
+    stage-0 cost is dominated by executing traces over the 20 generated
+    databases, where per-plan parent re-sorts and repeated predicate scans
+    are the work the trace engine shares.  The plans come back *unexecuted*;
+    the execution benches annotate them.
+    """
+    from repro.datagen import generate_database, random_database_spec
+    from repro.optimizer import PlannerConfig, plan_query
+    from repro.workloads import WorkloadConfig, WorkloadGenerator
+
+    spec = random_database_spec("execdb", seed=seed, layout="snowflake",
+                                base_rows=base_rows, n_tables=n_tables,
+                                complexity=0.8)
+    db = generate_database(spec)
+    queries = WorkloadGenerator(db, WorkloadConfig(max_joins=max_joins),
+                                seed=seed).generate(n_queries)
+    config = PlannerConfig()
+    plans = [plan_query(db, query, config=config) for query in queries]
+    return db, plans
 
 
 def build_corpus(n_queries=192, seed=0, max_joins=3):
@@ -88,6 +132,95 @@ def _gc_paused():
         if enabled:
             gc.enable()
             gc.collect()
+
+
+# ----------------------------------------------------------------------
+# Stage 0: corpus engine (datagen, trace execution, SPN learning,
+# runtime simulation)
+# ----------------------------------------------------------------------
+def bench_datagen(base_rows=1200, seed=0, repeats=3):
+    """Tables/second through database generation (the corpus' first cost)."""
+    from repro.datagen import generate_database, random_database_spec
+
+    spec = random_database_spec("perfdb", seed=seed, layout="snowflake",
+                                base_rows=base_rows, n_tables=5,
+                                complexity=0.7)
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            db = generate_database(spec)
+            timings.append(time.perf_counter() - start)
+    return len(db.tables) / min(timings)
+
+
+def bench_trace_execution(db, plans, repeats=3, use_reference=False):
+    """Plans/second through plan execution (true cardinalities).
+
+    Fast path: ``execute_trace`` — one :class:`TraceExecutionContext` per
+    pass (cold memos, as a fresh corpus session pays them), shared scan
+    row-id sets and per-column join indexes, bit-identical to the
+    reference.  Reference: the per-plan ``execute_plan`` loop that re-sorts
+    every join's parent keys and re-evaluates every scan predicate.
+    """
+    from repro.executor import execute_plan, execute_trace
+
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if use_reference:
+                for plan in plans:
+                    execute_plan(db, plan)
+            else:
+                execute_trace(db, plans)
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(plans), timings)
+
+
+def bench_runtime_simulation(db, plans, repeats=5, use_reference=False):
+    """Plans/second through runtime simulation (plans must be executed).
+
+    Fast path: ``simulate_runtime_ms_batch`` — per-node costs assembled
+    column-wise per operator group, per-plan seeded noise streams.
+    Reference: the per-plan, per-node ``simulate_runtime_ms`` loop.
+    """
+    from repro.executor import simulate_runtime_ms, simulate_runtime_ms_batch
+
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if use_reference:
+                for plan in plans:
+                    simulate_runtime_ms(db, plan, seed=0)
+            else:
+                simulate_runtime_ms_batch(db, plans, seed=0)
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(plans), timings)
+
+
+def bench_spn_learning(db, repeats=3, max_rows=4000, use_reference=False):
+    """Tables/second through SPN structure learning.
+
+    Fast path: whole-matrix rank transforms, min-label component
+    propagation and broadcast 2-means.  Reference: the per-column /
+    per-pair loop primitives (``learn_spn_reference``).
+    """
+    from repro.cardest import spn_input_arrays
+    from repro.cardest.spn import learn_spn, learn_spn_reference
+
+    learn = learn_spn_reference if use_reference else learn_spn
+    table_arrays = [spn_input_arrays(db.table(table_name))
+                    for table_name in db.schema.table_names]
+    timings = []
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for arrays in table_arrays:
+                learn(arrays, seed=0, max_rows=max_rows)
+            timings.append(time.perf_counter() - start)
+    return _best_rate(len(table_arrays), timings)
 
 
 # ----------------------------------------------------------------------
@@ -313,12 +446,20 @@ def bench_inference(graphs, runtimes, hidden_dim=64, batch_size=256,
 def run_pipeline_reference(n_queries=192, seed=0):
     """Loop-baseline rates for the pipeline metrics (see --save-loop-baseline)."""
     db, records = build_plan_corpus(n_queries=n_queries, seed=seed)
-    return {
+    exec_db, exec_plans = build_exec_corpus(seed=seed,
+                                            **exec_corpus_size(n_queries < 192))
+    results = {
         "featurize_plans_per_s": bench_featurization(db, records,
                                                      use_reference=True),
         "annotate_plans_per_s": bench_annotation(db, records,
                                                  use_reference=True),
+        "trace_exec_plans_per_s": bench_trace_execution(exec_db, exec_plans,
+                                                        use_reference=True),
+        "simulate_plans_per_s": bench_runtime_simulation(exec_db, exec_plans,
+                                                         use_reference=True),
+        "spn_learn_tables_per_s": bench_spn_learning(db, use_reference=True),
     }
+    return results
 
 
 def _stage(name, fn, profile=False):
@@ -349,6 +490,32 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
     # The loop references are timed immediately before their fast
     # counterparts: the recorded baseline tracks the trajectory PR over PR,
     # while these same-run rates give a machine-drift-immune speedup.
+    # --- stage 0: corpus engine (datagen / execute / learn / simulate) ---
+    datagen = _stage("datagen", bench_datagen, profile)
+    # Honor the caller's sizing: a --quick run gets a proportionally
+    # smaller execution corpus instead of always paying the full one
+    # (same sizing rule as run_pipeline_reference, so recorded loop
+    # baselines and measured rates always share a corpus scale).
+    exec_db, exec_plans = build_exec_corpus(seed=seed,
+                                            **exec_corpus_size(n_queries < 192))
+    trace_exec_reference = _stage(
+        "trace_exec_reference",
+        lambda: bench_trace_execution(exec_db, exec_plans,
+                                      use_reference=True), profile)
+    trace_exec = _stage(
+        "trace_exec", lambda: bench_trace_execution(exec_db, exec_plans),
+        profile)
+    simulate_reference = _stage(
+        "simulate_reference",
+        lambda: bench_runtime_simulation(exec_db, exec_plans,
+                                         use_reference=True), profile)
+    simulate = _stage(
+        "simulate", lambda: bench_runtime_simulation(exec_db, exec_plans),
+        profile)
+    spn_learn_reference = _stage(
+        "spn_learn_reference",
+        lambda: bench_spn_learning(db, use_reference=True), profile)
+    spn_learn = _stage("spn_learn", lambda: bench_spn_learning(db), profile)
     featurize_reference = _stage(
         "featurize_reference",
         lambda: bench_featurization(db, records, repeats=3,
@@ -398,6 +565,13 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
     warm_cold_s, warm_warm_s, warm_store_stats = _stage(
         "experiment_warm_start", bench_experiment_warm_start, profile)
     return {
+        "datagen_tables_per_s": datagen,
+        "trace_exec_plans_per_s": trace_exec,
+        "trace_exec_reference_plans_per_s": trace_exec_reference,
+        "simulate_plans_per_s": simulate,
+        "simulate_reference_plans_per_s": simulate_reference,
+        "spn_learn_tables_per_s": spn_learn,
+        "spn_learn_reference_tables_per_s": spn_learn_reference,
         "featurize_plans_per_s": featurize,
         "annotate_plans_per_s": annotate,
         "featurize_cached_plans_per_s": featurize_cached,
@@ -424,5 +598,10 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
             ["featurize.vectorized", "featurize.reference",
              "annotate.batched", "annotate.reference",
              "model.graph_free_inference", "optim.flat_step",
-             "optim.reference_step", "training.flat_snapshot"]),
+             "optim.reference_step", "training.flat_snapshot",
+             "execute.trace.plans", "execute.scan_cache.hit",
+             "execute.scan_cache.miss", "execute.join_index.hit",
+             "execute.join_index.fallback", "simulate.batched",
+             "spn.learn.vectorized", "spn.learn.reference",
+             "trace.generate.batched", "trace.generate.reference"]),
     }

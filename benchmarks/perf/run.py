@@ -6,10 +6,12 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/run.py --quick         # smaller corpus
     PYTHONPATH=src python benchmarks/perf/run.py --save-baseline # refresh baseline
     PYTHONPATH=src python benchmarks/perf/run.py --save-loop-baseline
-        # re-record ONLY the pipeline loop-baseline metrics (featurize /
-        # annotate) by timing the executable reference implementations
-        # (annotate_cardinalities_reference + build_query_graph_reference);
-        # other baseline entries are left untouched.
+        # re-record ONLY the loop-baseline metrics (featurize / annotate /
+        # trace_exec / simulate / spn_learn) by timing the executable
+        # reference implementations (annotate_cardinalities_reference,
+        # build_query_graph_reference, per-plan execute_plan and
+        # simulate_runtime_ms, learn_spn_reference); other baseline entries
+        # are left untouched.
 
 The output JSON records the current numbers, the recorded loop/seed-engine
 baseline (``benchmarks/perf/baseline_seed.json``), and the speedup of each
@@ -34,7 +36,9 @@ sys.path.insert(0, str(HERE))
 BASELINE_PATH = HERE / "baseline_seed.json"
 DEFAULT_OUTPUT = REPO / "BENCH_engine.json"
 
-RATE_KEYS = ("featurize_plans_per_s", "annotate_plans_per_s",
+RATE_KEYS = ("datagen_tables_per_s", "trace_exec_plans_per_s",
+             "simulate_plans_per_s", "spn_learn_tables_per_s",
+             "featurize_plans_per_s", "annotate_plans_per_s",
              "featurize_cached_plans_per_s",
              "batch_construction_plans_per_s", "train_step_plans_per_s",
              "train_epoch_plans_per_s",
@@ -42,7 +46,11 @@ RATE_KEYS = ("featurize_plans_per_s", "annotate_plans_per_s",
 
 # Metrics with an in-run executable reference implementation (loop specs /
 # per-parameter optimizer): reported as machine-drift-immune ratios.
-SAME_RUN_KEYS = ("featurize", "annotate", "train_step", "train_epoch")
+# name -> metric suffix (most rates are plans/s, SPN learning is tables/s).
+SAME_RUN_KEYS = {"trace_exec": "plans_per_s", "simulate": "plans_per_s",
+                 "spn_learn": "tables_per_s", "featurize": "plans_per_s",
+                 "annotate": "plans_per_s", "train_step": "plans_per_s",
+                 "train_epoch": "plans_per_s"}
 
 
 def main(argv=None):
@@ -54,8 +62,9 @@ def main(argv=None):
                         help="write results to baseline_seed.json instead of "
                              "comparing against it")
     parser.add_argument("--save-loop-baseline", action="store_true",
-                        help="re-record the featurize/annotate loop-baseline "
-                             "entries from the reference implementations")
+                        help="re-record the loop-baseline entries (featurize/"
+                             "annotate/trace_exec/simulate/spn_learn) from "
+                             "the reference implementations")
     parser.add_argument("--profile", action="store_true",
                         help="print a cProfile top-20 per benchmark stage")
     args = parser.parse_args(argv)
@@ -106,11 +115,11 @@ def main(argv=None):
     # Machine-drift-immune: reference implementations timed in this very
     # run (pipeline loop specs + the per-parameter Adam_reference).
     same_run = {}
-    for key in SAME_RUN_KEYS:
-        fast = results.get(f"{key}_plans_per_s")
-        reference = results.get(f"{key}_reference_plans_per_s")
+    for key, suffix in SAME_RUN_KEYS.items():
+        fast = results.get(f"{key}_{suffix}")
+        reference = results.get(f"{key}_reference_{suffix}")
         if fast and reference:
-            same_run[f"{key}_plans_per_s"] = fast / reference
+            same_run[f"{key}_{suffix}"] = fast / reference
     if same_run:
         report["speedup_vs_loop_same_run"] = same_run
     warm = results.get("experiment_warm_start_speedup")
@@ -139,10 +148,11 @@ def main(argv=None):
     from repro.bench.reporting import format_table, print_experiment
     rows = []
     for key in RATE_KEYS:
-        row = {"metric": key.replace("_plans_per_s", ""),
-               "fast_path_plans_per_s": results[key]}
+        row = {"metric": key.replace("_plans_per_s", "").replace(
+                   "_tables_per_s", ""),
+               "fast_path_rate": results[key]}
         if baseline and baseline.get(key):
-            row["seed_plans_per_s"] = baseline[key]
+            row["seed_rate"] = baseline[key]
             row["speedup"] = results[key] / baseline[key]
         rows.append(row)
     print_experiment("Engine Microbenchmarks — fast path vs seed engine",

@@ -1,11 +1,11 @@
 """Disk-backed artifact store for the benchmark suite.
 
 The expensive experiment artifacts — generated databases, executed traces,
-featurized graph lists and trained models — are pure functions of the suite
-configuration and the content they derive from.  This module persists them
-under ``REPRO_ARTIFACT_DIR`` so a *second* benchmark session warm-starts
-from disk instead of regenerating, re-executing, re-featurizing and
-re-training everything.
+featurized graph lists, per-table SPNs and trained models — are pure
+functions of the suite configuration and the content they derive from.
+This module persists them under ``REPRO_ARTIFACT_DIR`` so a *second*
+benchmark session warm-starts from disk instead of regenerating,
+re-executing, re-featurizing, relearning and re-training everything.
 
 Keying and validation:
 
@@ -14,7 +14,8 @@ Keying and validation:
   store-format version.  Different configurations can never collide.
 * Every entry additionally records an **input fingerprint** — the digest of
   what the artifact was derived *from* (e.g. a trace records its database's
-  row-count fingerprint; a model records the
+  row-count fingerprint; an SPN records its table's full
+  :meth:`~repro.storage.Table.content_fingerprint`; a model records the
   :func:`~repro.featurization.records_fingerprint` of its training traces).
   On load the caller passes the fingerprint it currently expects; a
   mismatch means the upstream artifact changed (regenerated database,

@@ -92,8 +92,11 @@ class Artifacts:
         # id(trace) -> (trace, {cards: digest}): the held trace reference
         # keeps the id from being recycled while the memo entry lives.
         self._trace_fps = {}
+        # The estimator cache shares this Artifacts' store (falling back to
+        # REPRO_ARTIFACT_DIR when unset), so per-table SPNs hydrate from
+        # disk instead of relearning on cold "deepdb" sessions.
         self.estimator_cache = EstimatorCache(sample_size=1024,
-                                              seed=config.seed)
+                                              seed=config.seed, store=store)
         # Evaluations reuse the cached graph lists from self.graphs(), so
         # batches built for one experiment serve every later one.
         self.batch_cache = BatchCache(max_entries=256)

@@ -5,13 +5,14 @@ from .base import CardinalityEstimator
 from .traditional import TraditionalEstimator
 from .exact import ExactEstimator
 from .spn import SPN, learn_spn, predicate_to_constraints, UnsupportedPredicate
-from .datadriven import DataDrivenEstimator
+from .datadriven import DataDrivenEstimator, spn_input_arrays
 from .annotate import (annotate_cardinalities,
                        annotate_cardinalities_reference, CARD_SOURCES)
 
 __all__ = [
     "CardinalityEstimator", "TraditionalEstimator", "ExactEstimator",
-    "SPN", "learn_spn", "predicate_to_constraints", "UnsupportedPredicate",
+    "SPN", "learn_spn", "spn_input_arrays", "predicate_to_constraints",
+    "UnsupportedPredicate",
     "DataDrivenEstimator", "annotate_cardinalities",
     "annotate_cardinalities_reference", "CARD_SOURCES",
 ]

@@ -45,11 +45,35 @@ from .base import CardinalityEstimator
 from .spn import UnsupportedPredicate, learn_spn, predicate_to_constraints
 from .traditional import TraditionalEstimator
 
-__all__ = ["DataDrivenEstimator"]
+__all__ = ["DataDrivenEstimator", "spn_input_arrays"]
 
 _UNSUPPORTED = object()  # cached marker for unsupported predicates
 _SCAN_OPS = ("SeqScan", "IndexScan", "ColumnarScan")
 _JOIN_OPS = ("HashJoin", "NestedLoopJoin", "MergeJoin")
+
+
+def _default_store():
+    """The env-configured artifact store, if any (lazy import: the bench
+    package imports ``cardest`` transitively, so resolving it at call time
+    avoids the cycle)."""
+    from ..bench.store import store_from_env
+    return store_from_env()
+
+
+def spn_input_arrays(table):
+    """The per-column float64 arrays SPN learning consumes for ``table``.
+
+    Dictionary-encoded columns map negative codes (NULLs) to NaN.  The one
+    canonical preparation — the estimator, the perf harness and the
+    equivalence tests must all learn from identically prepared inputs.
+    """
+    arrays = {}
+    for name, col in table.columns.items():
+        values = col.values.astype(np.float64)
+        if col.dictionary is not None:
+            values = np.where(col.values < 0, np.nan, values)
+        arrays[name] = values
+    return arrays
 
 
 class _PredicateCache:
@@ -82,16 +106,31 @@ class _PredicateCache:
 
 
 class DataDrivenEstimator(CardinalityEstimator):
-    """DeepDB-style estimator: SPNs + correlated join samples."""
+    """DeepDB-style estimator: SPNs + correlated join samples.
+
+    **Persistence:** with ``REPRO_ARTIFACT_DIR`` set (or an explicit
+    ``store=``), construction and :meth:`refresh` persist each table's SPN
+    in the artifact store and hydrate instead of relearning when the
+    table's content fingerprint matches — this costs one content-hash pass
+    over each table at build time and writes under the store directory.
+    Pass ``store=False`` to force purely in-memory learning regardless of
+    the environment.
+    """
 
     name = "deepdb"
 
     def __init__(self, db, sample_size=1024, seed=0, max_spn_rows=20_000,
-                 fallback=None):
+                 fallback=None, store=None):
         self.db = db
         self.sample_size = int(sample_size)
         self._rng = np.random.default_rng(seed)
         self._fallback = fallback or TraditionalEstimator()
+        # store=None: use the env-configured store; store=False: force none.
+        if store is None:
+            store = _default_store()
+        self._store = store or None
+        self._seed = seed
+        self._max_spn_rows = max_spn_rows
         self._spns = {}
         self._fanout_indexes = {}
         self._constraints_cache = _PredicateCache()
@@ -105,27 +144,48 @@ class DataDrivenEstimator(CardinalityEstimator):
     # Training (data only, no queries)
     # ------------------------------------------------------------------
     def _build(self, max_spn_rows, seed):
+        """Learn (or hydrate) the per-table SPNs and per-FK fanout indexes.
+
+        With an artifact store attached (explicit ``store=`` or
+        ``REPRO_ARTIFACT_DIR``), each table's SPN is persisted under the
+        learning configuration's content key and validated against the
+        table's *content fingerprint*, so a later session — or a refresh on
+        unchanged data — hydrates from disk instead of relearning; any data
+        change misses the fingerprint check and relearns.
+        """
+        store = self._store
         for table_name in self.db.schema.table_names:
             table = self.db.table(table_name)
-            arrays = {}
-            for name, col in table.columns.items():
-                values = col.values.astype(np.float64)
-                if col.dictionary is not None:
-                    values = np.where(col.values < 0, np.nan, values)
-                arrays[name] = values
-            self._spns[table_name] = learn_spn(arrays, seed=seed,
-                                               max_rows=max_spn_rows)
+            spn = store_key = fingerprint = None
+            if store is not None:
+                fingerprint = table.content_fingerprint()
+                store_key = store.key("spn", self.db.name, table_name,
+                                      seed, max_spn_rows)
+                spn = store.load("spn", store_key, fingerprint=fingerprint)
+            if spn is None:
+                spn = learn_spn(spn_input_arrays(table), seed=seed,
+                                max_rows=max_spn_rows)
+                if store is not None:
+                    store.save("spn", store_key, spn, fingerprint=fingerprint)
+            self._spns[table_name] = spn
         for fk in self.db.schema.foreign_keys:
             key = (fk.child_table, fk.child_column)
             column = self.db.column(*key)
             self._fanout_indexes[key] = Index(*key, column.values)
 
-    def refresh(self, seed=0):
-        """Relearn from the current data (cheap; used after updates)."""
+    def refresh(self, seed=None):
+        """Relearn from the current data (cheap; used after updates).
+
+        Rebuilds under the constructor's learning configuration (same
+        ``max_spn_rows``, and the same seed unless one is given), so on
+        unchanged data a store-backed estimator hydrates the exact SPNs it
+        saved instead of relearning under a different config.
+        """
         self._spns.clear()
         self._fanout_indexes.clear()
         self.clear_caches()
-        self._build(20_000, seed)
+        self._build(self._max_spn_rows,
+                    self._seed if seed is None else seed)
 
     def clear_caches(self):
         """Drop memoized predicate evaluations (data changed, or timing)."""

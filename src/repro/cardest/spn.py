@@ -21,9 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import perfstats
 from ..sql import BooleanPredicate, Comparison, PredOp
 
-__all__ = ["SPN", "learn_spn", "predicate_to_constraints", "UnsupportedPredicate"]
+__all__ = ["SPN", "learn_spn", "learn_spn_reference",
+           "predicate_to_constraints", "UnsupportedPredicate"]
 
 _MIN_INSTANCES = 64
 _MAX_DEPTH = 6
@@ -302,8 +304,17 @@ class SPN:
 # ----------------------------------------------------------------------
 # Structure learning
 # ----------------------------------------------------------------------
-def _rank_correlation(matrix):
-    """Pairwise |Spearman| correlation of the columns of ``matrix``."""
+# Every learning primitive exists twice: the vectorized fast path the
+# engine dispatches to, and a ``*_reference`` per-column/per-pair loop — the
+# executable spec the fast path must match bit-for-bit (the tier-1 suite
+# asserts identical tree structure, weights, leaf distributions and
+# selectivities).  Rank transforms run whole-matrix (one stable double
+# ``argsort`` over axis 0 + one ``corrcoef``), the correlation-graph
+# components resolve by min-label propagation on the boolean adjacency
+# matrix, and 2-means evaluates both center distances in one broadcast.
+
+def _rank_correlation_reference(matrix):
+    """Per-column rank loop (executable spec for :func:`_rank_correlation`)."""
     n, k = matrix.shape
     ranks = np.empty_like(matrix)
     for j in range(k):
@@ -316,10 +327,32 @@ def _rank_correlation(matrix):
     return np.abs(corr)
 
 
-def _independent_groups(matrix, columns):
-    """Connected components of the correlation graph above the threshold."""
-    corr = _rank_correlation(matrix)
-    k = len(columns)
+def _rank_correlation(matrix):
+    """Pairwise |Spearman| correlation of the columns of ``matrix``.
+
+    Whole-matrix: NaNs are filled with per-column means computed on the
+    contiguous transpose (the same pairwise-summation order ``np.nanmean``
+    uses per column), both rank transforms run as axis-0 ``argsort`` calls
+    over the full matrix, and one ``corrcoef`` finishes the job.
+    """
+    nan_mask = np.isnan(matrix)
+    cols = np.ascontiguousarray(matrix.T)
+    means = np.zeros(matrix.shape[1])
+    not_all_nan = ~np.all(nan_mask, axis=0)
+    if not_all_nan.any():
+        means[not_all_nan] = np.nanmean(cols[not_all_nan], axis=1)
+    filled = np.where(nan_mask, means[None, :], matrix)
+    order = np.argsort(filled, axis=0, kind="stable")
+    ranks = np.empty_like(matrix)
+    ranks[...] = np.argsort(order, axis=0)
+    with np.errstate(invalid="ignore"):
+        corr = np.corrcoef(ranks, rowvar=False)
+    corr = np.nan_to_num(corr, nan=0.0)
+    return np.abs(corr)
+
+
+def _components_reference(corr, k):
+    """Union-find over the O(k²) pair loop (spec for :func:`_components`)."""
     parent = list(range(k))
 
     def find(x):
@@ -338,13 +371,36 @@ def _independent_groups(matrix, columns):
     return list(groups.values())
 
 
-def _two_means(matrix, rng):
-    """Cheap 2-means row clustering on standardized data.
+def _components(corr, k):
+    """Connected components above the threshold, by min-label propagation.
 
-    Centers are initialized at the extremes of the summed-coordinate
-    projection: deterministic and well-separated even for discrete data
-    (random initialization frequently collapses to one cluster there).
+    Produces the exact grouping of the union-find reference: components
+    ordered by their smallest member, members ascending.
     """
+    adjacency = corr > _CORR_THRESHOLD
+    np.fill_diagonal(adjacency, True)
+    labels = np.arange(k)
+    while True:
+        neighbor_min = np.where(adjacency, labels[None, :], k).min(axis=1)
+        new_labels = np.minimum(labels, neighbor_min)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    return [list(np.flatnonzero(labels == label))
+            for label in np.unique(labels)]
+
+
+def _independent_groups_reference(matrix, columns):
+    return _components_reference(_rank_correlation_reference(matrix),
+                                 len(columns))
+
+
+def _independent_groups(matrix, columns):
+    """Connected components of the correlation graph above the threshold."""
+    return _components(_rank_correlation(matrix), len(columns))
+
+
+def _two_means_core(matrix, rng, pairwise_dists):
     filled = np.where(np.isnan(matrix), 0.0, matrix)
     std = filled.std(axis=0)
     std[std == 0] = 1.0
@@ -356,7 +412,7 @@ def _two_means(matrix, rng):
         return np.zeros(n, dtype=np.int64)
     assign = np.zeros(n, dtype=np.int64)
     for _ in range(8):
-        dists = np.stack([((normed - c) ** 2).sum(axis=1) for c in centers])
+        dists = pairwise_dists(normed, centers)
         new_assign = dists.argmin(axis=0)
         if (new_assign == assign).all():
             break
@@ -368,19 +424,45 @@ def _two_means(matrix, rng):
     return assign
 
 
-def _learn(matrix, columns, rng, depth):
+def _two_means_reference(matrix, rng):
+    """Per-center distance loop (executable spec for :func:`_two_means`)."""
+    return _two_means_core(
+        matrix, rng,
+        lambda normed, centers: np.stack(
+            [((normed - c) ** 2).sum(axis=1) for c in centers]))
+
+
+def _two_means(matrix, rng):
+    """Cheap 2-means row clustering on standardized data.
+
+    Centers are initialized at the extremes of the summed-coordinate
+    projection: deterministic and well-separated even for discrete data
+    (random initialization frequently collapses to one cluster there).
+    Both center distances evaluate in one broadcast over the precomputed
+    standardized matrix (reductions stay along the contiguous axis, so the
+    assignments match the per-center loop bit-for-bit).
+    """
+    return _two_means_core(
+        matrix, rng,
+        lambda normed, centers: (
+            (normed[None, :, :] - centers[:, None, :]) ** 2).sum(axis=2))
+
+
+def _learn(matrix, columns, rng, depth, groups_fn=_independent_groups,
+           cluster_fn=_two_means):
     n, k = matrix.shape
     if k == 1 or n < _MIN_INSTANCES or depth >= _MAX_DEPTH:
         return _LeafSet({col: _Leaf.fit(col, matrix[:, j])
                          for j, col in enumerate(columns)})
 
-    groups = _independent_groups(matrix, columns)
+    groups = groups_fn(matrix, columns)
     if len(groups) > 1:
-        children = [_learn(matrix[:, idx], [columns[i] for i in idx], rng, depth + 1)
+        children = [_learn(matrix[:, idx], [columns[i] for i in idx], rng,
+                           depth + 1, groups_fn, cluster_fn)
                     for idx in groups]
         return _Product(children)
 
-    assign = _two_means(matrix, rng)
+    assign = cluster_fn(matrix, rng)
     sizes = np.bincount(assign, minlength=2)
     if sizes.min() < max(_MIN_INSTANCES // 4, 8):
         return _LeafSet({col: _Leaf.fit(col, matrix[:, j])
@@ -389,13 +471,13 @@ def _learn(matrix, columns, rng, depth):
     weights = []
     for c in range(2):
         members = matrix[assign == c]
-        children.append(_learn(members, columns, rng, depth + 1))
+        children.append(_learn(members, columns, rng, depth + 1,
+                               groups_fn, cluster_fn))
         weights.append(len(members) / n)
     return _Sum(np.array(weights), children)
 
 
-def learn_spn(column_arrays, seed=0, max_rows=20_000):
-    """Learn an SPN from ``{column: values}`` (floats, NaN as NULL)."""
+def _sample_matrix(column_arrays, seed, max_rows):
     columns = list(column_arrays)
     if not columns:
         raise ValueError("learn_spn needs at least one column")
@@ -406,5 +488,27 @@ def learn_spn(column_arrays, seed=0, max_rows=20_000):
         rows = rng.choice(n, size=max_rows, replace=False)
     matrix = np.stack([np.asarray(column_arrays[c], dtype=np.float64)[rows]
                        for c in columns], axis=1)
+    return matrix, columns, n, rng
+
+
+def learn_spn(column_arrays, seed=0, max_rows=20_000):
+    """Learn an SPN from ``{column: values}`` (floats, NaN as NULL)."""
+    perfstats.increment("spn.learn.vectorized")
+    matrix, columns, n, rng = _sample_matrix(column_arrays, seed, max_rows)
     root = _learn(matrix, columns, rng, depth=0)
+    return SPN(root, columns, n)
+
+
+def learn_spn_reference(column_arrays, seed=0, max_rows=20_000):
+    """Structure learning through the per-column/per-pair loop primitives.
+
+    The executable spec :func:`learn_spn` must reproduce bit-identically:
+    same tree shape, same sum weights, same leaf distributions, hence the
+    same selectivity for every constraint set.
+    """
+    perfstats.increment("spn.learn.reference")
+    matrix, columns, n, rng = _sample_matrix(column_arrays, seed, max_rows)
+    root = _learn(matrix, columns, rng, depth=0,
+                  groups_fn=_independent_groups_reference,
+                  cluster_fn=_two_means_reference)
     return SPN(root, columns, n)

@@ -33,9 +33,10 @@ class EstimatorCache:
     model trained on the old data.
     """
 
-    def __init__(self, sample_size=1024, seed=0):
+    def __init__(self, sample_size=1024, seed=0, store=None):
         self.sample_size = sample_size
         self.seed = seed
+        self.store = store
         self._cache = {}
 
     def get(self, db):
@@ -43,7 +44,8 @@ class EstimatorCache:
         entry = self._cache.get(db.name)
         if entry is None or entry[0] != fingerprint:
             entry = (fingerprint, DataDrivenEstimator(
-                db, sample_size=self.sample_size, seed=self.seed))
+                db, sample_size=self.sample_size, seed=self.seed,
+                store=self.store))
             self._cache[db.name] = entry
         return entry[1]
 

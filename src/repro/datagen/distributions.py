@@ -17,6 +17,9 @@ __all__ = ["zipf_codes", "mixture_floats", "correlated_from", "make_vocabulary",
 _SYLLABLES = ["an", "ba", "co", "den", "el", "fir", "gu", "han", "il", "jo",
               "ka", "lo", "mi", "nor", "os", "pre", "qua", "ri", "sa", "tur",
               "ul", "ver", "wa", "xe", "yo", "zen"]
+# Pre-converted once: `rng.choice` re-builds an array from a list argument
+# on every call, which dominated vocabulary generation.
+_SYLLABLE_ARRAY = np.array(_SYLLABLES)
 
 
 def zipf_codes(rng, n_values, n_distinct, skew, permutation=None):
@@ -74,11 +77,16 @@ def correlated_from(rng, base_values, strength, noise_scale=1.0):
 
 
 def make_vocabulary(rng, size, min_syllables=2, max_syllables=4):
-    """Synthetic word list for string/categorical dictionaries."""
+    """Synthetic word list for string/categorical dictionaries.
+
+    Each word's syllables are drawn with one array-``choice`` call, which
+    consumes the generator's stream exactly as the former per-syllable
+    scalar draws did — the vocabulary for a given seed is unchanged.
+    """
     words = set()
     while len(words) < size:
         n = int(rng.integers(min_syllables, max_syllables + 1))
-        word = "".join(rng.choice(_SYLLABLES) for _ in range(n))
+        word = "".join(rng.choice(_SYLLABLE_ARRAY, size=n))
         if word in words:
             word = f"{word}{len(words)}"
         words.add(word)

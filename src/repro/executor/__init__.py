@@ -2,13 +2,16 @@
 substitutes the paper's physical Postgres testbed."""
 
 from .executor import Intermediate, ExecutionResult, execute_plan, equi_join
+from .trace_engine import TraceExecutionContext, execute_trace
 from .profiles import HardwareProfile, DEFAULT_HARDWARE, CLOUD_DW_NODE
 from .runtime_model import (predicate_row_cost_ns, simulate_runtime_ms,
-                            plan_signature, node_time_us)
+                            simulate_runtime_ms_batch, plan_signature,
+                            node_time_us)
 
 __all__ = [
     "Intermediate", "ExecutionResult", "execute_plan", "equi_join",
+    "TraceExecutionContext", "execute_trace",
     "HardwareProfile", "DEFAULT_HARDWARE", "CLOUD_DW_NODE",
-    "predicate_row_cost_ns", "simulate_runtime_ms", "plan_signature",
-    "node_time_us",
+    "predicate_row_cost_ns", "simulate_runtime_ms",
+    "simulate_runtime_ms_batch", "plan_signature", "node_time_us",
 ]

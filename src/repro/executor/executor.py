@@ -18,7 +18,7 @@ import numpy as np
 
 from ..sql import evaluate_predicate
 
-__all__ = ["Intermediate", "ExecutionResult", "execute_plan"]
+__all__ = ["Intermediate", "ExecutionResult", "execute_plan", "equi_join"]
 
 
 @dataclass
@@ -53,12 +53,73 @@ class ExecutionResult:
     node_profiles: list = field(default_factory=list)  # (node, profile) pairs
 
 
-def equi_join(db, left: Intermediate, right: Intermediate, join_edge):
-    """Join two intermediates on the edge; returns (result, probe_side_rows)."""
+def join_sides(left: Intermediate, right: Intermediate, join_edge):
+    """Resolve which side carries the FK child / the referenced parent."""
     if join_edge.child_table in left.tables:
-        child_side, parent_side = left, right
-    else:
-        child_side, parent_side = right, left
+        return left, right
+    return right, left
+
+
+def _run_positions(lo, counts):
+    """Flat positions of the runs ``lo[i] : lo[i] + counts[i]``, in order.
+
+    The offset arithmetic produces the exact integer sequence the per-run
+    gather loop (:func:`_gather_parent_positions_reference`) writes.
+    """
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    return np.repeat(lo, counts) + offsets
+
+
+def _gather_parent_positions_reference(order, lo, hi, counts):
+    """Original per-run gather loop (executable spec for ``_run_positions``)."""
+    total = int(counts.sum())
+    parent_positions = np.empty(total, dtype=np.int64)
+    cursor = 0
+    nonzero = np.nonzero(counts)[0]
+    for i in nonzero:
+        n = counts[i]
+        parent_positions[cursor:cursor + n] = order[lo[i]:hi[i]]
+        cursor += n
+    return parent_positions
+
+
+def combine_positions(child_side, parent_side, child_positions,
+                      parent_positions):
+    """Combine both sides' row ids at the matched positions."""
+    combined = {}
+    for table, ids in child_side.row_ids.items():
+        combined[table] = ids[child_positions]
+    for table, ids in parent_side.row_ids.items():
+        combined[table] = ids[parent_positions]
+    return Intermediate(combined)
+
+
+def match_and_combine(child_side, parent_side, child_keys, sorted_keys,
+                      positions):
+    """Range-match child keys against a sorted parent view; combine row ids.
+
+    ``sorted_keys``/``positions`` describe the parent side in stable key
+    order (NaNs dropped): key ``sorted_keys[i]`` lives at row position
+    ``positions[i]`` of the parent intermediate.  This is the shared tail of
+    the per-call :func:`equi_join` and the trace engine's memoized join path.
+    """
+    child_valid = ~np.isnan(child_keys)
+    lo = np.searchsorted(sorted_keys, child_keys, side="left")
+    hi = np.searchsorted(sorted_keys, child_keys, side="right")
+    counts = np.where(child_valid, hi - lo, 0)
+
+    child_positions = np.repeat(np.arange(len(child_keys)), counts)
+    parent_positions = positions[_run_positions(lo, counts)]
+
+    return combine_positions(child_side, parent_side, child_positions,
+                             parent_positions)
+
+
+def equi_join(db, left: Intermediate, right: Intermediate, join_edge):
+    """Join two intermediates on the edge; returns the combined result."""
+    child_side, parent_side = join_sides(left, right, join_edge)
     child_keys = child_side.column_values(db, join_edge.child_table,
                                           join_edge.child_column)
     parent_keys = parent_side.column_values(db, join_edge.parent_table,
@@ -71,28 +132,8 @@ def equi_join(db, left: Intermediate, right: Intermediate, join_edge):
     sorted_keys = sorted_keys[valid]
     order = order[valid]
 
-    child_valid = ~np.isnan(child_keys)
-    lo = np.searchsorted(sorted_keys, child_keys, side="left")
-    hi = np.searchsorted(sorted_keys, child_keys, side="right")
-    counts = np.where(child_valid, hi - lo, 0)
-
-    child_positions = np.repeat(np.arange(len(child_keys)), counts)
-    # Build parent positions: for each child row, the slice order[lo:hi].
-    total = int(counts.sum())
-    parent_positions = np.empty(total, dtype=np.int64)
-    cursor = 0
-    nonzero = np.nonzero(counts)[0]
-    for i in nonzero:
-        n = counts[i]
-        parent_positions[cursor:cursor + n] = order[lo[i]:hi[i]]
-        cursor += n
-
-    combined = {}
-    for table, ids in child_side.row_ids.items():
-        combined[table] = ids[child_positions]
-    for table, ids in parent_side.row_ids.items():
-        combined[table] = ids[parent_positions]
-    return Intermediate(combined)
+    return match_and_combine(child_side, parent_side, child_keys,
+                             sorted_keys, order)
 
 
 def _group_keys(db, intermediate, group_by):
@@ -146,17 +187,35 @@ def _aggregate_rows(db, intermediate, aggregates, group_by):
     return rows
 
 
-def execute_plan(db, root) -> ExecutionResult:
-    """Execute ``root`` against ``db``; annotates ``true_rows`` on every node."""
+def execute_plan(db, root, ctx=None) -> ExecutionResult:
+    """Execute ``root`` against ``db``; annotates ``true_rows`` on every node.
+
+    Without ``ctx`` this is the self-contained per-plan reference: every scan
+    re-evaluates its predicate and every join re-sorts its parent keys.  With
+    a :class:`~repro.executor.trace_engine.TraceExecutionContext` the scan
+    row-id sets and the per-join-edge sorted key views are memoized across
+    the plans of a trace (see :func:`~repro.executor.trace_engine.execute_trace`);
+    the results are bit-identical either way.
+    """
     profiles = []
+
+    def scan(node):
+        if ctx is not None:
+            return ctx.scan_intermediate(node.table, node.filter_predicate)
+        table = db.table(node.table)
+        mask = evaluate_predicate(node.filter_predicate, table)
+        return Intermediate({node.table: np.nonzero(mask)[0]})
+
+    def join(left, right, edge):
+        if ctx is not None:
+            return ctx.equi_join(left, right, edge)
+        return equi_join(db, left, right, edge)
 
     def run(node):
         if node.op_name in ("SeqScan", "IndexScan", "ColumnarScan"):
-            table = db.table(node.table)
-            mask = evaluate_predicate(node.filter_predicate, table)
-            result = Intermediate({node.table: np.nonzero(mask)[0]})
+            result = scan(node)
             node.true_rows = float(result.n_rows)
-            profiles.append((node, {"input_rows": len(table),
+            profiles.append((node, {"input_rows": len(db.table(node.table)),
                                     "output_rows": result.n_rows}))
             return result
 
@@ -171,11 +230,8 @@ def execute_plan(db, root) -> ExecutionResult:
             right_node = node.children[1]
             if (node.op_name == "NestedLoopJoin" and right_node.is_scan):
                 # Indexed inner: logically a filtered scan joined to the outer.
-                inner_table = db.table(right_node.table)
-                inner_mask = evaluate_predicate(right_node.filter_predicate,
-                                                inner_table)
-                right = Intermediate({right_node.table: np.nonzero(inner_mask)[0]})
-                result = equi_join(db, left, right, node.join)
+                right = scan(right_node)
+                result = join(left, right, node.join)
                 # EXPLAIN-ANALYZE semantics: inner rows are per-loop averages.
                 loops = max(left.n_rows, 1)
                 right_node.true_rows = float(result.n_rows) / loops
@@ -183,7 +239,7 @@ def execute_plan(db, root) -> ExecutionResult:
                                               "matches": result.n_rows}))
             else:
                 right = run(right_node)
-                result = equi_join(db, left, right, node.join)
+                result = join(left, right, node.join)
             node.true_rows = float(result.n_rows)
             profiles.append((node, {
                 "left_rows": left.n_rows,

@@ -27,6 +27,16 @@ class Index:
         # NULLs (NaN keys) sort to the end; equality/range lookups never
         # match them, mirroring b-tree semantics.
         self._n_valid = int(np.sum(~np.isnan(self._keys)))
+        valid = self._keys[: self._n_valid]
+        # Structural facts equality probes can specialize on: strictly
+        # increasing keys have at most one match per probe, and a dense
+        # integer domain (0..n-1, the generated primary keys) resolves a
+        # probe by direct indexing with no search at all.
+        self.unique_keys = bool(np.all(valid[1:] > valid[:-1]))
+        self.dense_keys = (self.unique_keys
+                           and self._n_valid == len(self._keys)
+                           and bool(np.array_equal(
+                               valid, np.arange(valid.size, dtype=np.float64))))
 
     @property
     def name(self):
@@ -75,6 +85,15 @@ class Index:
         if right < left:
             right = left
         return self._row_ids[left:right]
+
+    def sorted_valid(self):
+        """The non-NaN ``(keys, row_ids)`` prefix in stable sort order.
+
+        Key ascending, ties by row id — the order a stable ``argsort`` of
+        the raw column produces after dropping NaNs.  The trace executor
+        probes this shared view instead of re-sorting per join call.
+        """
+        return self._keys[: self._n_valid], self._row_ids[: self._n_valid]
 
     def lookup_in(self, values):
         """Row ids whose key is any of ``values`` (IN-list probe)."""

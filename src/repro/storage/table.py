@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from hashlib import blake2b
+
 import numpy as np
 
 from .column import Column
@@ -50,6 +52,26 @@ class Table:
 
     def invalidate_stats(self):
         self._stats = None
+
+    def content_fingerprint(self):
+        """BLAKE2 digest of the table's full content.
+
+        Covers column names, dtypes, dictionaries and the raw value bytes —
+        unlike :meth:`Database.fingerprint` (name + row counts) this notices
+        in-place value edits, so derived artifacts keyed on it (the artifact
+        store's per-table SPNs) can never be served stale.  Costs one hash
+        pass over the data; callers that need it repeatedly should key their
+        own memo on it, not re-derive it per use.
+        """
+        digest = blake2b(digest_size=16)
+        digest.update(self.name.encode())
+        for name, col in self.columns.items():
+            digest.update(name.encode())
+            digest.update(col.dtype.name.encode())
+            digest.update(np.ascontiguousarray(col.values).tobytes())
+            if col.dictionary is not None:
+                digest.update(repr(list(col.dictionary)).encode())
+        return digest.hexdigest()
 
     def append(self, new_columns):
         """Append rows given as a dict ``column_name -> values array``.

@@ -29,6 +29,47 @@ def tiny_corpus():
 
 
 class TestHarnessSmoke:
+    def test_corpus_generation_uses_trace_engine(self):
+        """``generate_trace`` (and hence every corpus build) must run the
+        batched stage-0 path: trace-level execution and batched runtime
+        simulation, never the per-plan reference loops."""
+        perfstats.reset()
+        db, records = harness.build_plan_corpus(n_queries=8, seed=2,
+                                                base_rows=400)
+        counters = perfstats.snapshot()
+        assert counters.get("trace.generate.batched", 0) >= 1
+        assert counters.get("trace.generate.reference", 0) == 0
+        assert counters.get("execute.trace.plans", 0) >= 8
+        assert counters.get("simulate.batched", 0) >= 8
+
+    def test_trace_execution_dispatches_engine(self, tiny_corpus):
+        db, records = tiny_corpus
+        plans = [r.plan for r in records]
+        perfstats.reset()
+        rate = harness.bench_trace_execution(db, plans, repeats=2)
+        assert rate > 0
+        counters = perfstats.snapshot()
+        assert counters.get("execute.trace.plans", 0) >= 2 * len(plans)
+        assert counters.get("execute.scan_cache.hit", 0) > 0
+        assert counters.get("execute.join_index.hit", 0) > 0
+
+    def test_runtime_simulation_dispatches_batched(self, tiny_corpus):
+        db, records = tiny_corpus
+        plans = [r.plan for r in records]
+        perfstats.reset()
+        rate = harness.bench_runtime_simulation(db, plans, repeats=2)
+        assert rate > 0
+        assert perfstats.snapshot().get("simulate.batched", 0) >= 2 * len(plans)
+
+    def test_spn_learning_dispatches_vectorized(self, tiny_corpus):
+        db, _ = tiny_corpus
+        perfstats.reset()
+        rate = harness.bench_spn_learning(db, repeats=1, max_rows=400)
+        assert rate > 0
+        counters = perfstats.snapshot()
+        assert counters.get("spn.learn.vectorized", 0) >= len(db.tables)
+        assert counters.get("spn.learn.reference", 0) == 0
+
     def test_featurization_dispatches_vectorized(self, tiny_corpus):
         db, records = tiny_corpus
         perfstats.reset()
@@ -78,9 +119,19 @@ class TestHarnessSmoke:
                                     use_reference=True)
         harness.bench_annotation(db, records, repeats=1, use_reference=True,
                                  sample_size=128)
+        harness.bench_spn_learning(db, repeats=1, max_rows=400,
+                                   use_reference=True)
         counters = perfstats.snapshot()
         assert counters.get("featurize.reference", 0) >= len(records)
         assert counters.get("annotate.reference", 0) >= len(records)
+        assert counters.get("spn.learn.reference", 0) >= len(db.tables)
+        # The reference trace-execution bench must stay on the per-plan
+        # loop, never the context engine.
+        plans = [r.plan for r in records]
+        perfstats.reset()
+        harness.bench_trace_execution(db, plans, repeats=1,
+                                      use_reference=True)
+        assert perfstats.snapshot().get("execute.trace.plans", 0) == 0
 
     def test_training_step_dispatches_flat_adam(self, tiny_corpus):
         db, records = tiny_corpus
