@@ -52,8 +52,8 @@ __all__ = ["build_plan_corpus", "build_corpus", "build_exec_corpus",
            "bench_featurization", "bench_annotation",
            "bench_featurization_cached", "bench_batch_construction",
            "bench_training_step", "bench_train_epoch",
-           "bench_experiment_warm_start", "bench_inference", "run_all",
-           "run_pipeline_reference"]
+           "bench_experiment_warm_start", "bench_inference", "bench_serving",
+           "run_all", "run_pipeline_reference"]
 
 
 def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
@@ -443,6 +443,66 @@ def bench_inference(graphs, runtimes, hidden_dim=64, batch_size=256,
     return rate
 
 
+def bench_serving(db, records, hidden_dim=64, n_clients=4, repeats=3,
+                  max_batch_size=64, max_delay_ms=2.0, seed=0):
+    """Plans/second through the online predictor, single vs micro-batched.
+
+    Publishes one model to a throwaway registry and drives the server with
+    the load generator in saturation mode (open-loop clients, no arrival
+    pacing): once with ``max_batch_size=1`` — every request pays the full
+    per-call featurize/batch/infer cost, the way a naive single-plan service
+    would — and once with micro-batching on.  The result cache is disabled
+    so both modes pay the real inference path for every request; the
+    speedup between the two rates is the value of request coalescing.
+    Returns ``(single_rate, batched_rate, extras)`` where ``extras`` holds
+    the batched run's batch-size histogram and latency percentiles.
+    """
+    from repro.bench import ArtifactStore
+    from repro.core import TrainingConfig, ZeroShotCostModel
+    from repro.serving import (LoadConfig, ModelRegistry, PredictorServer,
+                               ServerConfig, run_load)
+
+    dbs = {db.name: db}
+    graphs = featurize_records(records, dbs, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records])
+    model = ZeroShotCostModel(
+        ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval(),
+        FeatureScalers().fit(graphs), TargetScaler().fit(runtimes),
+        TrainingConfig(hidden_dim=hidden_dim))
+    requests = [(db.name, record.plan) for record in records]
+    load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
+                      block=True)
+
+    def measure(batch_size):
+        best_rate, extras = 0.0, {}
+        for _ in range(repeats):
+            # Fresh server per pass: cold featurization/batch caches, as a
+            # first encounter with this request stream would pay.
+            config = ServerConfig(max_batch_size=batch_size,
+                                  max_delay_ms=max_delay_ms,
+                                  queue_depth=len(requests) + n_clients,
+                                  result_cache_size=0)
+            server = PredictorServer(registry, dbs, config)
+            with _gc_paused(), server:
+                report = run_load(server, requests, load)
+            if report.completed != len(requests):
+                raise RuntimeError(
+                    f"serving bench lost requests: {report.as_dict()}")
+            if report.throughput_rps > best_rate:
+                best_rate = report.throughput_rps
+                extras = {"batch_size_hist": report.batch_size_hist,
+                          "mean_batch_size": report.mean_batch_size,
+                          "latency_ms": report.latency_ms}
+        return best_rate, extras
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(ArtifactStore(tmp))
+        registry.publish("bench", model, dbs=[db], default=True)
+        single_rate, _ = measure(1)
+        batched_rate, extras = measure(max_batch_size)
+    return single_rate, batched_rate, extras
+
+
 def run_pipeline_reference(n_queries=192, seed=0):
     """Loop-baseline rates for the pipeline metrics (see --save-loop-baseline)."""
     db, records = build_plan_corpus(n_queries=n_queries, seed=seed)
@@ -564,6 +624,9 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
                                 seed=seed, use_cache=True), profile)
     warm_cold_s, warm_warm_s, warm_store_stats = _stage(
         "experiment_warm_start", bench_experiment_warm_start, profile)
+    serving_single, serving_batched, serving_extras = _stage(
+        "serving", lambda: bench_serving(db, records, hidden_dim=hidden_dim,
+                                         seed=seed), profile)
     return {
         "datagen_tables_per_s": datagen,
         "trace_exec_plans_per_s": trace_exec,
@@ -587,6 +650,10 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
         "experiment_cold_s": warm_cold_s,
         "experiment_warm_s": warm_warm_s,
         "experiment_warm_start_speedup": warm_cold_s / warm_warm_s,
+        "serving_single_plans_per_s": serving_single,
+        "serving_batched_plans_per_s": serving_batched,
+        "serving_microbatch_speedup": serving_batched / serving_single,
+        "serving_extras": serving_extras,
         "n_queries": n_queries,
         "hidden_dim": hidden_dim,
         "cache_stats": {
@@ -603,5 +670,8 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
              "execute.scan_cache.miss", "execute.join_index.hit",
              "execute.join_index.fallback", "simulate.batched",
              "spn.learn.vectorized", "spn.learn.reference",
-             "trace.generate.batched", "trace.generate.reference"]),
+             "trace.generate.batched", "trace.generate.reference",
+             "serve.batch.count", "serve.batch.requests",
+             "serve.cache.hit", "serve.cache.miss",
+             "serve.shed.count", "serve.swap.count"]),
     }

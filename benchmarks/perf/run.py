@@ -42,7 +42,8 @@ RATE_KEYS = ("datagen_tables_per_s", "trace_exec_plans_per_s",
              "featurize_cached_plans_per_s",
              "batch_construction_plans_per_s", "train_step_plans_per_s",
              "train_epoch_plans_per_s",
-             "inference_plans_per_s", "inference_cached_plans_per_s")
+             "inference_plans_per_s", "inference_cached_plans_per_s",
+             "serving_single_plans_per_s", "serving_batched_plans_per_s")
 
 # Metrics with an in-run executable reference implementation (loop specs /
 # per-parameter optimizer): reported as machine-drift-immune ratios.
@@ -125,6 +126,9 @@ def main(argv=None):
     warm = results.get("experiment_warm_start_speedup")
     if warm:
         report["experiment_warm_start_speedup"] = warm
+    serving = results.get("serving_microbatch_speedup")
+    if serving:
+        report["serving_microbatch_speedup"] = serving
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {args.output}")
@@ -140,6 +144,11 @@ def main(argv=None):
     if warm:
         print(f"  experiment_warm_start: cold {results['experiment_cold_s']:.2f}s"
               f" -> warm {results['experiment_warm_s']:.2f}s ({warm:.1f}x)")
+    if serving:
+        extras = results.get("serving_extras", {})
+        print(f"  serving_microbatch_speedup: {serving:.2f}x "
+              f"(mean batch {extras.get('mean_batch_size', 0):.1f}, "
+              f"p99 {extras.get('latency_ms', {}).get('p99', 0):.2f} ms)")
     print(f"  cache_stats: {results['cache_stats']}")
     print(f"  dispatch: {results['dispatch_counters']}")
 

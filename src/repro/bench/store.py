@@ -29,6 +29,11 @@ Hits and misses are mirrored into the :mod:`repro.perfstats` counters
 test asserts on.  Writes are atomic (temp file + rename), so concurrent
 experiment workers sharing one store directory cannot corrupt entries.
 
+Store kinds now: ``database``, ``trace``, ``graphs``, ``spn``, ``model``
+(benchmark suite), plus the serving registry's ``deploy`` (content-addressed
+model checkpoint bytes) and ``manifest`` (per-model version/promotion state;
+the atomic rename is what makes promote/rollback atomic).
+
 Wipe the directory whenever featurization, workload generation or the
 storage engine changes semantically — the store versions its format
 (``STORE_VERSION``) but intentionally does not fingerprint the code.
@@ -94,6 +99,14 @@ class ArtifactStore:
         self.hits += 1
         perfstats.increment(f"store.hit.{kind}")
         return value
+
+    def contains(self, kind, key):
+        """Whether an entry exists on disk (no load, no hit/miss counting).
+
+        Content-addressed writers (the serving registry's checkpoint
+        payloads) use this to skip rewriting byte-identical entries.
+        """
+        return self._path(kind, key).exists()
 
     def save(self, kind, key, value, fingerprint=None):
         """Persist ``value`` atomically under ``(kind, key)``."""

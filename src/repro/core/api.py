@@ -10,6 +10,8 @@ a handful of queries from the target database.
 from __future__ import annotations
 
 import copy
+import io
+from hashlib import blake2b
 
 import numpy as np
 
@@ -224,19 +226,63 @@ class ZeroShotCostModel:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path):
+    def _full_state(self):
+        """Model parameters + scaler state, as one flat checkpoint dict."""
         state = self.model.state_dict()
         for node_type, scaler_state in self.feature_scalers.state().items():
             state[f"__scaler__{node_type}__mean"] = scaler_state["mean"]
             state[f"__scaler__{node_type}__std"] = scaler_state["std"]
         state["__target__"] = np.array([self.target_scaler.mean,
                                         self.target_scaler.std])
-        save_state(path, state, metadata={
+        return state
+
+    def _metadata(self):
+        return {
             "hidden_dim": self.config.hidden_dim,
             "dropout": self.config.dropout,
             "seed": self.config.seed,
             "dtype": self.config.dtype,
-        })
+        }
+
+    def save(self, path):
+        save_state(path, self._full_state(), metadata=self._metadata())
+
+    def to_bytes(self):
+        """The model as checkpoint bytes (the ``.npz`` :meth:`save` writes).
+
+        The serving registry stores deployments as these bytes, so a
+        published model round-trips through the exact
+        :mod:`repro.nn.serialize` path a file checkpoint does — dtypes
+        intact, reload bit-identical.
+        """
+        buffer = io.BytesIO()
+        self.save(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, payload):
+        """Rebuild a model from :meth:`to_bytes` output."""
+        return cls.load(io.BytesIO(payload))
+
+    def state_digest(self):
+        """Deterministic 16-byte hex digest of the full checkpoint state.
+
+        Hashes every parameter and scaler array (name, dtype, shape, raw
+        bytes) plus the architecture metadata — *not* the serialized ``.npz``
+        container, whose zip framing embeds timestamps.  Two models with
+        bit-identical state always share a digest, so the serving registry
+        can content-address deployments with it.
+        """
+        digest = blake2b(digest_size=16)
+        state = self._full_state()
+        for name in sorted(state):
+            values = np.ascontiguousarray(state[name])
+            digest.update(name.encode())
+            digest.update(str(values.dtype).encode())
+            digest.update(repr(values.shape).encode())
+            digest.update(values.tobytes())
+        digest.update(repr(sorted(self._metadata().items())).encode())
+        return digest.hexdigest()
 
     @classmethod
     def load(cls, path):

@@ -38,8 +38,8 @@ from .features import (FEATURE_DIMS, PLAN_NUMERIC_DIMS, plan_features,
                        output_features)
 from .zero_shot import (build_query_graph, build_query_graphs,
                         build_query_graph_reference)
-from .fingerprint import (FeaturizationCache, plan_fingerprint,
-                          records_fingerprint)
+from .fingerprint import (FeaturizationCache, database_digest,
+                          plan_fingerprint, records_fingerprint)
 from .scalers import StandardScaler, FeatureScalers, TargetScaler
 from .batching import (BatchCache, GraphBatch, LevelGroup, make_batch,
                        make_batch_reference)
@@ -49,7 +49,8 @@ __all__ = [
     "FEATURE_DIMS", "PLAN_NUMERIC_DIMS", "plan_features", "predicate_features",
     "table_features", "attribute_features", "output_features",
     "build_query_graph", "build_query_graphs", "build_query_graph_reference",
-    "FeaturizationCache", "plan_fingerprint", "records_fingerprint",
+    "FeaturizationCache", "database_digest", "plan_fingerprint",
+    "records_fingerprint",
     "StandardScaler", "FeatureScalers", "TargetScaler",
     "BatchCache", "GraphBatch", "LevelGroup", "make_batch",
     "make_batch_reference",

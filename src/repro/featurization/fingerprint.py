@@ -34,7 +34,8 @@ from hashlib import blake2b
 
 from ..sql import BooleanPredicate, Comparison
 
-__all__ = ["plan_fingerprint", "records_fingerprint", "FeaturizationCache"]
+__all__ = ["plan_fingerprint", "records_fingerprint", "database_digest",
+           "FeaturizationCache"]
 
 
 def _predicate_token(predicate):
@@ -73,7 +74,8 @@ def _digest(db_fingerprint, cards, sf_token, plan):
     return blake2b(repr(payload).encode(), digest_size=16).digest()
 
 
-def plan_fingerprint(db, plan, cards, storage_formats=None):
+def plan_fingerprint(db, plan, cards, storage_formats=None,
+                     db_fingerprint=None):
     """16-byte content digest of (plan, cardinality source, database).
 
     Equal plans — same structure, estimates, recorded true rows, predicates
@@ -82,10 +84,32 @@ def plan_fingerprint(db, plan, cards, storage_formats=None):
     (``repr`` round-trips floats exactly).  Identical to the digests
     :meth:`FeaturizationCache.key` produces (both go through the same
     helper), so it can be used to probe or pre-seed a cache.
+
+    ``db_fingerprint`` lets callers that fingerprint many plans against one
+    database (the serving result cache, batch featurization) amortize the
+    per-table row-count walk of :meth:`~repro.storage.Database.fingerprint`.
     """
     sf_token = (tuple(sorted(storage_formats.items()))
                 if storage_formats else None)
-    return _digest(db.fingerprint(), cards, sf_token, plan)
+    if db_fingerprint is None:
+        db_fingerprint = db.fingerprint()
+    return _digest(db_fingerprint, cards, sf_token, plan)
+
+
+def database_digest(db_or_fingerprint):
+    """16-byte digest of a database fingerprint (name + per-table row counts).
+
+    The compact routing key of the serving layer: model deployments record
+    the digests of the databases they were trained on (or validated
+    against), and the predictor routes each request's database to a
+    compatible deployment by digest equality.  Accepts either a
+    :class:`~repro.storage.Database` or the tuple its ``fingerprint()``
+    returns.
+    """
+    fingerprint = (db_or_fingerprint.fingerprint()
+                   if hasattr(db_or_fingerprint, "fingerprint")
+                   else db_or_fingerprint)
+    return blake2b(repr(fingerprint).encode(), digest_size=16).digest()
 
 
 def records_fingerprint(records, dbs, cards, storage_formats=None,

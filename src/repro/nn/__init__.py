@@ -7,8 +7,9 @@ optimizers and the Q-error loss from the paper.
 
 from .tensor import (Tensor, concat, maximum, scatter_sum, linear,
                      fused_act_dropout, linear_act_dropout, segment_sum,
-                     FlatParameterSpace, no_grad, is_grad_enabled,
-                     set_default_dtype, get_default_dtype, default_dtype)
+                     row_stable_matmul, FlatParameterSpace, no_grad,
+                     is_grad_enabled, set_default_dtype, get_default_dtype,
+                     default_dtype)
 from .modules import (Module, Linear, ReLU, LeakyReLU, Tanh, Sigmoid,
                       Dropout, Sequential, MLP)
 from .optim import (SGD, Adam, Adam_reference, clip_grad_norm,
@@ -19,7 +20,7 @@ from .serialize import save_state, load_state
 __all__ = [
     "Tensor", "concat", "maximum", "scatter_sum", "linear",
     "fused_act_dropout", "linear_act_dropout", "segment_sum",
-    "FlatParameterSpace",
+    "row_stable_matmul", "FlatParameterSpace",
     "no_grad", "is_grad_enabled",
     "set_default_dtype", "get_default_dtype", "default_dtype",
     "Module", "Linear", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",

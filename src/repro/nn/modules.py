@@ -19,7 +19,7 @@ import re
 import numpy as np
 
 from .tensor import (Tensor, activation_numpy, dropout_keep_mask, linear,
-                     linear_act_dropout)
+                     linear_act_dropout, row_stable_matmul)
 
 __all__ = ["Module", "Linear", "ReLU", "LeakyReLU", "Tanh", "Sigmoid",
            "Dropout", "Sequential", "MLP"]
@@ -195,10 +195,13 @@ class Linear(Module):
         return linear(x, self.weight, self.bias)
 
     def forward_numpy(self, x):
+        # Inference-path matmuls are row-stable (see row_stable_matmul):
+        # a row's result is identical whether it travels alone or inside a
+        # batch, which the serving layer's bit-identity contract relies on.
         w = self.weight.data
         if x.dtype != w.dtype:
             x = x.astype(w.dtype)
-        out = x @ w
+        out = row_stable_matmul(x, w)
         if self.bias is not None:
             out += self.bias.data
         return out

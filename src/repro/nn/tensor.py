@@ -41,7 +41,7 @@ import numpy as np
 
 __all__ = ["Tensor", "concat", "maximum", "scatter_sum", "linear",
            "fused_act_dropout", "linear_act_dropout", "activation_numpy",
-           "dropout_keep_mask",
+           "dropout_keep_mask", "row_stable_matmul",
            "segment_sum", "FlatParameterSpace",
            "no_grad", "is_grad_enabled",
            "set_default_dtype", "get_default_dtype", "default_dtype"]
@@ -138,6 +138,40 @@ def dropout_keep_mask(rng, shape, p, dtype):
     keep = (rng.random(shape, dtype=draw_dtype) >= p).astype(dtype, copy=False)
     keep *= dtype.type(1.0 / (1.0 - p))
     return keep
+
+
+def row_stable_matmul(x, w):
+    """``x @ w`` with per-row results independent of the number of rows.
+
+    BLAS dispatches degenerate matmuls — a single input row or a single
+    output column — to gemv kernels whose reduction order over the shared
+    dimension differs from the gemm kernels used for larger operands, so the
+    *same* row can produce different low-order bits depending on how many
+    other rows share the call.  The serving layer's contract (micro-batched
+    predictions bit-identical to direct ``predict_runtimes`` calls, cached
+    results valid under any later batch composition) needs row results that
+    are a pure function of the row, so the graph-free inference path routes
+    every matmul through here:
+
+    * one output column: evaluated as an elementwise product reduced with
+      ``sum(axis=1)`` — numpy reduces each row independently (pairwise, in a
+      fixed order), so the result cannot depend on the other rows;
+    * one input row (and >1 output column): padded to two rows so BLAS takes
+      the gemm kernel, whose per-row results are row-count-invariant (the
+      property ``tests/test_serving.py`` asserts across shapes);
+    * everything else: plain ``@`` (gemm).
+
+    The kernel choice depends only on ``w``'s shape — a model property — and
+    the row count, never on which rows travel together, so any two batch
+    compositions agree bitwise on shared rows.
+    """
+    if w.shape[1] == 1:
+        return np.multiply(x, w[:, 0]).sum(axis=1, keepdims=True)
+    if x.shape[0] == 1:
+        padded = np.zeros((2, x.shape[1]), dtype=x.dtype)
+        padded[0] = x[0]
+        return (padded @ w)[:1]
+    return x @ w
 
 
 def _unbroadcast(grad, shape):

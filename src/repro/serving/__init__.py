@@ -1,0 +1,43 @@
+"""Online cost-prediction service over trained zero-shot models.
+
+The paper's pitch is that zero-shot cost models predict runtimes on unseen
+databases *out of the box*; systems like BRAD route live queries through
+exactly such models.  This package turns the repo's offline experiment
+engine into that online service:
+
+* :class:`ModelRegistry` (``registry.py``) — versioned, content-addressed
+  model deployments over the disk artifact store, with database-fingerprint
+  compatibility metadata, atomic promote/rollback and hot-swap signalling.
+* :class:`PredictorServer` (``server.py``) — an in-process, thread-based
+  predictor that coalesces concurrent single-plan and bulk requests into
+  micro-batches (deadline/size trigger) feeding the graph-free inference
+  fast path, routes each request to a compatible deployment by database
+  fingerprint, answers repeat plans from a bounded fingerprint-keyed result
+  cache and sheds load via bounded-queue admission control.
+* :func:`run_load` (``loadgen.py``) — a seeded open-loop load harness
+  recording throughput, p50/p95/p99 latency, batch-size histograms and
+  cache/shed counters.
+
+Serving equivalence contract: for any request mix, every returned
+prediction is bit-identical to a direct
+:func:`~repro.core.training.predict_runtimes` call on the same model —
+micro-batch composition, cache hits and hot-swaps never change a value.
+This rests on the row-stable inference kernels
+(:func:`repro.nn.row_stable_matmul`); see ``tests/test_serving.py``.
+
+Perfstats counters: ``serve.batch.count`` / ``serve.batch.requests``,
+``serve.cache.hit`` / ``serve.cache.miss``, ``serve.shed.count``,
+``serve.swap.count`` and ``serve.registry.*``.
+"""
+
+from .registry import ModelDeployment, ModelRegistry
+from .server import (PredictionRequest, PredictorServer, RequestShedError,
+                     RequestStatus, RoutingError, ServerConfig, ServingRecord)
+from .loadgen import LoadConfig, LoadReport, run_load
+
+__all__ = [
+    "ModelDeployment", "ModelRegistry",
+    "PredictionRequest", "PredictorServer", "RequestShedError",
+    "RequestStatus", "RoutingError", "ServerConfig", "ServingRecord",
+    "LoadConfig", "LoadReport", "run_load",
+]

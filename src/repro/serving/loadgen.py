@@ -1,0 +1,161 @@
+"""Seeded open-loop load generator for the predictor server.
+
+Drives a :class:`~repro.serving.PredictorServer` with concurrent client
+threads and measures what "How Good are Learned Cost Models, Really?"
+argues offline Q-error misses: prediction *latency under load*.
+
+Open-loop means arrivals follow a seeded schedule (Poisson by default)
+regardless of completions — the standard way to expose queueing delay: a
+closed-loop client would slow its own arrival rate exactly when the server
+struggles, hiding the latency it causes.  ``rate_per_s=None`` degenerates
+to saturation mode (every client submits back-to-back), which is what the
+throughput benchmarks use.
+
+Latency is measured per request from ``submit()`` to completion (the
+server stamps both ends), so client threads do not need to block on
+results during the run; percentiles are computed after the fact.
+:class:`LoadReport` carries throughput, p50/p95/p99/mean/max latency, the
+per-status request counts, and the server's batch-size histogram and
+cache/shed counters — the numbers the perf harness records into
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .server import RequestStatus
+
+__all__ = ["LoadConfig", "LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Client count, arrival process and seed for one load run."""
+
+    n_clients: int = 4
+    rate_per_s: float | None = None  # aggregate arrival rate; None = saturate
+    seed: int = 0
+    timeout_s: float = 120.0  # wait bound for stragglers after arrivals end
+    block: bool = False       # True: backpressure instead of shedding
+
+
+@dataclass
+class LoadReport:
+    """Aggregate results of one load run."""
+
+    n_requests: int
+    completed: int      # predicted by a micro-batch
+    cached: int         # answered from the result cache
+    shed: int
+    failed: int
+    duration_s: float   # first submit -> last completion
+    throughput_rps: float
+    latency_ms: dict = field(default_factory=dict)  # p50/p95/p99/mean/max
+    batch_size_hist: dict = field(default_factory=dict)
+    mean_batch_size: float = 0.0
+    server_stats: dict = field(default_factory=dict)
+
+    def as_dict(self):
+        return {
+            "n_requests": self.n_requests, "completed": self.completed,
+            "cached": self.cached, "shed": self.shed, "failed": self.failed,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "batch_size_hist": dict(self.batch_size_hist),
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+def _arrival_offsets(n, rate_per_s, rng):
+    """Cumulative Poisson-process arrival times (seconds), or zeros."""
+    if not rate_per_s:
+        return np.zeros(n)
+    return np.cumsum(rng.exponential(1.0 / rate_per_s, size=n))
+
+
+def run_load(server, requests, config=None):
+    """Fire ``requests`` — ``(db_name, plan)`` pairs — at ``server``.
+
+    Requests are interleaved round-robin over ``n_clients`` threads; each
+    thread submits on the seeded open-loop schedule and never waits for
+    results mid-run.  Returns a :class:`LoadReport`.
+    """
+    config = config or LoadConfig()
+    requests = list(requests)
+    per_client = [requests[i::config.n_clients]
+                  for i in range(config.n_clients)]
+    # One seeded arrival schedule per client; each client's share of the
+    # aggregate rate keeps the fleet's total at rate_per_s.
+    client_rate = (config.rate_per_s / config.n_clients
+                   if config.rate_per_s else None)
+    schedules = [_arrival_offsets(len(items), client_rate,
+                                  np.random.default_rng(config.seed + index))
+                 for index, items in enumerate(per_client)]
+    handles = [[] for _ in per_client]
+    barrier = threading.Barrier(config.n_clients + 1)
+
+    def client(index):
+        out = handles[index]
+        barrier.wait()
+        start = time.perf_counter()
+        for (db_name, plan), offset in zip(per_client[index],
+                                           schedules[index]):
+            delay = offset - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            out.append(server.submit(plan, db_name, block=config.block))
+
+    threads = [threading.Thread(target=client, args=(index,), daemon=True)
+               for index in range(config.n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    for thread in threads:
+        thread.join()
+
+    flat = [handle for client_handles in handles
+            for handle in client_handles]
+    deadline = time.monotonic() + config.timeout_s
+    for handle in flat:
+        handle.wait(max(0.0, deadline - time.monotonic()))
+
+    by_status = {status: 0 for status in RequestStatus}
+    latencies = []
+    first_submit, last_complete = np.inf, -np.inf
+    for handle in flat:
+        by_status[handle.status] += 1
+        first_submit = min(first_submit, handle.submitted_at)
+        if handle.status in (RequestStatus.DONE, RequestStatus.CACHED):
+            latencies.append(handle.latency_ms)
+            last_complete = max(last_complete, handle.completed_at)
+    served = by_status[RequestStatus.DONE] + by_status[RequestStatus.CACHED]
+    duration = max(last_complete - first_submit, 0.0) if served else 0.0
+    latency_summary = {}
+    if latencies:
+        values = np.asarray(latencies)
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        latency_summary = {"p50": float(p50), "p95": float(p95),
+                           "p99": float(p99),
+                           "mean": float(values.mean()),
+                           "max": float(values.max())}
+    stats = server.stats()
+    return LoadReport(
+        n_requests=len(flat),
+        completed=by_status[RequestStatus.DONE],
+        cached=by_status[RequestStatus.CACHED],
+        shed=by_status[RequestStatus.SHED],
+        failed=(by_status[RequestStatus.FAILED]
+                + by_status[RequestStatus.PENDING]),
+        duration_s=duration,
+        throughput_rps=(served / duration) if duration > 0 else 0.0,
+        latency_ms=latency_summary,
+        batch_size_hist=stats["batch_size_hist"],
+        mean_batch_size=stats["mean_batch_size"],
+        server_stats=stats,
+    )

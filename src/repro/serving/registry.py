@@ -1,0 +1,330 @@
+"""Model registry: versioned, content-addressed zero-shot model deployments.
+
+The registry turns trained :class:`~repro.core.ZeroShotCostModel` objects
+into *deployments* an online predictor can serve:
+
+* **Content addressing** — every published checkpoint is stored under the
+  model's :meth:`~repro.core.ZeroShotCostModel.state_digest` (a digest of
+  the parameter/scaler arrays, not the ``.npz`` container).  Publishing the
+  same state twice writes one payload; two different states can never
+  collide.  Payloads are the exact bytes :meth:`ZeroShotCostModel.save`
+  writes, so a deployment round-trips through :mod:`repro.nn.serialize`
+  with dtypes intact — a float32 checkpoint reloads bit-identically.
+* **Versioned manifests** — each logical model name has a manifest listing
+  its versions, the currently *active* one, and the promotion history.
+  Manifests live in the :class:`~repro.bench.store.ArtifactStore` (kind
+  ``manifest``), whose temp-file-plus-rename write makes every
+  :meth:`promote` / :meth:`rollback` atomic on disk: a concurrent reader
+  sees either the old manifest or the new one, never a torn state.
+* **Database-fingerprint compatibility** — deployments record the
+  :func:`~repro.featurization.database_digest` of every database they were
+  trained on (or declared compatible with).  :meth:`route` resolves a
+  request's database digest to a compatible deployment, falling back to the
+  *default* model for unseen databases — the zero-shot case the paper is
+  about, and the BRAD-style multi-model routing the predictor server uses.
+* **Hot-swap signalling** — every mutation bumps :attr:`generation`; the
+  in-process predictor compares the counter per batch (one int read) and
+  re-resolves its routes only when something actually changed, so a promote
+  takes effect between micro-batches with zero downtime.  Cross-process
+  readers call :meth:`refresh` to re-read the manifests from disk.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .. import perfstats
+from ..bench.store import ArtifactStore
+from ..core.api import ZeroShotCostModel
+from ..featurization import database_digest
+
+__all__ = ["ModelRegistry", "ModelDeployment"]
+
+_DEPLOY_KIND = "deploy"
+_MANIFEST_KIND = "manifest"
+_REGISTRY_META = "__registry__"
+
+
+@dataclass(frozen=True)
+class ModelDeployment:
+    """Immutable metadata for one published model version."""
+
+    name: str
+    version: int
+    checkpoint_key: str  # hex state digest; content address of the payload
+    db_digests: tuple    # hex database digests this deployment serves
+    hidden_dim: int
+    dtype: str
+
+    def as_dict(self):
+        return {"name": self.name, "version": self.version,
+                "checkpoint_key": self.checkpoint_key,
+                "db_digests": list(self.db_digests),
+                "hidden_dim": self.hidden_dim, "dtype": self.dtype}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(name=payload["name"], version=payload["version"],
+                   checkpoint_key=payload["checkpoint_key"],
+                   db_digests=tuple(payload["db_digests"]),
+                   hidden_dim=payload["hidden_dim"], dtype=payload["dtype"])
+
+
+class ModelRegistry:
+    """Publish / promote / rollback / route / load model deployments.
+
+    ``store`` is an :class:`~repro.bench.store.ArtifactStore` (or a path,
+    which becomes one).  All mutating operations are serialized by an
+    internal lock; on-disk manifest writes are atomic, so a second registry
+    over the same directory (another process) sees consistent state after
+    :meth:`refresh`.
+    """
+
+    def __init__(self, store, max_loaded=8):
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+        self.generation = 0
+        self._lock = threading.RLock()
+        # checkpoint_key -> ZeroShotCostModel; bounded LRU so repeated
+        # swap/rollback cycles between a few versions never re-read disk.
+        self._loaded = OrderedDict()
+        self._max_loaded = int(max_loaded)
+        self._manifests = {}
+        meta = store.load(_MANIFEST_KIND, store.key(_REGISTRY_META))
+        self._names = list(meta["names"]) if meta else []
+        self._default = meta["default"] if meta else None
+        for name in self._names:
+            manifest = store.load(_MANIFEST_KIND, store.key(name))
+            if manifest is not None:
+                self._manifests[name] = manifest
+        self._rebuild_routing()
+
+    # ------------------------------------------------------------------
+    # Publishing and version management
+    # ------------------------------------------------------------------
+    def publish(self, name, model, dbs=(), db_digests=(), activate=True,
+                default=False):
+        """Publish ``model`` as a new version of ``name``.
+
+        ``dbs`` (Database objects) and/or ``db_digests`` (hex strings)
+        declare which databases the deployment is compatible with — they
+        become routing targets.  ``activate=True`` (the default) promotes
+        the new version immediately; ``default=True`` additionally makes
+        ``name`` the registry's fallback model for unrouted databases
+        (nothing becomes the fallback implicitly — an undeclared database
+        against a registry with no default fails fast instead of being
+        served by a model that never claimed it).  Returns the
+        :class:`ModelDeployment`.
+        """
+        digests = tuple(database_digest(db).hex() for db in dbs)
+        digests += tuple(db_digests)
+        checkpoint_key = model.state_digest()
+        with self._lock:
+            # Content-addressed: identical state publishes one payload.
+            if not self.store.contains(_DEPLOY_KIND, checkpoint_key):
+                self.store.save(_DEPLOY_KIND, checkpoint_key,
+                                model.to_bytes())
+            manifest = self._manifests.get(
+                name, {"name": name, "versions": [], "active": None,
+                       "history": []})
+            deployment = ModelDeployment(
+                name=name, version=len(manifest["versions"]) + 1,
+                checkpoint_key=checkpoint_key, db_digests=digests,
+                hidden_dim=model.config.hidden_dim,
+                dtype=model.config.dtype)
+            manifest["versions"].append(deployment.as_dict())
+            if activate:
+                manifest["active"] = deployment.version
+                manifest["history"].append(deployment.version)
+            self._write_manifest(name, manifest)
+            if name not in self._names:
+                self._names.append(name)
+            if default:
+                self._default = name
+            self._write_meta()
+            self._loaded[checkpoint_key] = model
+            self._trim_loaded()
+            self._mutated()
+        perfstats.increment("serve.registry.publish")
+        return deployment
+
+    def promote(self, name, version):
+        """Atomically make ``version`` the active deployment of ``name``."""
+        with self._lock:
+            manifest = self._manifest(name)
+            if not 1 <= version <= len(manifest["versions"]):
+                raise ValueError(f"{name!r} has no version {version}")
+            manifest["active"] = version
+            manifest["history"].append(version)
+            self._write_manifest(name, manifest)
+            self._mutated()
+        perfstats.increment("serve.registry.promote")
+        return self.active(name)
+
+    def rollback(self, name):
+        """Revert ``name`` to the previously active version (atomic)."""
+        with self._lock:
+            manifest = self._manifest(name)
+            if len(manifest["history"]) < 2:
+                raise ValueError(f"{name!r} has no previous version to "
+                                 "roll back to")
+            manifest["history"].pop()
+            manifest["active"] = manifest["history"][-1]
+            self._write_manifest(name, manifest)
+            self._mutated()
+        perfstats.increment("serve.registry.rollback")
+        return self.active(name)
+
+    def set_default(self, name):
+        """Make ``name`` the fallback model for unrouted databases."""
+        with self._lock:
+            self._manifest(name)  # validates existence
+            self._default = name
+            self._write_meta()
+            self._mutated()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self):
+        return tuple(self._names)
+
+    @property
+    def default_model(self):
+        return self._default
+
+    def deployments(self, name):
+        """All published versions of ``name``, oldest first."""
+        manifest = self._manifest(name)
+        return [ModelDeployment.from_dict(d) for d in manifest["versions"]]
+
+    def active(self, name):
+        """The active :class:`ModelDeployment` of ``name`` (None if none)."""
+        manifest = self._manifest(name)
+        if manifest["active"] is None:
+            return None
+        return ModelDeployment.from_dict(
+            manifest["versions"][manifest["active"] - 1])
+
+    def route(self, db_digest):
+        """The deployment serving a database digest (BRAD-style routing).
+
+        A database some *active* deployment explicitly lists routes there;
+        anything else — the unseen databases zero-shot models exist for —
+        falls back to the default model's active deployment.  Returns
+        ``None`` when nothing is routable (no compatible model and no
+        default).  Accepts bytes or hex.
+        """
+        if isinstance(db_digest, bytes):
+            db_digest = db_digest.hex()
+        with self._lock:
+            name = self._routing.get(db_digest, self._default)
+        if name is None:
+            return None
+        return self.active(name)
+
+    def load(self, name=None, version=None, deployment=None):
+        """The :class:`ZeroShotCostModel` of a deployment (memoized).
+
+        Without arguments loads the default model's active deployment;
+        ``version=None`` means the active version.  Reloads hit a small
+        in-memory LRU keyed on checkpoint content, so swap/rollback cycles
+        between recent versions never touch disk.
+        """
+        if deployment is None:
+            name = name or self._default
+            if name is None:
+                raise ValueError("registry has no default model")
+            if version is None:
+                deployment = self.active(name)
+                if deployment is None:
+                    raise ValueError(f"{name!r} has no active version")
+            else:
+                manifest = self._manifest(name)
+                if not 1 <= version <= len(manifest["versions"]):
+                    raise ValueError(f"{name!r} has no version {version}")
+                deployment = ModelDeployment.from_dict(
+                    manifest["versions"][version - 1])
+        key = deployment.checkpoint_key
+        with self._lock:
+            model = self._loaded.get(key)
+            if model is not None:
+                self._loaded.move_to_end(key)
+                return model
+        payload = self.store.load(_DEPLOY_KIND, key)
+        if payload is None:
+            raise KeyError(f"checkpoint {key} missing from the store "
+                           f"(deployment {deployment.name} "
+                           f"v{deployment.version})")
+        model = ZeroShotCostModel.from_bytes(payload)
+        with self._lock:
+            self._loaded[key] = model
+            self._trim_loaded()
+        return model
+
+    def refresh(self):
+        """Re-read every manifest from disk (cross-process visibility).
+
+        Bumps :attr:`generation` so attached servers re-resolve their
+        routes on the next batch.  The new state is built aside and
+        swapped in with single rebinds, so concurrent readers (a serving
+        batcher mid-route) always observe either the old view or the new
+        one — never a half-populated dict.
+        """
+        with self._lock:
+            meta = self.store.load(_MANIFEST_KIND,
+                                   self.store.key(_REGISTRY_META))
+            names = list(meta["names"]) if meta else list(self._names)
+            manifests = {}
+            for name in names:
+                manifest = self.store.load(_MANIFEST_KIND,
+                                           self.store.key(name))
+                if manifest is not None:
+                    manifests[name] = manifest
+            self._names = names
+            if meta:
+                self._default = meta["default"]
+            self._manifests = manifests
+            self._mutated()
+
+    # ------------------------------------------------------------------
+    def _manifest(self, name):
+        manifest = self._manifests.get(name)
+        if manifest is None:
+            raise KeyError(f"no model {name!r} in the registry")
+        return manifest
+
+    def _write_manifest(self, name, manifest):
+        self.store.save(_MANIFEST_KIND, self.store.key(name), manifest)
+        self._manifests[name] = manifest
+
+    def _write_meta(self):
+        self.store.save(_MANIFEST_KIND, self.store.key(_REGISTRY_META),
+                        {"names": list(self._names),
+                         "default": self._default})
+
+    def _rebuild_routing(self):
+        routing = {}
+        for name in self._names:
+            manifest = self._manifests.get(name)
+            if not manifest or manifest["active"] is None:
+                continue
+            active = manifest["versions"][manifest["active"] - 1]
+            for digest in active["db_digests"]:
+                routing[digest] = name
+        self._routing = routing
+
+    def _mutated(self):
+        self._rebuild_routing()
+        self.generation += 1
+
+    def _trim_loaded(self):
+        while len(self._loaded) > self._max_loaded:
+            self._loaded.popitem(last=False)
+
+    def __repr__(self):
+        return (f"ModelRegistry({str(self.store.root)!r}, "
+                f"models={len(self._names)}, default={self._default!r})")

@@ -1,0 +1,537 @@
+"""In-process micro-batching predictor server.
+
+Clients — any number of threads — submit plans for any registered database
+and get a :class:`PredictionRequest` handle back immediately.  A single
+batcher thread coalesces queued requests into micro-batches on a
+deadline/size trigger (whichever fires first), routes every request to a
+compatible model deployment by database fingerprint, featurizes each batch
+through the shared vectorized pipeline and predicts through
+``predict_runtimes`` — i.e. the PR-1 graph-free ``forward_inference`` fast
+path.  The design follows what learned-cost-model serving needs in systems
+like BRAD: multi-model routing, bounded latency, bounded memory.
+
+Guarantees:
+
+* **Bit-identical predictions** — for any request mix, the value a request
+  receives equals a direct ``predict_runtimes`` call on the same model for
+  that plan, bit for bit, regardless of which other requests shared its
+  micro-batch.  This rests on the row-stable inference kernels
+  (:func:`repro.nn.row_stable_matmul`): per-plan outputs are a pure
+  function of the plan, so micro-batch composition — and therefore
+  scheduling nondeterminism — cannot leak into results, and cached values
+  stay exact under every later composition.
+* **Repeat plans are cache hits** — a bounded result cache keyed on
+  ``(checkpoint, plan fingerprint)`` (the PR-2 content fingerprints, so
+  equal-but-distinct plan objects hit) answers repeats without touching
+  the queue.  Keys include the serving checkpoint, so a hot-swap can never
+  serve a stale model's value.
+* **Zero-downtime hot-swap** — the batcher compares the registry's
+  generation counter before each batch (one int read) and re-resolves its
+  routes only when the registry changed; in-flight batches finish on the
+  model they started with.
+* **Bounded queue, explicit shedding** — when the queue is full, a
+  non-blocking submit returns a request in ``SHED`` state instead of
+  queueing unboundedly (``block=True`` opts into backpressure instead).
+
+Observability: ``serve.batch.*`` / ``serve.cache.*`` / ``serve.shed.*`` /
+``serve.swap.*`` perfstats counters, plus :meth:`PredictorServer.stats`
+(batch-size histogram, queue high-water mark, per-status request counts).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, OrderedDict, deque, namedtuple
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .. import perfstats
+from ..core.api import EstimatorCache, featurize_records
+from ..core.training import predict_runtimes
+from ..featurization import (BatchCache, FeaturizationCache, database_digest,
+                             plan_fingerprint)
+
+__all__ = ["PredictorServer", "ServerConfig", "PredictionRequest",
+           "RequestStatus", "RequestShedError", "RoutingError",
+           "ServingRecord"]
+
+# The unit of serving work: featurize_records only reads .db_name and .plan,
+# so this lightweight record stands in for an executed TraceRecord.
+ServingRecord = namedtuple("ServingRecord", ["db_name", "plan"])
+
+
+class RequestStatus(Enum):
+    PENDING = "pending"
+    DONE = "done"        # predicted by a micro-batch
+    CACHED = "cached"    # answered from the result cache
+    SHED = "shed"        # rejected by admission control
+    FAILED = "failed"    # routing/featurization/prediction error
+
+
+class RequestShedError(RuntimeError):
+    """The bounded queue was full and the request was shed."""
+
+
+class RoutingError(RuntimeError):
+    """No deployment serves the request's database and there is no default."""
+
+
+class PredictionRequest:
+    """Client-side handle for one submitted plan."""
+
+    __slots__ = ("db_name", "plan", "status", "value", "error", "served_by",
+                 "submitted_at", "completed_at", "_event")
+
+    def __init__(self, db_name, plan):
+        self.db_name = db_name
+        self.plan = plan
+        self.status = RequestStatus.PENDING
+        self.value = None
+        self.error = None
+        self.served_by = None  # (model name, version) that produced value
+        self.submitted_at = time.perf_counter()
+        self.completed_at = None
+        self._event = threading.Event()
+
+    # -- completion (server side) --------------------------------------
+    def _finish(self, status, value=None, error=None, served_by=None):
+        self.value = value
+        self.error = error
+        self.served_by = served_by
+        self.completed_at = time.perf_counter()
+        self.status = status
+        self._event.set()
+
+    # -- client side ----------------------------------------------------
+    def done(self):
+        return self._event.is_set()
+
+    def wait(self, timeout=None):
+        return self._event.wait(timeout)
+
+    def result(self, timeout=None):
+        """The predicted runtime (ms); raises for shed/failed requests."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction still pending")
+        if self.status is RequestStatus.SHED:
+            raise RequestShedError(
+                f"request for {self.db_name!r} was shed (queue full)")
+        if self.status is RequestStatus.FAILED:
+            raise self.error
+        return self.value
+
+    @property
+    def latency_ms(self):
+        if self.completed_at is None:
+            return None
+        return (self.completed_at - self.submitted_at) * 1e3
+
+    def __repr__(self):
+        return (f"PredictionRequest({self.db_name!r}, "
+                f"status={self.status.value})")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Micro-batching, admission-control and routing knobs."""
+
+    max_batch_size: int = 64     # size trigger: dispatch when this many queue
+    max_delay_ms: float = 2.0    # deadline trigger: oldest request's max wait
+    queue_depth: int = 1024      # admission control: shed beyond this
+    result_cache_size: int = 4096  # 0 disables the result cache
+    predict_batch_size: int = 256  # inference chunking inside one batch
+    cards: str = "exact"         # cardinality source for featurization
+    model_name: str | None = None  # pin every database to one model name
+
+
+class _Route:
+    """A database's resolved deployment with the loaded model."""
+
+    __slots__ = ("deployment", "model")
+
+    def __init__(self, deployment, model):
+        self.deployment = deployment
+        self.model = model
+
+    @property
+    def checkpoint_key(self):
+        return self.deployment.checkpoint_key
+
+    @property
+    def served_by(self):
+        return (self.deployment.name, self.deployment.version)
+
+
+class PredictorServer:
+    """Thread-based online prediction service over a model registry.
+
+    ``dbs`` maps database names to :class:`~repro.storage.Database` objects
+    the server accepts requests for.  Use as a context manager (starts and
+    stops the batcher thread)::
+
+        with PredictorServer(registry, {"imdb": db}) as server:
+            request = server.submit(plan, "imdb")
+            runtime_ms = request.result()
+    """
+
+    def __init__(self, registry, dbs, config=None, estimator_cache=None):
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self._dbs = dict(dbs)
+        self._db_digests = {name: database_digest(db).hex()
+                            for name, db in self._dbs.items()}
+        self._db_fingerprints = {name: db.fingerprint()
+                                 for name, db in self._dbs.items()}
+        # One lock guards the queue, the result cache, the digest memo, the
+        # routes and the counters.  Featurization and inference run outside
+        # it; the featurization/batch caches are touched only by the
+        # batcher thread, so they need no locking of their own.
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._queue = deque()
+        self._result_cache = OrderedDict()
+        self._digest_memo = OrderedDict()  # id(plan) -> (plan, digest)
+        self._feat_cache = FeaturizationCache()
+        self._batch_cache = BatchCache(max_entries=64)
+        self._estimator_cache = estimator_cache or EstimatorCache()
+        self._running = False
+        self._accepting = True  # False only after stop(); start() restores
+        self._thread = None
+        self._counts = Counter()
+        self._batch_sizes = Counter()
+        self._queue_high_water = 0
+        self._routes = {}
+        self._seen_generation = None
+        self._resolve_routes()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._running = True
+        self._accepting = True
+        self._thread = threading.Thread(target=self._serve_loop,
+                                        name="repro-predictor", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        """Drain the queue, stop the batcher, shed late submissions.
+
+        Requests already queued are processed before the batcher exits;
+        submissions from this point on (including blocked backpressure
+        waiters) are shed instead of sitting unprocessed forever.
+        :meth:`start` re-opens admission.
+        """
+        if self._thread is None:
+            return
+        with self._lock:
+            self._running = False
+            self._accepting = False
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, plan, db_name, block=False, timeout=None):
+        """Submit one plan; returns a :class:`PredictionRequest` handle.
+
+        Repeat plans (by content fingerprint, under the currently routed
+        checkpoint) complete immediately from the result cache.  When the
+        bounded queue is full, ``block=False`` sheds the request
+        (``status == SHED``); ``block=True`` waits for space
+        (backpressure), shedding only once ``timeout`` (a total bound, not
+        per-wakeup) elapses.  Submissions after :meth:`stop` are shed
+        (nothing would ever process them); submissions *before*
+        :meth:`start` queue up normally.
+        """
+        if db_name not in self._dbs:
+            raise KeyError(f"database {db_name!r} is not registered with "
+                           "this server")
+        self._maybe_swap()
+        request = PredictionRequest(db_name, plan)
+        # The content hash is a pure function of the plan: compute it
+        # outside the lock so concurrent first-seen submits don't serialize
+        # behind each other's O(plan) digest walks.
+        digest = self._plan_digest(db_name, plan)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._lock:
+            self._counts["requests"] += 1
+            route = self._routes.get(db_name)
+            if route is None:
+                self._counts["failed"] += 1
+                request._finish(RequestStatus.FAILED, error=RoutingError(
+                    f"no deployment serves {db_name!r} and the registry "
+                    "has no default model"))
+                return request
+            value = self._cache_get_locked((route.checkpoint_key, digest))
+            if value is not None:
+                self._counts["cached"] += 1
+                perfstats.increment("serve.cache.hit")
+                request._finish(RequestStatus.CACHED, value=value,
+                                served_by=route.served_by)
+                return request
+            while (self._accepting
+                   and len(self._queue) >= self.config.queue_depth):
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if (not block
+                        or (remaining is not None and remaining <= 0)
+                        or not self._not_full.wait(remaining)):
+                    break
+            if (not self._accepting
+                    or len(self._queue) >= self.config.queue_depth):
+                self._counts["shed"] += 1
+                perfstats.increment("serve.shed.count")
+                request._finish(RequestStatus.SHED)
+                return request
+            self._queue.append(request)
+            self._queue_high_water = max(self._queue_high_water,
+                                         len(self._queue))
+            self._not_empty.notify()
+        return request
+
+    def submit_many(self, plans, db_name, block=False, timeout=None):
+        return [self.submit(plan, db_name, block=block, timeout=timeout)
+                for plan in plans]
+
+    def predict(self, plans, db_name, timeout=None):
+        """Blocking bulk prediction (backpressure, never sheds).
+
+        Returns runtimes (ms) aligned with ``plans``; raises if any request
+        failed.
+        """
+        requests = self.submit_many(plans, db_name, block=True,
+                                    timeout=timeout)
+        return np.array([request.result(timeout) for request in requests])
+
+    def refresh(self):
+        """Force re-resolution of routes from the registry (e.g. after a
+        cross-process registry change plus ``registry.refresh()``)."""
+        self._resolve_routes()
+
+    # ------------------------------------------------------------------
+    # Batcher
+    # ------------------------------------------------------------------
+    def _serve_loop(self):
+        max_delay_s = self.config.max_delay_ms / 1e3
+        while True:
+            with self._lock:
+                while not self._queue and self._running:
+                    self._not_empty.wait()
+                if not self._queue:
+                    break  # stopped and drained
+                # Deadline/size trigger: dispatch when the oldest request
+                # has waited max_delay_ms or max_batch_size are queued.
+                deadline = self._queue[0].submitted_at + max_delay_s
+                while (self._running
+                       and len(self._queue) < self.config.max_batch_size):
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+                count = min(len(self._queue), self.config.max_batch_size)
+                batch = [self._queue.popleft() for _ in range(count)]
+                self._not_full.notify_all()
+            try:
+                self._process_batch(batch)
+            except Exception as exc:  # noqa: BLE001 — the loop must survive
+                # A surprise error (e.g. a registry mutated concurrently
+                # with resolution) fails this batch's requests instead of
+                # killing the batcher and stranding every future request.
+                with self._lock:
+                    self._counts["failed"] += sum(
+                        1 for request in batch if not request.done())
+                for request in batch:
+                    if not request.done():
+                        request._finish(RequestStatus.FAILED, error=exc)
+
+    def _process_batch(self, batch):
+        self._maybe_swap()
+        perfstats.increment("serve.batch.count")
+        perfstats.increment("serve.batch.requests", len(batch))
+        self._batch_sizes[len(batch)] += 1
+        by_db = {}
+        for request in batch:
+            by_db.setdefault(request.db_name, []).append(request)
+        for db_name, requests in by_db.items():
+            self._process_group(db_name, requests)
+
+    def _process_group(self, db_name, requests):
+        with self._lock:
+            route = self._routes.get(db_name)
+        if route is None:
+            error = RoutingError(f"no deployment serves {db_name!r}")
+            with self._lock:
+                self._counts["failed"] += len(requests)
+            for request in requests:
+                request._finish(RequestStatus.FAILED, error=error)
+            return
+        digests = [self._plan_digest(db_name, request.plan)
+                   for request in requests]
+        # Late cache probe: a duplicate that was queued before its twin's
+        # batch completed is answered here instead of re-predicted.
+        pending, keys = [], []
+        with self._lock:
+            for request, digest in zip(requests, digests):
+                key = (route.checkpoint_key, digest)
+                value = self._cache_get_locked(key)
+                if value is not None:
+                    self._counts["cached"] += 1
+                    perfstats.increment("serve.cache.hit")
+                    request._finish(RequestStatus.CACHED, value=value,
+                                    served_by=route.served_by)
+                else:
+                    pending.append(request)
+                    keys.append(key)
+        if not pending:
+            return
+        perfstats.increment("serve.cache.miss", len(pending))
+        model = route.model
+        try:
+            records = [ServingRecord(db_name, request.plan)
+                       for request in pending]
+            graphs = featurize_records(
+                records, self._dbs, cards=self.config.cards,
+                estimator_cache=self._estimator_cache,
+                feat_cache=self._feat_cache)
+            values = predict_runtimes(
+                model.model, graphs, model.feature_scalers,
+                model.target_scaler,
+                batch_size=self.config.predict_batch_size,
+                batch_cache=self._batch_cache)
+        except Exception as exc:  # featurization/prediction error
+            with self._lock:
+                self._counts["failed"] += len(pending)
+            for request in pending:
+                request._finish(RequestStatus.FAILED, error=exc)
+            return
+        with self._lock:
+            self._counts["completed"] += len(pending)
+            for key, value in zip(keys, values):
+                self._cache_put_locked(key, float(value))
+        for request, value in zip(pending, values):
+            request._finish(RequestStatus.DONE, value=float(value),
+                            served_by=route.served_by)
+
+    # ------------------------------------------------------------------
+    # Routing / hot-swap
+    # ------------------------------------------------------------------
+    def _maybe_swap(self):
+        if self.registry.generation != self._seen_generation:
+            self._resolve_routes()
+
+    def _resolve_routes(self):
+        """Re-resolve every database's deployment from the registry.
+
+        Runs between batches (or at submit time); in-flight work keeps the
+        route object it started with, so a promote/rollback is a
+        zero-downtime swap.
+        """
+        generation = self.registry.generation
+        routes = {}
+        for db_name, digest in self._db_digests.items():
+            if self.config.model_name is not None:
+                deployment = self.registry.active(self.config.model_name)
+            else:
+                deployment = self.registry.route(digest)
+            if deployment is None:
+                routes[db_name] = None
+                continue
+            model = self.registry.load(deployment=deployment)
+            routes[db_name] = _Route(deployment, model)
+        with self._lock:
+            for db_name, route in routes.items():
+                previous = self._routes.get(db_name)
+                if (previous is not None and route is not None
+                        and previous.checkpoint_key != route.checkpoint_key):
+                    self._counts["swaps"] += 1
+                    perfstats.increment("serve.swap.count")
+            self._routes = routes
+            self._seen_generation = generation
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _plan_digest(self, db_name, plan):
+        """Memoized content fingerprint of a plan object (self-locking).
+
+        Memo keys carry the database name: the digest hashes the
+        database's fingerprint, so the same plan object submitted against
+        two databases must produce two distinct digests (and therefore two
+        result-cache keys).  The hash itself — an O(plan) tree walk — runs
+        outside the lock so first-seen plans from concurrent clients don't
+        serialize behind each other; only the memo probes take it.
+        """
+        memo_key = (id(plan), db_name)
+        with self._lock:
+            entry = self._digest_memo.get(memo_key)
+            if entry is not None and entry[0] is plan:
+                return entry[1]
+        digest = plan_fingerprint(
+            self._dbs[db_name], plan, self.config.cards,
+            db_fingerprint=self._db_fingerprints[db_name])
+        with self._lock:
+            self._digest_memo[memo_key] = (plan, digest)
+            while len(self._digest_memo) > 4 * max(
+                    self.config.result_cache_size, 1024):
+                self._digest_memo.popitem(last=False)
+        return digest
+
+    def _cache_get_locked(self, key):
+        if self.config.result_cache_size <= 0:
+            return None
+        value = self._result_cache.get(key)
+        if value is not None:
+            self._result_cache.move_to_end(key)
+        return value
+
+    def _cache_put_locked(self, key, value):
+        if self.config.result_cache_size <= 0:
+            return
+        self._result_cache[key] = value
+        while len(self._result_cache) > self.config.result_cache_size:
+            self._result_cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Request/batch/cache/swap counters and the batch-size histogram."""
+        with self._lock:
+            batches = sum(self._batch_sizes.values())
+            sizes = sum(size * count
+                        for size, count in self._batch_sizes.items())
+            return {
+                "requests": self._counts["requests"],
+                "completed": self._counts["completed"],
+                "cached": self._counts["cached"],
+                "shed": self._counts["shed"],
+                "failed": self._counts["failed"],
+                "swaps": self._counts["swaps"],
+                "batches": batches,
+                "batch_size_hist": dict(sorted(self._batch_sizes.items())),
+                "mean_batch_size": (sizes / batches) if batches else 0.0,
+                "queue_high_water": self._queue_high_water,
+                "result_cache_entries": len(self._result_cache),
+            }
+
+    def __repr__(self):
+        return (f"PredictorServer(dbs={sorted(self._dbs)}, "
+                f"max_batch={self.config.max_batch_size}, "
+                f"running={self._thread is not None})")
