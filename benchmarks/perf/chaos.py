@@ -1,0 +1,101 @@
+"""Entry point: run the seeded chaos benchmark and write ``BENCH_chaos.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/chaos.py           # full corpus
+    PYTHONPATH=src python benchmarks/perf/chaos.py --quick   # CI smoke
+
+Drives the predictor server through :func:`harness.bench_chaos`: a
+deterministic :class:`~repro.robustness.faults.FaultSchedule` raises
+transient featurization/inference faults, delays inference and crashes the
+batcher mid-load, while every delivered prediction is audited against a
+direct ``predict_runtimes`` call.  The run **fails** (non-zero exit) when
+
+* availability (delivered / submitted) drops below ``--min-availability``
+  (default 0.99), or
+* any ``DONE`` response differs bit-for-bit from the direct prediction
+  (``wrong_values`` must be zero), or
+* no faults actually fired (a silently empty schedule would make the run
+  vacuous).
+
+so CI exercises the retry/bisection/supervision/degradation paths on every
+push instead of trusting them to unit tests alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(HERE))
+
+DEFAULT_OUTPUT = REPO / "BENCH_chaos.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus + fewer rounds for a fast signal")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="corpus/load seed")
+    parser.add_argument("--fault-seed", type=int, default=1,
+                        help="fault-schedule seed (same seed -> same faults)")
+    parser.add_argument("--min-availability", type=float, default=0.99)
+    args = parser.parse_args(argv)
+
+    from harness import bench_chaos, build_plan_corpus
+
+    n_queries = 64 if args.quick else 192
+    rounds = 2 if args.quick else 4
+    db, records = build_plan_corpus(n_queries=n_queries, seed=args.seed)
+    results = bench_chaos(db, records, rounds=rounds, seed=args.seed,
+                          fault_seed=args.fault_seed)
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"chaos report written to {args.output}")
+    print(f"  requests:      {results['n_requests']}")
+    print(f"  availability:  {results['availability']:.4f} "
+          f"(floor {args.min_availability})")
+    print(f"  wrong values:  {results['wrong_values']} (must be 0)")
+    print(f"  degraded:      {results['degraded']} (flagged fallbacks)")
+    print(f"  failed/shed:   {results['failed']}/{results['shed']}")
+    print(f"  batcher crashes: {results['batcher_crashes']} "
+          f"(re-enqueued {results['requeued']})")
+    print(f"  retries/bisects: {results['retries']}/{results['bisects']}")
+    if results["latency_ms"]:
+        lat = results["latency_ms"]
+        print(f"  latency under faults: p50 {lat['p50']:.2f} ms, "
+              f"p95 {lat['p95']:.2f} ms, p99 {lat['p99']:.2f} ms")
+    print(f"  faults fired: {results['fault_stats']}")
+
+    failures = []
+    if results["wrong_values"]:
+        failures.append(f"{results['wrong_values']} wrong values delivered")
+    if results["availability"] < args.min_availability:
+        failures.append(f"availability {results['availability']:.4f} below "
+                        f"{args.min_availability}")
+    total_faults = sum(point.get("faults", 0)
+                       for point in results["fault_stats"].values())
+    if total_faults == 0:
+        failures.append("no faults fired — chaos run was vacuous")
+    # The schedule pins a batcher crash and an inference retry storm, so a
+    # run that did not exercise supervision or backoff is a failure too.
+    if not results["batcher_crashes"]:
+        failures.append("pinned batcher crash did not fire")
+    if not results["retries"]:
+        failures.append("pinned inference faults forced no retries")
+    if failures:
+        print("CHAOS FAILURE: " + "; ".join(failures))
+        return 1
+    print("chaos run passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,7 +53,7 @@ __all__ = ["build_plan_corpus", "build_corpus", "build_exec_corpus",
            "bench_featurization_cached", "bench_batch_construction",
            "bench_training_step", "bench_train_epoch",
            "bench_experiment_warm_start", "bench_inference", "bench_serving",
-           "run_all", "run_pipeline_reference"]
+           "bench_chaos", "run_all", "run_pipeline_reference"]
 
 
 def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
@@ -501,6 +501,105 @@ def bench_serving(db, records, hidden_dim=64, n_clients=4, repeats=3,
         single_rate, _ = measure(1)
         batched_rate, extras = measure(max_batch_size)
     return single_rate, batched_rate, extras
+
+
+def bench_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2, seed=0,
+                fault_seed=1, max_batch_size=16, max_delay_ms=1.0):
+    """Availability, correctness and tail latency under injected faults.
+
+    Publishes one model, pre-computes the ground-truth predictions with a
+    direct ``predict_runtimes`` call, then drives the server through the
+    load generator's chaos mode: a deterministic seeded
+    :class:`~repro.robustness.faults.FaultSchedule` raises transient errors
+    in featurization and inference, injects inference delays, and crashes
+    the batcher thread mid-load.  The result cache is disabled so **every**
+    request pays the hardened model path, and every delivered value is
+    audited:
+
+    * a ``DONE`` response whose value differs bit-for-bit from the direct
+      prediction is a **wrong value** (the headline count; must be zero);
+    * ``DEGRADED`` responses are counted separately — they are the explicit
+      analytical fallback, never checked against (or confused with) model
+      predictions.
+
+    Returns a dict with availability (delivered / submitted), the wrong
+    value count, per-status counts, batcher crash/re-enqueue counts,
+    latency percentiles under faults, and the schedule's per-point
+    injection totals.
+    """
+    from repro.bench import ArtifactStore
+    from repro.core import TrainingConfig, ZeroShotCostModel
+    from repro.robustness.faults import FaultSchedule, FaultSpec
+    from repro.serving import (LoadConfig, ModelRegistry, PredictorServer,
+                               RequestStatus, ServerConfig, run_load)
+
+    dbs = {db.name: db}
+    graphs = featurize_records(records, dbs, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records])
+    model = ZeroShotCostModel(
+        ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval(),
+        FeatureScalers().fit(graphs), TargetScaler().fit(runtimes),
+        TrainingConfig(hidden_dim=hidden_dim))
+    # Ground truth: the row-stable kernels make per-plan predictions
+    # independent of batch composition, so one direct call is the oracle
+    # for every micro-batch, retry and bisection the chaos run produces.
+    truth = predict_runtimes(model.model, graphs, model.feature_scalers,
+                             model.target_scaler)
+    expected = {id(record.plan): float(value)
+                for record, value in zip(records, truth)}
+    requests = [(db.name, record.plan) for record in records] * rounds
+    schedule = FaultSchedule([
+        # Guaranteed events, pinned mid-run by skip_calls so every chaos
+        # run (CI's --quick included) exercises supervision and retry: the
+        # third batch crashes the batcher, and one group's first two
+        # inference attempts fail (forcing backoff retries).
+        FaultSpec("serve.batcher", rate=1.0, skip_calls=2, max_faults=1,
+                  message="chaos: batcher crash"),
+        FaultSpec("serve.infer", rate=1.0, skip_calls=3, max_faults=2,
+                  message="chaos: inference fault (pinned)"),
+        # Background transient noise across the whole run.
+        FaultSpec("serve.featurize", rate=0.04,
+                  message="chaos: featurization fault"),
+        FaultSpec("serve.infer", rate=0.04,
+                  message="chaos: inference fault"),
+        FaultSpec("serve.infer", rate=0.02, action="delay", delay_ms=4.0),
+    ], seed=fault_seed)
+    config = ServerConfig(max_batch_size=max_batch_size,
+                          max_delay_ms=max_delay_ms,
+                          queue_depth=len(requests) + n_clients,
+                          result_cache_size=0,
+                          max_retries=3, retry_backoff_ms=0.5,
+                          breaker_threshold=3, breaker_reset_ms=20.0)
+    load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
+                      block=True, faults=schedule)
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(ArtifactStore(tmp))
+        registry.publish("chaos-bench", model, dbs=[db], default=True)
+        server = PredictorServer(registry, dbs, config)
+        with _gc_paused(), server:
+            report = run_load(server, requests, load)
+
+    wrong = 0
+    for handle in report.handles:
+        if handle.status in (RequestStatus.DONE, RequestStatus.CACHED):
+            if handle.value != expected[id(handle.plan)]:
+                wrong += 1
+    stats = report.server_stats
+    return {
+        "n_requests": report.n_requests,
+        "availability": report.availability,
+        "wrong_values": wrong,
+        "completed": report.completed,
+        "degraded": report.degraded,
+        "shed": report.shed,
+        "failed": report.failed,
+        "batcher_crashes": stats["batcher_crashes"],
+        "requeued": stats["requeued"],
+        "retries": stats["retries"],
+        "bisects": stats["bisects"],
+        "latency_ms": report.latency_ms,
+        "fault_stats": report.fault_stats,
+    }
 
 
 def run_pipeline_reference(n_queries=192, seed=0):

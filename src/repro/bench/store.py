@@ -21,13 +21,25 @@ Keying and validation:
   mismatch means the upstream artifact changed (regenerated database,
   different datagen code) and the stale entry is discarded and rebuilt —
   never silently reused.
-* Unreadable/corrupt entries (truncated files, unpicklable payloads) are
-  deleted and rebuilt.
+* Every payload carries a **checksum header**: a 16-byte BLAKE2 digest of
+  the pickled payload, written ahead of it.  A read verifies the digest
+  before unpickling, so bit rot and torn writes are detected even when the
+  damaged bytes would still unpickle "successfully".
+* Unreadable/corrupt entries (truncated files, checksum mismatches,
+  unpicklable payloads) are **discarded and rebuilt**.  By default the file
+  is deleted; callers that must never destroy forensic evidence — the
+  serving registry's checkpoint payloads — pass
+  ``on_corrupt="quarantine"``, which moves the damaged file into
+  ``<root>/quarantine/<kind>/`` instead (see
+  :meth:`ArtifactStore.quarantine`).
 
 Hits and misses are mirrored into the :mod:`repro.perfstats` counters
-(``store.hit.<kind>`` / ``store.miss.<kind>``), which the warm-start smoke
-test asserts on.  Writes are atomic (temp file + rename), so concurrent
-experiment workers sharing one store directory cannot corrupt entries.
+(``store.hit.<kind>`` / ``store.miss.<kind>``; corrupt entries additionally
+bump ``store.corrupt.<kind>``), which the warm-start smoke test asserts on.
+Writes are atomic (temp file + rename), so concurrent experiment workers
+sharing one store directory cannot corrupt entries.  Reads pass through the
+``store.read`` injection point of :mod:`repro.robustness.faults`, so chaos
+schedules can deterministically corrupt or fail any load.
 
 Store kinds now: ``database``, ``trace``, ``graphs``, ``spn``, ``model``
 (benchmark suite), plus the serving registry's ``deploy`` (content-addressed
@@ -47,11 +59,15 @@ from hashlib import blake2b
 from pathlib import Path
 
 from .. import perfstats
+from ..robustness import faults
 
 __all__ = ["ArtifactStore", "store_from_env", "STORE_VERSION"]
 
 # Bump to orphan every existing entry (format or semantic change).
-STORE_VERSION = 1
+# 2: payloads gained the 16-byte checksum header.
+STORE_VERSION = 2
+
+_CHECKSUM_BYTES = 16
 
 
 class ArtifactStore:
@@ -62,6 +78,7 @@ class ArtifactStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -74,25 +91,35 @@ class ArtifactStore:
         return self.root / kind / f"{key}.pkl"
 
     # ------------------------------------------------------------------
-    def load(self, kind, key, fingerprint=None):
+    def load(self, kind, key, fingerprint=None, on_corrupt="delete"):
         """The stored value, or ``None`` on miss/corruption/staleness.
 
         ``fingerprint`` is compared against the input fingerprint recorded
         at :meth:`save` time; a mismatch discards the entry (stale upstream
-        artifact) instead of returning it.
+        artifact) instead of returning it.  ``on_corrupt`` decides what
+        happens to an entry whose checksum or pickle is broken:
+        ``"delete"`` (default) unlinks it so the rebuild overwrites
+        cleanly, ``"quarantine"`` moves it aside for inspection — never a
+        blind delete.
         """
         path = self._path(kind, key)
         try:
             with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            stored_fingerprint, value = payload
+                raw = handle.read()
         except FileNotFoundError:
             return self._miss(kind)
+        except OSError:
+            return self._discard(kind, key, on_corrupt)
+        raw = faults.corrupt("store.read", raw, keys=(f"{kind}/{key}",))
+        if len(raw) <= _CHECKSUM_BYTES:
+            return self._discard(kind, key, on_corrupt)
+        checksum, data = raw[:_CHECKSUM_BYTES], raw[_CHECKSUM_BYTES:]
+        if blake2b(data, digest_size=_CHECKSUM_BYTES).digest() != checksum:
+            return self._discard(kind, key, on_corrupt)
+        try:
+            stored_fingerprint, value = pickle.loads(data)
         except Exception:
-            # Truncated or unreadable entry: delete so the rebuild can
-            # overwrite it cleanly.
-            path.unlink(missing_ok=True)
-            return self._miss(kind)
+            return self._discard(kind, key, on_corrupt)
         if fingerprint is not None and stored_fingerprint != fingerprint:
             path.unlink(missing_ok=True)
             return self._miss(kind)
@@ -112,12 +139,46 @@ class ArtifactStore:
         """Persist ``value`` atomically under ``(kind, key)``."""
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        data = pickle.dumps((fingerprint, value),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        checksum = blake2b(data, digest_size=_CHECKSUM_BYTES).digest()
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with open(tmp, "wb") as handle:
-            pickle.dump((fingerprint, value), handle,
-                        protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(checksum)
+            handle.write(data)
         os.replace(tmp, path)
         return value
+
+    def quarantine(self, kind, key):
+        """Move a (presumed damaged) entry into ``<root>/quarantine/``.
+
+        Returns the quarantine path, or ``None`` when the entry does not
+        exist.  The move is a rename, so the evidence bytes are preserved
+        exactly; a numeric suffix keeps repeated quarantines of the same
+        key from clobbering each other.
+        """
+        path = self._path(kind, key)
+        if not path.exists():
+            return None
+        qdir = self.root / "quarantine" / kind
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = qdir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+        perfstats.increment(f"store.quarantine.{kind}")
+        return target
+
+    def _discard(self, kind, key, on_corrupt):
+        self.corrupt += 1
+        perfstats.increment(f"store.corrupt.{kind}")
+        if on_corrupt == "quarantine":
+            self.quarantine(kind, key)
+        else:
+            self._path(kind, key).unlink(missing_ok=True)
+        return self._miss(kind)
 
     def _miss(self, kind):
         self.misses += 1
@@ -126,7 +187,8 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------
     def stats(self):
-        return {"hits": self.hits, "misses": self.misses}
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt}
 
     def __repr__(self):
         return f"ArtifactStore({str(self.root)!r})"

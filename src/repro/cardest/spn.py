@@ -312,6 +312,19 @@ class SPN:
 # ``argsort`` over axis 0 + one ``corrcoef``), the correlation-graph
 # components resolve by min-label propagation on the boolean adjacency
 # matrix, and 2-means evaluates both center distances in one broadcast.
+#
+# Because the two implementations of each primitive are bit-identical,
+# *dispatching between them is free*: ``learn_spn`` picks per call site by
+# matrix size.  The vectorized forms win when the arrays are big enough to
+# amortize their extra temporaries (masks, transposes, broadcast cubes);
+# below the measured crossovers the plain loops are faster — the recursion
+# spends most of its calls on small post-split submatrices, which is what
+# made the all-vectorized path *slower* than the loop reference on narrow
+# benchmark tables.  Thresholds are conservative crossovers measured on the
+# perf corpus (see ``benchmarks/perf``):
+_RANK_VECTOR_MAX_ROWS = 2048     # whole-matrix ranking wins below this
+_COMPONENTS_VECTOR_MIN_COLS = 48  # label propagation needs wide matrices
+_TWO_MEANS_VECTOR_MIN_CELLS = 256  # broadcast needs n*k to amortize
 
 def _rank_correlation_reference(matrix):
     """Per-column rank loop (executable spec for :func:`_rank_correlation`)."""
@@ -327,7 +340,7 @@ def _rank_correlation_reference(matrix):
     return np.abs(corr)
 
 
-def _rank_correlation(matrix):
+def _rank_correlation_vectorized(matrix):
     """Pairwise |Spearman| correlation of the columns of ``matrix``.
 
     Whole-matrix: NaNs are filled with per-column means computed on the
@@ -351,6 +364,15 @@ def _rank_correlation(matrix):
     return np.abs(corr)
 
 
+def _rank_correlation(matrix):
+    """Adaptive: whole-matrix ranking amortizes its mask/transpose
+    temporaries up to a few thousand rows; past that the argsorts dominate
+    both paths and the per-column loop's smaller footprint wins."""
+    if matrix.shape[0] <= _RANK_VECTOR_MAX_ROWS:
+        return _rank_correlation_vectorized(matrix)
+    return _rank_correlation_reference(matrix)
+
+
 def _components_reference(corr, k):
     """Union-find over the O(k²) pair loop (spec for :func:`_components`)."""
     parent = list(range(k))
@@ -371,7 +393,7 @@ def _components_reference(corr, k):
     return list(groups.values())
 
 
-def _components(corr, k):
+def _components_vectorized(corr, k):
     """Connected components above the threshold, by min-label propagation.
 
     Produces the exact grouping of the union-find reference: components
@@ -388,6 +410,14 @@ def _components(corr, k):
         labels = new_labels
     return [list(np.flatnonzero(labels == label))
             for label in np.unique(labels)]
+
+
+def _components(corr, k):
+    """Adaptive: min-label propagation iterates O(k²) matrices per round,
+    which only beats the O(k²) union-find pair loop on wide tables."""
+    if k >= _COMPONENTS_VECTOR_MIN_COLS:
+        return _components_vectorized(corr, k)
+    return _components_reference(corr, k)
 
 
 def _independent_groups_reference(matrix, columns):
@@ -432,7 +462,7 @@ def _two_means_reference(matrix, rng):
             [((normed - c) ** 2).sum(axis=1) for c in centers]))
 
 
-def _two_means(matrix, rng):
+def _two_means_vectorized(matrix, rng):
     """Cheap 2-means row clustering on standardized data.
 
     Centers are initialized at the extremes of the summed-coordinate
@@ -446,6 +476,14 @@ def _two_means(matrix, rng):
         matrix, rng,
         lambda normed, centers: (
             (normed[None, :, :] - centers[:, None, :]) ** 2).sum(axis=2))
+
+
+def _two_means(matrix, rng):
+    """Adaptive: the (2, n, k) broadcast cube needs enough cells to beat
+    the two-iteration per-center loop's smaller temporaries."""
+    if matrix.size >= _TWO_MEANS_VECTOR_MIN_CELLS:
+        return _two_means_vectorized(matrix, rng)
+    return _two_means_reference(matrix, rng)
 
 
 def _learn(matrix, columns, rng, depth, groups_fn=_independent_groups,
@@ -492,7 +530,12 @@ def _sample_matrix(column_arrays, seed, max_rows):
 
 
 def learn_spn(column_arrays, seed=0, max_rows=20_000):
-    """Learn an SPN from ``{column: values}`` (floats, NaN as NULL)."""
+    """Learn an SPN from ``{column: values}`` (floats, NaN as NULL).
+
+    Uses the adaptive primitives: each ranking/component/clustering call
+    picks the vectorized or loop implementation by matrix size (they are
+    bit-identical, so the dispatch never changes the learned tree).
+    """
     perfstats.increment("spn.learn.vectorized")
     matrix, columns, n, rng = _sample_matrix(column_arrays, seed, max_rows)
     root = _learn(matrix, columns, rng, depth=0)

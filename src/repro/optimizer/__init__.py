@@ -1,8 +1,8 @@
 """Query optimizer: physical plans, Postgres-style costing, and planning."""
 
 from .plan import PlanNode, OPERATOR_NAMES
-from .cost_model import CostParameters, annotate_costs
+from .cost_model import AnalyticalCostModel, CostParameters, annotate_costs
 from .planner import PlannerConfig, plan_query
 
-__all__ = ["PlanNode", "OPERATOR_NAMES", "CostParameters", "annotate_costs",
-           "PlannerConfig", "plan_query"]
+__all__ = ["PlanNode", "OPERATOR_NAMES", "AnalyticalCostModel",
+           "CostParameters", "annotate_costs", "PlannerConfig", "plan_query"]

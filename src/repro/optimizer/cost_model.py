@@ -19,7 +19,7 @@ import numpy as np
 
 from ..sql import iter_predicate_nodes
 
-__all__ = ["CostParameters", "annotate_costs"]
+__all__ = ["CostParameters", "annotate_costs", "AnalyticalCostModel"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,62 @@ def _self_cost(db, node, params: CostParameters):
         return rows_out * multiplier * 3.0 * params.cpu_operator_cost
 
     raise ValueError(f"no cost rule for operator {node.op_name!r}")
+
+
+class AnalyticalCostModel:
+    """Runtime predictions straight from the abstract cost units.
+
+    This is the serving layer's graceful-degradation baseline: when a model
+    deployment's circuit breaker opens, requests are answered from this
+    analytical model instead of failing — explicitly flagged ``DEGRADED``,
+    never silently substituted.  It needs no trained state, no
+    featurization and no inference kernels, so it survives every fault the
+    learned path can throw.
+
+    The mapping is the "Scaled Optimizer Costs" shape from Section 7.1:
+    ``log(runtime_ms) = coef * log1p(cost) + intercept``, which keeps
+    predictions positive.  The identity-scale defaults make the prediction
+    a deterministic monotone transform of the optimizer's cost estimate;
+    :meth:`fit` calibrates the two scalars on executed trace records when
+    any are available.  Plans already carrying an ``est_cost`` (everything
+    the planner produced) are costed without re-annotation, so prediction
+    never mutates a served plan.
+    """
+
+    def __init__(self, db, params=None, coef=1.0, intercept=0.0):
+        self.db = db
+        self.params = params or CostParameters()
+        self.coef = float(coef)
+        self.intercept = float(intercept)
+
+    def plan_cost(self, plan):
+        """The plan's abstract cost (annotating only when missing)."""
+        if plan.est_cost:
+            return float(plan.est_cost)
+        return float(annotate_costs(self.db, plan, self.params))
+
+    def predict_plan(self, plan):
+        """Predicted runtime (ms) for one plan — pure, deterministic."""
+        return float(np.exp(self.coef * np.log1p(self.plan_cost(plan))
+                            + self.intercept))
+
+    def predict_plans(self, plans):
+        return np.array([self.predict_plan(plan) for plan in plans])
+
+    def fit(self, records):
+        """Least-squares calibration on executed ``(plan, runtime_ms)``
+        trace records (log-log space).  Returns ``self``."""
+        records = list(records)
+        if not records:
+            raise ValueError("no records to fit on")
+        costs = np.log1p([self.plan_cost(r.plan) for r in records])
+        log_ms = np.log(np.maximum(
+            np.array([r.runtime_ms for r in records], dtype=float), 1e-3))
+        if np.ptp(costs) > 0:
+            self.coef, self.intercept = np.polyfit(costs, log_ms, 1)
+        else:
+            self.coef, self.intercept = 0.0, float(log_ms.mean())
+        return self
 
 
 def annotate_costs(db, root, params=None):

@@ -1,9 +1,14 @@
-"""Robustness tooling: generalization-error estimation and drift detection
-(Section 4 of the paper)."""
+"""Robustness tooling: generalization-error estimation, drift detection
+(Section 4 of the paper), and the deterministic fault-injection plane the
+serving stack is hardened against (``faults.py``)."""
 
 from .generalization import (GeneralizationEstimate,
                              estimate_generalization_error, sufficiency_curve)
 from .drift import DriftDetector
+from .faults import (FaultSchedule, FaultSpec, InjectedFault, inject,
+                     install, uninstall)
 
 __all__ = ["GeneralizationEstimate", "estimate_generalization_error",
-           "sufficiency_curve", "DriftDetector"]
+           "sufficiency_curve", "DriftDetector",
+           "FaultSchedule", "FaultSpec", "InjectedFault", "inject",
+           "install", "uninstall"]

@@ -7,37 +7,56 @@ engine into that online service:
 
 * :class:`ModelRegistry` (``registry.py``) — versioned, content-addressed
   model deployments over the disk artifact store, with database-fingerprint
-  compatibility metadata, atomic promote/rollback and hot-swap signalling.
+  compatibility metadata, atomic promote/rollback, hot-swap signalling,
+  checksum-verified hydration, checkpoint quarantine (corrupt deployments
+  are moved aside — never deleted blind — and the manifest re-resolves to
+  the previous good version) and a :meth:`~ModelRegistry.verify` audit.
 * :class:`PredictorServer` (``server.py``) — an in-process, thread-based
   predictor that coalesces concurrent single-plan and bulk requests into
   micro-batches (deadline/size trigger) feeding the graph-free inference
   fast path, routes each request to a compatible deployment by database
   fingerprint, answers repeat plans from a bounded fingerprint-keyed result
-  cache and sheds load via bounded-queue admission control.
+  cache and sheds load via bounded-queue admission control.  The batcher is
+  *supervised* (crash detection, thread restart, exactly-once re-enqueue of
+  in-flight requests); the model path retries with exponential backoff,
+  bisects poisoned batches, enforces per-request deadlines, and degrades
+  gracefully to the analytical cost model behind a per-deployment circuit
+  breaker — degraded responses are explicitly flagged ``DEGRADED``, never
+  silently substituted.
 * :func:`run_load` (``loadgen.py``) — a seeded open-loop load harness
-  recording throughput, p50/p95/p99 latency, batch-size histograms and
-  cache/shed counters.
+  recording throughput, availability, p50/p95/p99 latency (completed
+  requests only), batch-size histograms and cache/shed/degraded counters,
+  with a chaos mode that installs a deterministic fault schedule
+  (:mod:`repro.robustness.faults`) for the duration of the run.
 
-Serving equivalence contract: for any request mix, every returned
+Serving equivalence contract: for any request mix, every ``DONE``/``CACHED``
 prediction is bit-identical to a direct
 :func:`~repro.core.training.predict_runtimes` call on the same model —
-micro-batch composition, cache hits and hot-swaps never change a value.
+micro-batch composition, cache hits, hot-swaps, retries, bisections and
+batcher restarts never change a value.  ``DEGRADED`` responses come from
+:class:`~repro.optimizer.AnalyticalCostModel` and are flagged as such.
 This rests on the row-stable inference kernels
-(:func:`repro.nn.row_stable_matmul`); see ``tests/test_serving.py``.
+(:func:`repro.nn.row_stable_matmul`); see ``tests/test_serving.py`` and
+``tests/test_faults.py``.
 
 Perfstats counters: ``serve.batch.count`` / ``serve.batch.requests``,
 ``serve.cache.hit`` / ``serve.cache.miss``, ``serve.shed.count``,
-``serve.swap.count`` and ``serve.registry.*``.
+``serve.swap.count``, ``serve.registry.*``, plus the robustness families
+``serve.fault.*``, ``serve.retry.*`` and ``serve.degraded.*``.
 """
 
-from .registry import ModelDeployment, ModelRegistry
-from .server import (PredictionRequest, PredictorServer, RequestShedError,
-                     RequestStatus, RoutingError, ServerConfig, ServingRecord)
+from .registry import (HydrationError, ModelDeployment, ModelRegistry,
+                       RoutingError)
+from .server import (DeadlineExceededError, DegradedResponseError,
+                     PredictionRequest, PredictorServer, RequestShedError,
+                     RequestStatus, ServerClosedError, ServerConfig,
+                     ServingRecord)
 from .loadgen import LoadConfig, LoadReport, run_load
 
 __all__ = [
-    "ModelDeployment", "ModelRegistry",
+    "HydrationError", "ModelDeployment", "ModelRegistry", "RoutingError",
+    "DeadlineExceededError", "DegradedResponseError",
     "PredictionRequest", "PredictorServer", "RequestShedError",
-    "RequestStatus", "RoutingError", "ServerConfig", "ServingRecord",
+    "RequestStatus", "ServerClosedError", "ServerConfig", "ServingRecord",
     "LoadConfig", "LoadReport", "run_load",
 ]

@@ -13,11 +13,22 @@ throughput benchmarks use.
 
 Latency is measured per request from ``submit()`` to completion (the
 server stamps both ends), so client threads do not need to block on
-results during the run; percentiles are computed after the fact.
-:class:`LoadReport` carries throughput, p50/p95/p99/mean/max latency, the
-per-status request counts, and the server's batch-size histogram and
-cache/shed counters — the numbers the perf harness records into
+results during the run; percentiles are computed after the fact — over
+requests that actually *delivered* a value (``DONE``/``CACHED``/
+``DEGRADED``); shed and failed requests are excluded, so admission-control
+rejections cannot flatter the tail.  :class:`LoadReport` carries
+throughput, **availability** (delivered / submitted — the chaos
+benchmark's headline number), p50/p95/p99/mean/max latency, the per-status
+request counts, and the server's batch-size histogram and
+cache/shed/degraded counters — the numbers the perf harness records into
 ``BENCH_engine.json``.
+
+Chaos mode: give :class:`LoadConfig` a ``faults`` schedule
+(:class:`repro.robustness.faults.FaultSchedule`) and the run installs it
+from the first submit until every handle resolves — deterministically
+seeded, so a chaos run's fault decisions replay bit-identically — then
+uninstalls it and snapshots the per-point injection counts into
+``LoadReport.fault_stats``.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..robustness import faults as fault_plane
 from .server import RequestStatus
 
 __all__ = ["LoadConfig", "LoadReport", "run_load"]
@@ -35,13 +47,14 @@ __all__ = ["LoadConfig", "LoadReport", "run_load"]
 
 @dataclass(frozen=True)
 class LoadConfig:
-    """Client count, arrival process and seed for one load run."""
+    """Client count, arrival process, seed and chaos for one load run."""
 
     n_clients: int = 4
     rate_per_s: float | None = None  # aggregate arrival rate; None = saturate
     seed: int = 0
     timeout_s: float = 120.0  # wait bound for stragglers after arrivals end
     block: bool = False       # True: backpressure instead of shedding
+    faults: object | None = None  # FaultSchedule to install for the run
 
 
 @dataclass
@@ -51,24 +64,31 @@ class LoadReport:
     n_requests: int
     completed: int      # predicted by a micro-batch
     cached: int         # answered from the result cache
+    degraded: int       # answered by the analytical fallback (flagged)
     shed: int
     failed: int
+    availability: float  # (completed + cached + degraded) / n_requests
     duration_s: float   # first submit -> last completion
     throughput_rps: float
     latency_ms: dict = field(default_factory=dict)  # p50/p95/p99/mean/max
     batch_size_hist: dict = field(default_factory=dict)
     mean_batch_size: float = 0.0
     server_stats: dict = field(default_factory=dict)
+    fault_stats: dict = field(default_factory=dict)  # per-point inject counts
+    handles: list = field(default_factory=list, repr=False)  # per-request
 
     def as_dict(self):
         return {
             "n_requests": self.n_requests, "completed": self.completed,
-            "cached": self.cached, "shed": self.shed, "failed": self.failed,
+            "cached": self.cached, "degraded": self.degraded,
+            "shed": self.shed, "failed": self.failed,
+            "availability": self.availability,
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput_rps,
             "latency_ms": dict(self.latency_ms),
             "batch_size_hist": dict(self.batch_size_hist),
             "mean_batch_size": self.mean_batch_size,
+            "fault_stats": dict(self.fault_stats),
         }
 
 
@@ -84,7 +104,9 @@ def run_load(server, requests, config=None):
 
     Requests are interleaved round-robin over ``n_clients`` threads; each
     thread submits on the seeded open-loop schedule and never waits for
-    results mid-run.  Returns a :class:`LoadReport`.
+    results mid-run.  When ``config.faults`` is set, the schedule is
+    installed for the whole run — arrivals *and* drain (chaos mode).
+    Returns a :class:`LoadReport`.
     """
     config = config or LoadConfig()
     requests = list(requests)
@@ -113,28 +135,42 @@ def run_load(server, requests, config=None):
 
     threads = [threading.Thread(target=client, args=(index,), daemon=True)
                for index in range(config.n_clients)]
-    for thread in threads:
-        thread.start()
-    barrier.wait()
-    for thread in threads:
-        thread.join()
-
-    flat = [handle for client_handles in handles
-            for handle in client_handles]
-    deadline = time.monotonic() + config.timeout_s
-    for handle in flat:
-        handle.wait(max(0.0, deadline - time.monotonic()))
+    fault_stats = {}
+    if config.faults is not None:
+        fault_plane.install(config.faults)
+    try:
+        # The schedule stays installed until every handle resolves (or the
+        # straggler deadline passes): in saturation mode submission finishes
+        # long before processing, so uninstalling at join time would leave
+        # most of the run chaos-free.
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+        flat = [handle for client_handles in handles
+                for handle in client_handles]
+        deadline = time.monotonic() + config.timeout_s
+        for handle in flat:
+            handle.wait(max(0.0, deadline - time.monotonic()))
+        if config.faults is not None:
+            fault_stats = config.faults.stats()
+    finally:
+        if config.faults is not None:
+            fault_plane.uninstall()
 
     by_status = {status: 0 for status in RequestStatus}
     latencies = []
     first_submit, last_complete = np.inf, -np.inf
+    delivered_statuses = (RequestStatus.DONE, RequestStatus.CACHED,
+                          RequestStatus.DEGRADED)
     for handle in flat:
         by_status[handle.status] += 1
         first_submit = min(first_submit, handle.submitted_at)
-        if handle.status in (RequestStatus.DONE, RequestStatus.CACHED):
+        if handle.status in delivered_statuses:
             latencies.append(handle.latency_ms)
             last_complete = max(last_complete, handle.completed_at)
-    served = by_status[RequestStatus.DONE] + by_status[RequestStatus.CACHED]
+    served = sum(by_status[status] for status in delivered_statuses)
     duration = max(last_complete - first_submit, 0.0) if served else 0.0
     latency_summary = {}
     if latencies:
@@ -149,13 +185,17 @@ def run_load(server, requests, config=None):
         n_requests=len(flat),
         completed=by_status[RequestStatus.DONE],
         cached=by_status[RequestStatus.CACHED],
+        degraded=by_status[RequestStatus.DEGRADED],
         shed=by_status[RequestStatus.SHED],
         failed=(by_status[RequestStatus.FAILED]
                 + by_status[RequestStatus.PENDING]),
+        availability=(served / len(flat)) if flat else 0.0,
         duration_s=duration,
         throughput_rps=(served / duration) if duration > 0 else 0.0,
         latency_ms=latency_summary,
         batch_size_hist=stats["batch_size_hist"],
         mean_batch_size=stats["mean_batch_size"],
         server_stats=stats,
+        fault_stats=fault_stats,
+        handles=flat,
     )

@@ -16,17 +16,33 @@ into *deployments* an online predictor can serve:
   ``manifest``), whose temp-file-plus-rename write makes every
   :meth:`promote` / :meth:`rollback` atomic on disk: a concurrent reader
   sees either the old manifest or the new one, never a torn state.
+* **Checksum-verified hydration with quarantine** — a checkpoint read is
+  verified twice: the store checks the payload checksum, and the registry
+  re-derives the loaded model's :meth:`state_digest` and compares it to
+  the content address.  A corrupt or torn ``deploy`` entry is *quarantined*
+  (moved to ``<store>/quarantine/deploy/``, never deleted blind), the
+  damaged version is marked in the manifest, and — when it was the active
+  version — the manifest re-resolves to the most recent previous good
+  version, so serving degrades to known-good state instead of wedging.
+  Hydration failures raise the typed :class:`HydrationError` (a
+  :class:`RoutingError`); no bare ``KeyError``/``OSError`` leaks.
+  :meth:`verify` audits every deployment against its content key on
+  demand.
 * **Database-fingerprint compatibility** — deployments record the
   :func:`~repro.featurization.database_digest` of every database they were
   trained on (or declared compatible with).  :meth:`route` resolves a
   request's database digest to a compatible deployment, falling back to the
   *default* model for unseen databases — the zero-shot case the paper is
   about, and the BRAD-style multi-model routing the predictor server uses.
-* **Hot-swap signalling** — every mutation bumps :attr:`generation`; the
-  in-process predictor compares the counter per batch (one int read) and
-  re-resolves its routes only when something actually changed, so a promote
-  takes effect between micro-batches with zero downtime.  Cross-process
-  readers call :meth:`refresh` to re-read the manifests from disk.
+* **Hot-swap signalling** — every mutation (including a quarantine) bumps
+  :attr:`generation`; the in-process predictor compares the counter per
+  batch (one int read) and re-resolves its routes only when something
+  actually changed, so a promote takes effect between micro-batches with
+  zero downtime.  Cross-process readers call :meth:`refresh` to re-read
+  the manifests from disk.
+
+Perfstats: ``serve.registry.publish`` / ``.promote`` / ``.rollback`` /
+``.quarantine`` / ``.verify``.
 """
 
 from __future__ import annotations
@@ -39,12 +55,25 @@ from .. import perfstats
 from ..bench.store import ArtifactStore
 from ..core.api import ZeroShotCostModel
 from ..featurization import database_digest
+from ..robustness import faults
 
-__all__ = ["ModelRegistry", "ModelDeployment"]
+__all__ = ["ModelRegistry", "ModelDeployment", "RoutingError",
+           "HydrationError"]
 
 _DEPLOY_KIND = "deploy"
 _MANIFEST_KIND = "manifest"
 _REGISTRY_META = "__registry__"
+
+
+class RoutingError(RuntimeError):
+    """No deployment can serve the request (unknown model, no default, or
+    every candidate checkpoint failed to hydrate)."""
+
+
+class HydrationError(RoutingError):
+    """A deployment's checkpoint failed to hydrate (missing, corrupt, or
+    its content digest does not match the content address).  The damaged
+    entry has been quarantined and the manifest re-resolved."""
 
 
 @dataclass(frozen=True)
@@ -73,7 +102,7 @@ class ModelDeployment:
 
 
 class ModelRegistry:
-    """Publish / promote / rollback / route / load model deployments.
+    """Publish / promote / rollback / route / load / verify deployments.
 
     ``store`` is an :class:`~repro.bench.store.ArtifactStore` (or a path,
     which becomes one).  All mutating operations are serialized by an
@@ -129,7 +158,7 @@ class ModelRegistry:
                                 model.to_bytes())
             manifest = self._manifests.get(
                 name, {"name": name, "versions": [], "active": None,
-                       "history": []})
+                       "history": [], "quarantined": []})
             deployment = ModelDeployment(
                 name=name, version=len(manifest["versions"]) + 1,
                 checkpoint_key=checkpoint_key, db_digests=digests,
@@ -201,6 +230,10 @@ class ModelRegistry:
         manifest = self._manifest(name)
         return [ModelDeployment.from_dict(d) for d in manifest["versions"]]
 
+    def quarantined_versions(self, name):
+        """Version numbers of ``name`` whose checkpoints were quarantined."""
+        return tuple(self._manifest(name).get("quarantined", ()))
+
     def active(self, name):
         """The active :class:`ModelDeployment` of ``name`` (None if none)."""
         manifest = self._manifest(name)
@@ -216,7 +249,9 @@ class ModelRegistry:
         anything else — the unseen databases zero-shot models exist for —
         falls back to the default model's active deployment.  Returns
         ``None`` when nothing is routable (no compatible model and no
-        default).  Accepts bytes or hex.
+        default).  Accepts bytes or hex.  Inconsistent registry state (a
+        routing target whose manifest vanished) raises the typed
+        :class:`RoutingError`, never a bare ``KeyError``.
         """
         if isinstance(db_digest, bytes):
             db_digest = db_digest.hex()
@@ -233,6 +268,13 @@ class ModelRegistry:
         ``version=None`` means the active version.  Reloads hit a small
         in-memory LRU keyed on checkpoint content, so swap/rollback cycles
         between recent versions never touch disk.
+
+        Hydration is checksum-verified end to end: the store validates the
+        payload checksum, and the deserialized model's
+        :meth:`~repro.core.ZeroShotCostModel.state_digest` must equal the
+        content address it was stored under.  Any failure quarantines the
+        entry, re-resolves the manifest to the previous good version (see
+        :meth:`quarantine_version`) and raises :class:`HydrationError`.
         """
         if deployment is None:
             name = name or self._default
@@ -254,16 +296,114 @@ class ModelRegistry:
             if model is not None:
                 self._loaded.move_to_end(key)
                 return model
-        payload = self.store.load(_DEPLOY_KIND, key)
-        if payload is None:
-            raise KeyError(f"checkpoint {key} missing from the store "
-                           f"(deployment {deployment.name} "
-                           f"v{deployment.version})")
-        model = ZeroShotCostModel.from_bytes(payload)
+        model, failure = self._hydrate(key)
+        if model is None:
+            self.quarantine_version(deployment.name, deployment.version,
+                                    reason=failure)
+            raise HydrationError(
+                f"checkpoint {key} of deployment {deployment.name} "
+                f"v{deployment.version} failed to hydrate ({failure}); "
+                "entry quarantined, manifest re-resolved")
         with self._lock:
             self._loaded[key] = model
             self._trim_loaded()
         return model
+
+    def _hydrate(self, key):
+        """Read + verify one checkpoint: ``(model, None)`` or
+        ``(None, failure_code)``.  Never raises for damaged payloads."""
+        payload = self.store.load(_DEPLOY_KIND, key, on_corrupt="quarantine")
+        if payload is None:
+            return None, "missing-or-corrupt"
+        try:
+            payload = faults.corrupt("registry.hydrate", payload,
+                                     keys=(key,))
+            model = ZeroShotCostModel.from_bytes(payload)
+        except Exception:  # torn/corrupt checkpoint bytes
+            return None, "missing-or-corrupt"
+        if model.state_digest() != key:
+            return None, "digest-mismatch"
+        return model, None
+
+    def verify(self):
+        """Audit every deployment's checkpoint against its content key.
+
+        Loads each distinct checkpoint payload once, re-derives its
+        :meth:`state_digest` and compares it to the content address.
+        Returns ``{name: {version: "ok" | "missing-or-corrupt" |
+        "digest-mismatch" | "quarantined"}}``.  Damaged entries are
+        quarantined (file moved aside, manifest re-resolved) exactly as a
+        serving-path hydration failure would.
+        """
+        perfstats.increment("serve.registry.verify")
+        report = {}
+        verified = {}  # checkpoint_key -> status, one disk read per payload
+        for name in self.names():
+            report[name] = {}
+            quarantined = set(self.quarantined_versions(name))
+            for deployment in self.deployments(name):
+                if deployment.version in quarantined:
+                    report[name][deployment.version] = "quarantined"
+                    continue
+                key = deployment.checkpoint_key
+                status = verified.get(key)
+                if status is None:
+                    with self._lock:
+                        cached = self._loaded.get(key)
+                    if cached is not None and cached.state_digest() == key:
+                        status = "ok"
+                    else:
+                        model, failure = self._hydrate(key)
+                        status = "ok" if model is not None else failure
+                    verified[key] = status
+                if status != "ok":
+                    self.quarantine_version(name, deployment.version,
+                                            reason=status)
+                report[name][deployment.version] = status
+        return report
+
+    def quarantine_version(self, name, version, reason=""):
+        """Mark ``version`` of ``name`` damaged and re-resolve the manifest.
+
+        The checkpoint file (if still present) moves to the store's
+        quarantine directory — never a blind delete.  When the quarantined
+        version was active, the manifest's active pointer re-resolves to
+        the most recent previous version whose checkpoint is distinct and
+        not itself quarantined (promotion history first, then any
+        version); with no good version left the model deactivates.  Every
+        mutation bumps :attr:`generation`, so attached servers re-resolve
+        routes immediately.
+        """
+        with self._lock:
+            manifest = self._manifest(name)
+            if not 1 <= version <= len(manifest["versions"]):
+                raise ValueError(f"{name!r} has no version {version}")
+            quarantined = manifest.setdefault("quarantined", [])
+            if version not in quarantined:
+                quarantined.append(version)
+            bad_key = manifest["versions"][version - 1]["checkpoint_key"]
+            self.store.quarantine(_DEPLOY_KIND, bad_key)
+            self._loaded.pop(bad_key, None)
+            if manifest["active"] == version:
+                manifest["active"] = self._previous_good(manifest, bad_key)
+            self._write_manifest(name, manifest)
+            self._mutated()
+        perfstats.increment("serve.registry.quarantine")
+        return self.active(name)
+
+    @staticmethod
+    def _previous_good(manifest, bad_key):
+        """The freshest non-quarantined version with a distinct checkpoint."""
+        quarantined = set(manifest.get("quarantined", ()))
+        candidates = [v for v in reversed(manifest["history"])
+                      if v not in quarantined]
+        candidates += [d["version"] for d in reversed(manifest["versions"])
+                       if d["version"] not in quarantined]
+        for candidate in candidates:
+            entry = manifest["versions"][candidate - 1]
+            if entry["checkpoint_key"] != bad_key:
+                return candidate
+        return None
 
     def refresh(self):
         """Re-read every manifest from disk (cross-process visibility).
@@ -294,7 +434,7 @@ class ModelRegistry:
     def _manifest(self, name):
         manifest = self._manifests.get(name)
         if manifest is None:
-            raise KeyError(f"no model {name!r} in the registry")
+            raise RoutingError(f"no model {name!r} in the registry")
         return manifest
 
     def _write_manifest(self, name, manifest):

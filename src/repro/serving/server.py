@@ -1,25 +1,49 @@
-"""In-process micro-batching predictor server.
+"""In-process micro-batching predictor server, hardened for chaos.
 
 Clients — any number of threads — submit plans for any registered database
 and get a :class:`PredictionRequest` handle back immediately.  A single
-batcher thread coalesces queued requests into micro-batches on a
-deadline/size trigger (whichever fires first), routes every request to a
+*supervised* batcher thread coalesces queued requests into micro-batches on
+a deadline/size trigger (whichever fires first), routes every request to a
 compatible model deployment by database fingerprint, featurizes each batch
 through the shared vectorized pipeline and predicts through
 ``predict_runtimes`` — i.e. the PR-1 graph-free ``forward_inference`` fast
 path.  The design follows what learned-cost-model serving needs in systems
-like BRAD: multi-model routing, bounded latency, bounded memory.
+like BRAD: multi-model routing, bounded latency, bounded memory — and,
+since the fleet is only as deployable as its worst failure mode, explicit
+handling for everything the fault plane (:mod:`repro.robustness.faults`)
+can throw.
 
 Guarantees:
 
-* **Bit-identical predictions** — for any request mix, the value a request
-  receives equals a direct ``predict_runtimes`` call on the same model for
-  that plan, bit for bit, regardless of which other requests shared its
-  micro-batch.  This rests on the row-stable inference kernels
-  (:func:`repro.nn.row_stable_matmul`): per-plan outputs are a pure
-  function of the plan, so micro-batch composition — and therefore
-  scheduling nondeterminism — cannot leak into results, and cached values
-  stay exact under every later composition.
+* **Bit-identical predictions** — for any request mix, the value a ``DONE``
+  request receives equals a direct ``predict_runtimes`` call on the same
+  model for that plan, bit for bit, regardless of which other requests
+  shared its micro-batch — and regardless of retries, bisections, batcher
+  restarts or hot-swaps along the way.  This rests on the row-stable
+  inference kernels (:func:`repro.nn.row_stable_matmul`): per-plan outputs
+  are a pure function of the plan, so micro-batch composition — and
+  therefore scheduling nondeterminism — cannot leak into results, and
+  cached values stay exact under every later composition.
+* **One bad plan fails alone** — a model-path failure (featurization or
+  inference) is retried with exponential backoff (``max_retries`` /
+  ``retry_backoff_ms``); a group that keeps failing is *bisected* until
+  the poisoned request is isolated, so its micro-batch neighbours complete
+  normally.  ``request_timeout_ms`` bounds how long any request may be
+  retried before it fails with a typed :class:`DeadlineExceededError`.
+* **The batcher survives crashes** — the batcher thread runs under
+  supervision: an unexpected crash of the loop machinery is detected, the
+  in-flight micro-batch is re-enqueued **exactly once** (unfinished
+  requests return to the queue head in order; finished ones are never
+  duplicated) and a replacement thread takes over.  No request is lost, no
+  request is answered twice.
+* **Graceful degradation, never silent** — a per-deployment circuit
+  breaker counts consecutive model-path failures; past
+  ``breaker_threshold`` it opens and requests are answered by the
+  analytical :class:`~repro.optimizer.AnalyticalCostModel` baseline,
+  explicitly flagged ``DEGRADED`` (degraded values never enter the result
+  cache, and blocking :meth:`predict` refuses them unless the caller opts
+  in).  After ``breaker_reset_ms`` the breaker half-opens and probes the
+  model path; a success closes it.
 * **Repeat plans are cache hits** — a bounded result cache keyed on
   ``(checkpoint, plan fingerprint)`` (the PR-2 content fingerprints, so
   equal-but-distinct plan objects hit) answers repeats without touching
@@ -28,14 +52,23 @@ Guarantees:
 * **Zero-downtime hot-swap** — the batcher compares the registry's
   generation counter before each batch (one int read) and re-resolves its
   routes only when the registry changed; in-flight batches finish on the
-  model they started with.
+  model they started with.  A deployment whose checkpoint fails hydration
+  is quarantined by the registry and the route re-resolves to the previous
+  good version (see :mod:`repro.serving.registry`).
 * **Bounded queue, explicit shedding** — when the queue is full, a
   non-blocking submit returns a request in ``SHED`` state instead of
   queueing unboundedly (``block=True`` opts into backpressure instead).
+* **Clean shutdown** — :meth:`stop` drains the queue (every pending handle
+  resolves) or, with ``drain=False``, fails queued requests with a typed
+  :class:`ServerClosedError`.  Handles never hang.
 
 Observability: ``serve.batch.*`` / ``serve.cache.*`` / ``serve.shed.*`` /
-``serve.swap.*`` perfstats counters, plus :meth:`PredictorServer.stats`
-(batch-size histogram, queue high-water mark, per-status request counts).
+``serve.swap.*`` counters as before, plus ``serve.fault.*`` (model-path
+failures, bisections, batcher crashes, re-enqueues, deadline expiries),
+``serve.retry.*`` (backoff retries) and ``serve.degraded.*`` (degraded
+responses, breaker opens/half-opens/closes), and
+:meth:`PredictorServer.stats` (batch-size histogram, queue high-water mark,
+per-status request counts, breaker states).
 """
 
 from __future__ import annotations
@@ -53,10 +86,14 @@ from ..core.api import EstimatorCache, featurize_records
 from ..core.training import predict_runtimes
 from ..featurization import (BatchCache, FeaturizationCache, database_digest,
                              plan_fingerprint)
+from ..optimizer.cost_model import AnalyticalCostModel
+from ..robustness import faults
+from .registry import RoutingError
 
 __all__ = ["PredictorServer", "ServerConfig", "PredictionRequest",
            "RequestStatus", "RequestShedError", "RoutingError",
-           "ServingRecord"]
+           "DeadlineExceededError", "DegradedResponseError",
+           "ServerClosedError", "ServingRecord"]
 
 # The unit of serving work: featurize_records only reads .db_name and .plan,
 # so this lightweight record stands in for an executed TraceRecord.
@@ -67,23 +104,33 @@ class RequestStatus(Enum):
     PENDING = "pending"
     DONE = "done"        # predicted by a micro-batch
     CACHED = "cached"    # answered from the result cache
+    DEGRADED = "degraded"  # answered by the analytical fallback (flagged)
     SHED = "shed"        # rejected by admission control
-    FAILED = "failed"    # routing/featurization/prediction error
+    FAILED = "failed"    # routing/featurization/prediction/deadline error
 
 
 class RequestShedError(RuntimeError):
     """The bounded queue was full and the request was shed."""
 
 
-class RoutingError(RuntimeError):
-    """No deployment serves the request's database and there is no default."""
+class DeadlineExceededError(RuntimeError):
+    """The request exceeded its per-request deadline before completing."""
+
+
+class DegradedResponseError(RuntimeError):
+    """A blocking ``predict`` received a DEGRADED (analytical-fallback)
+    response and the caller did not opt in with ``allow_degraded=True``."""
+
+
+class ServerClosedError(RuntimeError):
+    """The server was stopped without draining; the request was dropped."""
 
 
 class PredictionRequest:
     """Client-side handle for one submitted plan."""
 
     __slots__ = ("db_name", "plan", "status", "value", "error", "served_by",
-                 "submitted_at", "completed_at", "_event")
+                 "submitted_at", "completed_at", "retries", "_event")
 
     def __init__(self, db_name, plan):
         self.db_name = db_name
@@ -94,6 +141,7 @@ class PredictionRequest:
         self.served_by = None  # (model name, version) that produced value
         self.submitted_at = time.perf_counter()
         self.completed_at = None
+        self.retries = 0
         self._event = threading.Event()
 
     # -- completion (server side) --------------------------------------
@@ -109,11 +157,21 @@ class PredictionRequest:
     def done(self):
         return self._event.is_set()
 
+    @property
+    def degraded(self):
+        """True when the value came from the analytical fallback."""
+        return self.status is RequestStatus.DEGRADED
+
     def wait(self, timeout=None):
         return self._event.wait(timeout)
 
     def result(self, timeout=None):
-        """The predicted runtime (ms); raises for shed/failed requests."""
+        """The predicted runtime (ms); raises for shed/failed requests.
+
+        A ``DEGRADED`` request returns its analytical-fallback value — the
+        :attr:`status` / :attr:`degraded` flag is the explicit marker that
+        the value did not come from the learned model.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError("prediction still pending")
         if self.status is RequestStatus.SHED:
@@ -136,7 +194,7 @@ class PredictionRequest:
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Micro-batching, admission-control and routing knobs."""
+    """Micro-batching, admission-control, routing and robustness knobs."""
 
     max_batch_size: int = 64     # size trigger: dispatch when this many queue
     max_delay_ms: float = 2.0    # deadline trigger: oldest request's max wait
@@ -145,6 +203,13 @@ class ServerConfig:
     predict_batch_size: int = 256  # inference chunking inside one batch
     cards: str = "exact"         # cardinality source for featurization
     model_name: str | None = None  # pin every database to one model name
+    # -- robustness ----------------------------------------------------
+    request_timeout_ms: float | None = None  # per-request deadline (age cap)
+    max_retries: int = 2         # extra model-path attempts per group
+    retry_backoff_ms: float = 1.0  # backoff base; doubles per retry
+    breaker_threshold: int = 3   # consecutive failures that open the breaker
+    breaker_reset_ms: float = 50.0  # open -> half-open probe delay
+    degraded_fallback: bool = True  # serve analytical predictions when open
 
 
 class _Route:
@@ -163,6 +228,43 @@ class _Route:
     @property
     def served_by(self):
         return (self.deployment.name, self.deployment.version)
+
+
+class _Breaker:
+    """Per-deployment circuit breaker (batcher-thread state only)."""
+
+    __slots__ = ("state", "failures", "opened_at")
+
+    def __init__(self):
+        self.state = "closed"     # closed | open | half-open
+        self.failures = 0
+        self.opened_at = 0.0
+
+    def allows_model_path(self, reset_s):
+        """Closed: yes.  Open: only once the reset delay elapsed, as a
+        half-open probe.  (Called only by the batcher thread.)"""
+        if self.state == "closed":
+            return True
+        if time.monotonic() - self.opened_at >= reset_s:
+            if self.state != "half-open":
+                self.state = "half-open"
+                perfstats.increment("serve.degraded.half_open")
+            return True
+        return False
+
+    def record_success(self):
+        if self.state != "closed":
+            perfstats.increment("serve.degraded.close")
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self, threshold):
+        self.failures += 1
+        if self.state == "half-open" or self.failures >= threshold:
+            if self.state != "open":
+                perfstats.increment("serve.degraded.open")
+            self.state = "open"
+            self.opened_at = time.monotonic()
 
 
 class PredictorServer:
@@ -186,13 +288,15 @@ class PredictorServer:
         self._db_fingerprints = {name: db.fingerprint()
                                  for name, db in self._dbs.items()}
         # One lock guards the queue, the result cache, the digest memo, the
-        # routes and the counters.  Featurization and inference run outside
-        # it; the featurization/batch caches are touched only by the
-        # batcher thread, so they need no locking of their own.
+        # routes, the in-flight batch and the counters.  Featurization and
+        # inference run outside it; the featurization/batch caches and the
+        # breakers are touched only by the batcher thread, so they need no
+        # locking of their own.
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._queue = deque()
+        self._inflight = []
         self._result_cache = OrderedDict()
         self._digest_memo = OrderedDict()  # id(plan) -> (plan, digest)
         self._feat_cache = FeaturizationCache()
@@ -205,6 +309,8 @@ class PredictorServer:
         self._batch_sizes = Counter()
         self._queue_high_water = 0
         self._routes = {}
+        self._breakers = {}     # checkpoint_key -> _Breaker (batcher only)
+        self._analytical = {}   # db_name -> AnalyticalCostModel (batcher only)
         self._seen_generation = None
         self._resolve_routes()
 
@@ -216,28 +322,53 @@ class PredictorServer:
             raise RuntimeError("server already started")
         self._running = True
         self._accepting = True
-        self._thread = threading.Thread(target=self._serve_loop,
+        self._thread = threading.Thread(target=self._batcher_main,
                                         name="repro-predictor", daemon=True)
         self._thread.start()
         return self
 
-    def stop(self):
-        """Drain the queue, stop the batcher, shed late submissions.
+    def stop(self, drain=True):
+        """Stop the batcher; every pending handle resolves, none hangs.
 
-        Requests already queued are processed before the batcher exits;
-        submissions from this point on (including blocked backpressure
-        waiters) are shed instead of sitting unprocessed forever.
-        :meth:`start` re-opens admission.
+        ``drain=True`` (default): requests already queued are processed
+        before the batcher exits.  ``drain=False``: queued requests fail
+        immediately with a typed :class:`ServerClosedError` instead of
+        being processed.  Submissions from this point on (including blocked
+        backpressure waiters) are shed.  :meth:`start` re-opens admission.
         """
-        if self._thread is None:
-            return
         with self._lock:
+            if self._thread is None:
+                return
             self._running = False
             self._accepting = False
+            if not drain:
+                error = ServerClosedError(
+                    "server stopped without draining")
+                dropped = list(self._queue)
+                self._queue.clear()
+                self._counts["failed"] += len(dropped)
+            else:
+                dropped = []
             self._not_empty.notify_all()
             self._not_full.notify_all()
-        self._thread.join()
-        self._thread = None
+        for request in dropped:
+            request._finish(RequestStatus.FAILED, error=error)
+        # The batcher may crash and be replaced while we wait: join
+        # whatever thread is current until it is both dead and current.
+        while True:
+            with self._lock:
+                thread = self._thread
+            if thread is None:
+                return
+            thread.join(timeout=5.0)
+            with self._lock:
+                if self._thread is thread and not thread.is_alive():
+                    self._thread = None
+                    return
+
+    def close(self, drain=True):
+        """Alias for :meth:`stop` (the satellite shutdown contract)."""
+        self.stop(drain=drain)
 
     def __enter__(self):
         return self.start()
@@ -312,15 +443,26 @@ class PredictorServer:
         return [self.submit(plan, db_name, block=block, timeout=timeout)
                 for plan in plans]
 
-    def predict(self, plans, db_name, timeout=None):
+    def predict(self, plans, db_name, timeout=None, allow_degraded=False):
         """Blocking bulk prediction (backpressure, never sheds).
 
         Returns runtimes (ms) aligned with ``plans``; raises if any request
-        failed.
+        failed.  A ``DEGRADED`` response (analytical fallback while the
+        circuit breaker is open) raises :class:`DegradedResponseError`
+        unless ``allow_degraded=True`` — degraded values are never handed
+        out silently.
         """
         requests = self.submit_many(plans, db_name, block=True,
                                     timeout=timeout)
-        return np.array([request.result(timeout) for request in requests])
+        values = [request.result(timeout) for request in requests]
+        if not allow_degraded:
+            degraded = sum(request.degraded for request in requests)
+            if degraded:
+                raise DegradedResponseError(
+                    f"{degraded}/{len(requests)} predictions came from the "
+                    "analytical fallback; pass allow_degraded=True to "
+                    "accept flagged degraded values")
+        return np.array(values)
 
     def refresh(self):
         """Force re-resolution of routes from the registry (e.g. after a
@@ -328,8 +470,36 @@ class PredictorServer:
         self._resolve_routes()
 
     # ------------------------------------------------------------------
-    # Batcher
+    # Batcher (supervised)
     # ------------------------------------------------------------------
+    def _batcher_main(self):
+        """Supervision wrapper: detect a crash of the serve loop, re-enqueue
+        the in-flight micro-batch exactly once, and hand over to a
+        replacement thread."""
+        try:
+            self._serve_loop()
+        except Exception:  # noqa: BLE001 — crash path must survive anything
+            perfstats.increment("serve.fault.batcher_crash")
+            with self._lock:
+                self._counts["batcher_crashes"] += 1
+                # Exactly-once re-enqueue: unfinished in-flight requests go
+                # back to the queue head in their original order; finished
+                # ones are never duplicated.
+                pending = [r for r in self._inflight if not r.done()]
+                self._inflight = []
+                for request in reversed(pending):
+                    self._queue.appendleft(request)
+                self._counts["requeued"] += len(pending)
+                perfstats.increment("serve.fault.requeued", len(pending))
+                replacement = threading.Thread(target=self._batcher_main,
+                                               name="repro-predictor",
+                                               daemon=True)
+                self._thread = replacement
+                self._not_empty.notify_all()
+            # Started outside the lock; stop() joins whichever thread is
+            # current, so the handover is always observed.
+            replacement.start()
+
     def _serve_loop(self):
         max_delay_s = self.config.max_delay_ms / 1e3
         while True:
@@ -349,19 +519,27 @@ class PredictorServer:
                     self._not_empty.wait(remaining)
                 count = min(len(self._queue), self.config.max_batch_size)
                 batch = [self._queue.popleft() for _ in range(count)]
+                self._inflight = batch
                 self._not_full.notify_all()
+            # The batcher-loop injection point: a raise here unwinds into
+            # _batcher_main's crash handler with the batch still in-flight
+            # — exactly the torn state the supervisor must recover.
+            faults.check("serve.batcher")
             try:
                 self._process_batch(batch)
             except Exception as exc:  # noqa: BLE001 — the loop must survive
-                # A surprise error (e.g. a registry mutated concurrently
-                # with resolution) fails this batch's requests instead of
-                # killing the batcher and stranding every future request.
+                # A surprise error outside the hardened group path fails
+                # this batch's requests instead of killing the batcher and
+                # stranding every future request.
                 with self._lock:
                     self._counts["failed"] += sum(
                         1 for request in batch if not request.done())
                 for request in batch:
                     if not request.done():
                         request._finish(RequestStatus.FAILED, error=exc)
+            finally:
+                with self._lock:
+                    self._inflight = []
 
     def _process_batch(self, batch):
         self._maybe_swap()
@@ -404,32 +582,152 @@ class PredictorServer:
         if not pending:
             return
         perfstats.increment("serve.cache.miss", len(pending))
-        model = route.model
-        try:
-            records = [ServingRecord(db_name, request.plan)
-                       for request in pending]
-            graphs = featurize_records(
-                records, self._dbs, cards=self.config.cards,
-                estimator_cache=self._estimator_cache,
-                feat_cache=self._feat_cache)
-            values = predict_runtimes(
-                model.model, graphs, model.feature_scalers,
-                model.target_scaler,
-                batch_size=self.config.predict_batch_size,
-                batch_cache=self._batch_cache)
-        except Exception as exc:  # featurization/prediction error
+        digests = [key[1] for key in keys]
+        breaker = self._breakers.setdefault(route.checkpoint_key, _Breaker())
+        if not breaker.allows_model_path(self.config.breaker_reset_ms / 1e3):
+            # Breaker open: the model path is known-bad; answer from the
+            # analytical baseline (or fail typed) without touching it.
+            self._finish_degraded(db_name, route, pending)
+            return
+        self._predict_group(db_name, route, breaker, pending, digests)
+
+    # -- hardened model path -------------------------------------------
+    def _predict_group(self, db_name, route, breaker, requests, digests):
+        """Retry with backoff; on persistent failure bisect until the
+        poisoned request is isolated; enforce per-request deadlines."""
+        requests, digests = self._enforce_deadlines(requests, digests)
+        if not requests:
+            return
+        last_error = None
+        for attempt in range(self.config.max_retries + 1):
+            if attempt:
+                perfstats.increment("serve.retry.count")
+                with self._lock:
+                    self._counts["retries"] += 1
+                for request in requests:
+                    request.retries += 1
+                backoff_s = (self.config.retry_backoff_ms / 1e3
+                             * (2 ** (attempt - 1)))
+                time.sleep(backoff_s)
+                requests, digests = self._enforce_deadlines(requests,
+                                                            digests)
+                if not requests:
+                    return
+            try:
+                values = self._attempt(db_name, requests, digests,
+                                       route.model)
+            except Exception as exc:  # noqa: BLE001 — injected or real
+                perfstats.increment("serve.fault.model_path")
+                last_error = exc
+                continue
+            breaker.record_success()
             with self._lock:
-                self._counts["failed"] += len(pending)
-            for request in pending:
-                request._finish(RequestStatus.FAILED, error=exc)
+                self._counts["completed"] += len(requests)
+                for digest, value in zip(digests, values):
+                    self._cache_put_locked((route.checkpoint_key, digest),
+                                           float(value))
+            for request, value in zip(requests, values):
+                request._finish(RequestStatus.DONE, value=float(value),
+                                served_by=route.served_by)
+            return
+        if len(requests) > 1:
+            # Poisoned-batch bisection: the halves retry independently, so
+            # everything except the poisoned request still completes.
+            perfstats.increment("serve.fault.bisect")
+            with self._lock:
+                self._counts["bisects"] += 1
+            mid = len(requests) // 2
+            self._predict_group(db_name, route, breaker,
+                                requests[:mid], digests[:mid])
+            self._predict_group(db_name, route, breaker,
+                                requests[mid:], digests[mid:])
+            return
+        # A single request exhausted its retries: it fails alone — and the
+        # breaker counts it; past the threshold the deployment degrades.
+        breaker.record_failure(self.config.breaker_threshold)
+        if breaker.state == "open" and self.config.degraded_fallback:
+            self._finish_degraded(db_name, route, requests)
             return
         with self._lock:
-            self._counts["completed"] += len(pending)
-            for key, value in zip(keys, values):
-                self._cache_put_locked(key, float(value))
-        for request, value in zip(pending, values):
-            request._finish(RequestStatus.DONE, value=float(value),
-                            served_by=route.served_by)
+            self._counts["failed"] += 1
+        requests[0]._finish(RequestStatus.FAILED, error=last_error)
+
+    def _attempt(self, db_name, requests, digests, model):
+        """One model-path attempt over a group (featurize + predict)."""
+        faults.check("serve.featurize", keys=digests)
+        records = [ServingRecord(db_name, request.plan)
+                   for request in requests]
+        graphs = featurize_records(
+            records, self._dbs, cards=self.config.cards,
+            estimator_cache=self._estimator_cache,
+            feat_cache=self._feat_cache)
+        faults.check("serve.infer", keys=digests)
+        return predict_runtimes(
+            model.model, graphs, model.feature_scalers,
+            model.target_scaler,
+            batch_size=self.config.predict_batch_size,
+            batch_cache=self._batch_cache)
+
+    def _enforce_deadlines(self, requests, digests):
+        """Fail requests whose age exceeds the per-request deadline."""
+        timeout_ms = self.config.request_timeout_ms
+        if timeout_ms is None:
+            return requests, digests
+        now = time.perf_counter()
+        alive, alive_digests, expired = [], [], []
+        for request, digest in zip(requests, digests):
+            if (now - request.submitted_at) * 1e3 > timeout_ms:
+                expired.append(request)
+            else:
+                alive.append(request)
+                alive_digests.append(digest)
+        if expired:
+            perfstats.increment("serve.fault.deadline", len(expired))
+            with self._lock:
+                self._counts["failed"] += len(expired)
+                self._counts["deadline_expired"] += len(expired)
+            for request in expired:
+                request._finish(RequestStatus.FAILED,
+                                error=DeadlineExceededError(
+                                    f"request exceeded its "
+                                    f"{timeout_ms:.0f} ms deadline"))
+        return alive, alive_digests
+
+    def _finish_degraded(self, db_name, route, requests):
+        """Answer requests from the analytical cost model, flagged DEGRADED.
+
+        Degraded values never enter the result cache — a recovered model
+        must never replay them — and ``served_by`` names the fallback, not
+        the deployment.
+        """
+        if not self.config.degraded_fallback:
+            error = RoutingError(
+                f"deployment {route.deployment.name!r} is circuit-broken "
+                "and degraded fallback is disabled")
+            with self._lock:
+                self._counts["failed"] += len(requests)
+            for request in requests:
+                request._finish(RequestStatus.FAILED, error=error)
+            return
+        analytical = self._analytical.get(db_name)
+        if analytical is None:
+            analytical = AnalyticalCostModel(self._dbs[db_name])
+            self._analytical[db_name] = analytical
+        served_by = ("analytical", route.deployment.name)
+        perfstats.increment("serve.degraded.count", len(requests))
+        with self._lock:
+            self._counts["degraded"] += len(requests)
+        for request in requests:
+            try:
+                value = analytical.predict_plan(request.plan)
+            except Exception as exc:  # noqa: BLE001 — even fallbacks fail
+                with self._lock:
+                    self._counts["degraded"] -= 1
+                    self._counts["failed"] += 1
+                request._finish(RequestStatus.FAILED, error=exc)
+                continue
+            request._finish(RequestStatus.DEGRADED, value=value,
+                            served_by=served_by)
 
     # ------------------------------------------------------------------
     # Routing / hot-swap
@@ -443,20 +741,15 @@ class PredictorServer:
 
         Runs between batches (or at submit time); in-flight work keeps the
         route object it started with, so a promote/rollback is a
-        zero-downtime swap.
+        zero-downtime swap.  A deployment whose checkpoint fails hydration
+        is quarantined by the registry (which re-resolves its manifest to
+        the previous good version), and resolution retries against the
+        updated registry state — serving falls back to known-good
+        checkpoints instead of wedging.
         """
         generation = self.registry.generation
-        routes = {}
-        for db_name, digest in self._db_digests.items():
-            if self.config.model_name is not None:
-                deployment = self.registry.active(self.config.model_name)
-            else:
-                deployment = self.registry.route(digest)
-            if deployment is None:
-                routes[db_name] = None
-                continue
-            model = self.registry.load(deployment=deployment)
-            routes[db_name] = _Route(deployment, model)
+        routes = {db_name: self._resolve_one(digest)
+                  for db_name, digest in self._db_digests.items()}
         with self._lock:
             for db_name, route in routes.items():
                 previous = self._routes.get(db_name)
@@ -466,6 +759,31 @@ class PredictorServer:
                     perfstats.increment("serve.swap.count")
             self._routes = routes
             self._seen_generation = generation
+
+    def _resolve_one(self, digest):
+        """Route one database digest to a loaded model, surviving
+        quarantines: every HydrationError re-resolves against the
+        registry's updated manifest until a good version loads or nothing
+        routable remains."""
+        for _ in range(8):  # bounded: each retry consumed a quarantine
+            try:
+                if self.config.model_name is not None:
+                    deployment = self.registry.active(self.config.model_name)
+                else:
+                    deployment = self.registry.route(digest)
+            except RoutingError:
+                return None
+            if deployment is None:
+                return None
+            try:
+                model = self.registry.load(deployment=deployment)
+            except RoutingError:
+                perfstats.increment("serve.fault.hydrate")
+                with self._lock:
+                    self._counts["hydrate_failures"] += 1
+                continue
+            return _Route(deployment, model)
+        return None
 
     # ------------------------------------------------------------------
     # Caches
@@ -512,7 +830,10 @@ class PredictorServer:
 
     # ------------------------------------------------------------------
     def stats(self):
-        """Request/batch/cache/swap counters and the batch-size histogram."""
+        """Request/batch/cache/swap/fault counters, batch-size histogram,
+        and per-deployment breaker states."""
+        breakers = {key: breaker.state
+                    for key, breaker in self._breakers.items()}
         with self._lock:
             batches = sum(self._batch_sizes.values())
             sizes = sum(size * count
@@ -521,14 +842,22 @@ class PredictorServer:
                 "requests": self._counts["requests"],
                 "completed": self._counts["completed"],
                 "cached": self._counts["cached"],
+                "degraded": self._counts["degraded"],
                 "shed": self._counts["shed"],
                 "failed": self._counts["failed"],
                 "swaps": self._counts["swaps"],
+                "retries": self._counts["retries"],
+                "bisects": self._counts["bisects"],
+                "batcher_crashes": self._counts["batcher_crashes"],
+                "requeued": self._counts["requeued"],
+                "deadline_expired": self._counts["deadline_expired"],
+                "hydrate_failures": self._counts["hydrate_failures"],
                 "batches": batches,
                 "batch_size_hist": dict(sorted(self._batch_sizes.items())),
                 "mean_batch_size": (sizes / batches) if batches else 0.0,
                 "queue_high_water": self._queue_high_water,
                 "result_cache_entries": len(self._result_cache),
+                "breakers": breakers,
             }
 
     def __repr__(self):

@@ -23,7 +23,7 @@ from repro.featurization import (FeatureScalers, TargetScaler,
 from repro.nn import row_stable_matmul
 from repro.serving import (LoadConfig, ModelRegistry, PredictorServer,
                            RequestShedError, RequestStatus, RoutingError,
-                           ServerConfig, run_load)
+                           ServerClosedError, ServerConfig, run_load)
 from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
 
 
@@ -464,6 +464,94 @@ class TestPredictorServer:
 
 
 # ----------------------------------------------------------------------
+# Shutdown: queued handles must always resolve, never hang
+# ----------------------------------------------------------------------
+class TestShutdown:
+    def test_stop_drains_queued_requests(self, world, registry_a):
+        registry, model = registry_a
+        expected = _direct(model, world["graphs_a"])
+        config = ServerConfig(max_batch_size=4, result_cache_size=0)
+        server = PredictorServer(registry, world["dbs"], config)
+        # Queue everything before the batcher ever runs, then stop with
+        # drain: every handle must still resolve to the exact value.
+        handles = [server.submit(r.plan, world["db_a"].name)
+                   for r in world["records_a"]]
+        server.start()
+        server.stop(drain=True)
+        for handle, value in zip(handles, expected):
+            assert handle.done()
+            assert handle.status is RequestStatus.DONE
+            assert handle.result() == float(value)
+
+    def test_stop_without_drain_fails_queued_typed(self, world, registry_a):
+        registry, _ = registry_a
+        config = ServerConfig(max_batch_size=4, result_cache_size=0)
+        server = PredictorServer(registry, world["dbs"], config)
+        handles = [server.submit(r.plan, world["db_a"].name)
+                   for r in world["records_a"]]
+        server.start()
+        server.stop(drain=False)
+        for handle in handles:
+            assert handle.done()  # resolved, not hanging
+            assert handle.status in (RequestStatus.DONE,
+                                     RequestStatus.FAILED)
+            if handle.status is RequestStatus.FAILED:
+                assert isinstance(handle.error, ServerClosedError)
+                with pytest.raises(ServerClosedError):
+                    handle.result()
+        # At least the tail of the queue was dropped, typed.
+        assert any(h.status is RequestStatus.FAILED for h in handles)
+
+    def test_close_under_concurrent_submitters(self, world, registry_a):
+        """close() races against live client threads: after it returns,
+        every handle anyone got back has resolved — DONE, CACHED, SHED or
+        typed-FAILED — and waiting on one never hangs."""
+        registry, _ = registry_a
+        config = ServerConfig(max_batch_size=4, result_cache_size=0,
+                              queue_depth=8)
+        server = PredictorServer(registry, world["dbs"], config)
+        server.start()
+        collected = [[] for _ in range(3)]
+        stop_flag = threading.Event()
+
+        def client(bucket):
+            while not stop_flag.is_set():
+                for record in world["records_a"]:
+                    try:
+                        bucket.append(server.submit(record.plan,
+                                                    world["db_a"].name))
+                    except RequestShedError:
+                        pass
+
+        threads = [threading.Thread(target=client, args=(bucket,),
+                                    daemon=True)
+                   for bucket in collected]
+        for thread in threads:
+            thread.start()
+        server.close(drain=False)
+        stop_flag.set()
+        for thread in threads:
+            thread.join(10.0)
+            assert not thread.is_alive()
+        resolved = {RequestStatus.DONE, RequestStatus.CACHED,
+                    RequestStatus.SHED, RequestStatus.FAILED}
+        for handle in (h for bucket in collected for h in bucket):
+            assert handle.wait(5.0)
+            assert handle.status in resolved
+
+    def test_context_manager_reentry(self, world, registry_a):
+        registry, _ = registry_a
+        server = PredictorServer(registry, world["dbs"],
+                                 ServerConfig(result_cache_size=0))
+        plan = world["records_a"][0].plan
+        with server:
+            first = server.submit(plan, world["db_a"].name).result(30.0)
+        with server:  # start() after stop() re-opens admission
+            second = server.submit(plan, world["db_a"].name).result(30.0)
+        assert first == second
+
+
+# ----------------------------------------------------------------------
 # Load harness
 # ----------------------------------------------------------------------
 class TestLoadHarness:
@@ -486,8 +574,13 @@ class TestLoadHarness:
             <= latency["max"]
         assert sum(report.batch_size_hist.values()) == \
             report.server_stats["batches"]
-        # The duplicated half of the stream is answered by the cache.
-        assert report.cached >= len(world["records_a"])
+        # Duplicated plans hit the result cache unless both copies land in
+        # the same micro-batch (a scheduling race), so the guaranteed facts
+        # are: some hits, and exactly one cache entry per unique plan.
+        assert report.cached > 0
+        assert report.server_stats["result_cache_entries"] == \
+            len(world["records_a"])
+        assert report.availability == 1.0
         assert report.as_dict()["n_requests"] == len(requests)
 
     def test_saturation_mode_and_values_still_exact(self, world,

@@ -196,7 +196,8 @@ class TestArtifactStore:
         assert store.load("thing", key) is None
         store.save("thing", key, {"value": 42}, fingerprint=b"fp")
         assert store.load("thing", key, fingerprint=b"fp") == {"value": 42}
-        assert store.stats() == {"hits": 1, "misses": 1}
+        assert store.stats() == {"hits": 1, "misses": 1,
+                                 "corrupt": 0}
 
     def test_corrupt_entry_rebuilds(self, tmp_path):
         store = ArtifactStore(tmp_path)
