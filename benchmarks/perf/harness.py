@@ -53,7 +53,7 @@ __all__ = ["build_plan_corpus", "build_corpus", "build_exec_corpus",
            "bench_featurization_cached", "bench_batch_construction",
            "bench_training_step", "bench_train_epoch",
            "bench_experiment_warm_start", "bench_inference", "bench_serving",
-           "bench_chaos", "run_all", "run_pipeline_reference"]
+           "bench_chaos", "bench_fleet", "run_all", "run_pipeline_reference"]
 
 
 def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
@@ -602,6 +602,97 @@ def bench_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2, seed=0,
     }
 
 
+def bench_fleet(db, records, hidden_dim=64, n_clients=4,
+                worker_counts=(1, 2, 4), rounds=2, repeats=2,
+                max_batch_size=64, max_delay_ms=2.0, spill_threshold=16,
+                seed=0):
+    """Fleet throughput vs worker count, with a full value audit.
+
+    Publishes one model to a throwaway registry, pre-computes the
+    ground-truth predictions with a direct ``predict_runtimes`` call, then
+    drives a fresh :class:`~repro.serving.PredictorFleet` at each worker
+    count through the load generator in saturation mode.  The result cache
+    is disabled so every request pays the real mmap-hydrated inference path
+    in a worker process, and **every** delivered value is audited against
+    the direct prediction — the fleet equivalence contract says the wrong
+    value count must be zero at any worker count, any placement.
+
+    Returns ``(rates, extras)``: ``rates`` maps worker count to the best
+    plans/s over ``repeats`` passes; ``extras`` carries per-count latency
+    percentiles, mean batch size, spill/restart counts, and the ``fleet.*``
+    perfstats counters.  Scaling beyond one worker needs real cores — on a
+    single-CPU machine the honest numbers simply show ~1x.
+    """
+    from repro.bench import ArtifactStore
+    from repro.core import TrainingConfig, ZeroShotCostModel
+    from repro.serving import (LoadConfig, ModelRegistry, PredictorFleet,
+                               RequestStatus, ServerConfig, run_load)
+
+    dbs = {db.name: db}
+    graphs = featurize_records(records, dbs, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records])
+    model = ZeroShotCostModel(
+        ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval(),
+        FeatureScalers().fit(graphs), TargetScaler().fit(runtimes),
+        TrainingConfig(hidden_dim=hidden_dim))
+    # Row-stable kernels: one direct call is the oracle for every value
+    # the fleet produces, regardless of batch composition or placement.
+    truth = predict_runtimes(model.model, graphs, model.feature_scalers,
+                             model.target_scaler)
+    expected = {id(record.plan): float(value)
+                for record, value in zip(records, truth)}
+    requests = [(db.name, record.plan) for record in records] * rounds
+    load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
+                      block=True)
+    config = ServerConfig(max_batch_size=max_batch_size,
+                          max_delay_ms=max_delay_ms,
+                          queue_depth=len(requests) + n_clients,
+                          result_cache_size=0)
+    rates, extras = {}, {}
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(ArtifactStore(tmp))
+        registry.publish("fleet-bench", model, dbs=[db], default=True)
+        for n_workers in worker_counts:
+            best_rate, best_extras = 0.0, {}
+            for _ in range(repeats):
+                # Fresh fleet per pass: fork, mmap hydration and worker
+                # cache warm-up are all inside the measured window — the
+                # cost a real scale-out/restart pays.
+                fleet = PredictorFleet(registry, dbs, config,
+                                       n_workers=n_workers,
+                                       spill_threshold=spill_threshold)
+                with _gc_paused(), fleet:
+                    report = run_load(fleet, requests, load)
+                    stats = fleet.stats()
+                if report.completed != len(requests):
+                    raise RuntimeError(
+                        f"fleet bench lost requests at {n_workers} "
+                        f"workers: {report.as_dict()}")
+                wrong = sum(
+                    1 for handle in report.handles
+                    if handle.status in (RequestStatus.DONE,
+                                         RequestStatus.CACHED)
+                    and handle.value != expected[id(handle.plan)])
+                if wrong:
+                    raise RuntimeError(
+                        f"fleet bench produced {wrong} wrong values at "
+                        f"{n_workers} workers")
+                if report.throughput_rps > best_rate:
+                    best_rate = report.throughput_rps
+                    best_extras = {
+                        "mean_batch_size": report.mean_batch_size,
+                        "latency_ms": report.latency_ms,
+                        "spills": stats["spills"],
+                        "worker_restarts": stats["worker_restarts"],
+                    }
+            rates[n_workers] = best_rate
+            extras[f"{n_workers}w"] = best_extras
+    extras["fleet_counters"] = perfstats.snapshot(
+        ["fleet.worker.spawn", "fleet.worker.restart",
+         "fleet.route.hit", "fleet.route.rebalance", "fleet.queue.depth"])
+    return rates, extras
+
+
 def run_pipeline_reference(n_queries=192, seed=0):
     """Loop-baseline rates for the pipeline metrics (see --save-loop-baseline)."""
     db, records = build_plan_corpus(n_queries=n_queries, seed=seed)
@@ -726,6 +817,13 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
     serving_single, serving_batched, serving_extras = _stage(
         "serving", lambda: bench_serving(db, records, hidden_dim=hidden_dim,
                                          seed=seed), profile)
+    fleet_rates, fleet_extras = _stage(
+        "fleet", lambda: bench_fleet(db, records, hidden_dim=hidden_dim,
+                                     seed=seed), profile)
+    fleet_metrics = {f"fleet_{count}w_plans_per_s": rate
+                     for count, rate in fleet_rates.items()}
+    fleet_scaling = (fleet_rates.get(4, 0.0) / fleet_rates[1]
+                     if fleet_rates.get(1) else 0.0)
     return {
         "datagen_tables_per_s": datagen,
         "trace_exec_plans_per_s": trace_exec,
@@ -753,6 +851,9 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
         "serving_batched_plans_per_s": serving_batched,
         "serving_microbatch_speedup": serving_batched / serving_single,
         "serving_extras": serving_extras,
+        **fleet_metrics,
+        "fleet_scaling_4w": fleet_scaling,
+        "fleet_extras": fleet_extras,
         "n_queries": n_queries,
         "hidden_dim": hidden_dim,
         "cache_stats": {
@@ -772,5 +873,8 @@ def run_all(n_queries=192, hidden_dim=64, seed=0, profile=False):
              "trace.generate.batched", "trace.generate.reference",
              "serve.batch.count", "serve.batch.requests",
              "serve.cache.hit", "serve.cache.miss",
-             "serve.shed.count", "serve.swap.count"]),
+             "serve.shed.count", "serve.swap.count",
+             "fleet.worker.spawn", "fleet.worker.restart",
+             "fleet.route.hit", "fleet.route.rebalance",
+             "fleet.queue.depth"]),
     }

@@ -43,7 +43,9 @@ RATE_KEYS = ("datagen_tables_per_s", "trace_exec_plans_per_s",
              "batch_construction_plans_per_s", "train_step_plans_per_s",
              "train_epoch_plans_per_s",
              "inference_plans_per_s", "inference_cached_plans_per_s",
-             "serving_single_plans_per_s", "serving_batched_plans_per_s")
+             "serving_single_plans_per_s", "serving_batched_plans_per_s",
+             "fleet_1w_plans_per_s", "fleet_2w_plans_per_s",
+             "fleet_4w_plans_per_s")
 
 # Metrics with an in-run executable reference implementation (loop specs /
 # per-parameter optimizer): reported as machine-drift-immune ratios.
@@ -129,6 +131,9 @@ def main(argv=None):
     serving = results.get("serving_microbatch_speedup")
     if serving:
         report["serving_microbatch_speedup"] = serving
+    fleet_scaling = results.get("fleet_scaling_4w")
+    if fleet_scaling:
+        report["fleet_scaling_4w"] = fleet_scaling
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {args.output}")
@@ -149,6 +154,13 @@ def main(argv=None):
         print(f"  serving_microbatch_speedup: {serving:.2f}x "
               f"(mean batch {extras.get('mean_batch_size', 0):.1f}, "
               f"p99 {extras.get('latency_ms', {}).get('p99', 0):.2f} ms)")
+    if fleet_scaling:
+        fleet_extras = results.get("fleet_extras", {})
+        counters = fleet_extras.get("fleet_counters", {})
+        print(f"  fleet_scaling_4w: {fleet_scaling:.2f}x "
+              f"(spawns {counters.get('fleet.worker.spawn', 0)}, "
+              f"route hits {counters.get('fleet.route.hit', 0)}, "
+              f"rebalances {counters.get('fleet.route.rebalance', 0)})")
     print(f"  cache_stats: {results['cache_stats']}")
     print(f"  dispatch: {results['dispatch_counters']}")
 

@@ -25,6 +25,11 @@ returned row dicts / model payloads cross the process boundary.
 workers, an integer pins the worker count, and ``0``/``1`` force serial
 execution (useful for debugging and for the determinism tests' reference
 runs).  Platforms without ``fork`` run serially as well.
+
+Besides the one-shot :func:`parallel_map` fan-out, :class:`WorkerProcess`
+runs a *long-lived* forked worker connected to the parent by a duplex pipe
+— the building block of the serving fleet (:mod:`repro.serving.fleet`),
+where workers outlive any single request and are restarted on death.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ import os
 
 from .. import perfstats
 
-__all__ = ["parallel_map", "worker_count"]
+__all__ = ["parallel_map", "worker_count", "WorkerProcess"]
 
 
 def worker_count(n_tasks):
@@ -73,3 +78,116 @@ def parallel_map(fn, tasks, processes=None):
     with context.Pool(processes) as pool:
         # chunksize=1: tasks are few and heavy; order is preserved by map.
         return pool.map(fn, tasks, chunksize=1)
+
+
+class WorkerProcess:
+    """A long-lived forked worker connected to the parent by a duplex pipe.
+
+    ``target(conn, *args)`` runs in the child with its end of the pipe;
+    ``args`` reach it copy-on-write through the fork (nothing is pickled),
+    so heavyweight state — databases, a registry root path — costs no
+    serialization.  The parent talks through :attr:`conn` (``send`` /
+    ``poll`` / ``recv``) and watches :attr:`sentinel` (selectable alongside
+    the pipe via ``multiprocessing.connection.wait``) for death.
+
+    Protocol and supervision policy belong to the caller: the fleet router
+    defines its own message framing, detects a dead worker through the
+    sentinel / ``EOFError`` on the pipe, and calls :meth:`restart` to fork
+    a replacement on a fresh pipe.  Workers are daemons — they can never
+    outlive the parent.
+
+    Fork hygiene: each end of the pipe is closed in the process that does
+    not own it (the child closes the parent end, the parent closes the
+    child end right after the fork), so a dead peer is observable as
+    ``EOFError``/``BrokenPipeError`` instead of a silent hang.
+
+    Raises :class:`RuntimeError` on platforms without the ``fork`` start
+    method.
+    """
+
+    def __init__(self, target, args=(), name=None):
+        self._target = target
+        self._args = tuple(args)
+        self.name = name or getattr(target, "__name__", "worker")
+        self.process = None
+        self.conn = None
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    def start(self):
+        if self.process is not None and self.process.is_alive():
+            raise RuntimeError(f"worker {self.name!r} already running")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            raise RuntimeError(
+                "WorkerProcess requires the fork start method") from None
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=self._child_main, args=(child_conn, parent_conn),
+            name=self.name, daemon=True)
+        self.process.start()
+        child_conn.close()  # the parent's copy of the child end
+        self.conn = parent_conn
+        return self
+
+    def _child_main(self, child_conn, parent_conn):
+        parent_conn.close()  # the child's copy of the parent end
+        self._target(child_conn, *self._args)
+
+    def restart(self):
+        """Fork a replacement worker on a fresh pipe (old pipe closed)."""
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5.0)
+        self.process = None
+        self.restarts += 1
+        return self.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self):
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def sentinel(self):
+        """Selectable handle that becomes ready when the process exits."""
+        return self.process.sentinel
+
+    @property
+    def exitcode(self):
+        return None if self.process is None else self.process.exitcode
+
+    def send(self, message):
+        self.conn.send(message)
+
+    def poll(self, timeout=0):
+        return self.conn.poll(timeout)
+
+    def recv(self):
+        return self.conn.recv()
+
+    # ------------------------------------------------------------------
+    def stop(self, timeout=5.0):
+        """Close the pipe (the worker loop sees EOF) and reap the process.
+
+        A worker that does not exit within ``timeout`` is terminated; stop
+        never hangs.
+        """
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=timeout)
+            self.process = None
+
+    def __repr__(self):
+        return (f"WorkerProcess({self.name!r}, alive={self.alive}, "
+                f"restarts={self.restarts})")

@@ -285,8 +285,18 @@ class ZeroShotCostModel:
         return digest.hexdigest()
 
     @classmethod
-    def load(cls, path):
-        state, metadata = load_state(path)
+    def from_state(cls, state, metadata, copy=True):
+        """Rebuild a model from a flat checkpoint dict plus metadata.
+
+        ``state``/``metadata`` are what :func:`~repro.nn.serialize.
+        load_state` returns for a checkpoint written by :meth:`save`.
+        ``copy=False`` adopts the given arrays without copying — the
+        registry's mmap hydration path passes read-only memory-mapped
+        views here, so every process serving the same checkpoint shares
+        one page-cache copy of the parameters.  Models built with
+        ``copy=False`` are inference-only.
+        """
+        state = dict(state)
         config = TrainingConfig(hidden_dim=int(metadata["hidden_dim"]),
                                 dropout=float(metadata["dropout"]),
                                 seed=int(metadata["seed"]),
@@ -303,9 +313,14 @@ class ZeroShotCostModel:
                 model_state[key] = value
         model = ZeroShotModel(hidden_dim=config.hidden_dim,
                               dropout=config.dropout, seed=config.seed)
-        model.load_state_dict(model_state)
+        model.load_state_dict(model_state, copy=copy)
         model.eval()
         return cls(model,
                    FeatureScalers.from_state(scaler_states),
                    TargetScaler(mean=float(target[0]), std=float(target[1])),
                    config)
+
+    @classmethod
+    def load(cls, path):
+        state, metadata = load_state(path)
+        return cls.from_state(state, metadata)

@@ -108,12 +108,18 @@ class Module:
     def state_dict(self):
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state):
+    def load_state_dict(self, state, copy=True):
         """Load parameters; float32/float64 values keep their stored dtype.
 
         Checkpoints written before the fused-MLP refactor (parameters named
         ``...net.layers.N.weight``) are migrated to the current
         ``...linears.K.weight`` layout transparently.
+
+        ``copy=False`` adopts the given arrays directly instead of copying —
+        the inference-only mmap hydration path uses this so parameters stay
+        read-only views of an on-disk checkpoint shared across processes.
+        A model loaded this way must not be trained (its parameters may not
+        be writable).
         """
         state = _migrate_legacy_mlp_keys(state)
         own = dict(self.named_parameters())
@@ -130,7 +136,7 @@ class Module:
             values = np.asarray(values)
             if values.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
                 values = values.astype(param.data.dtype)
-            param.data = np.array(values, copy=True)
+            param.data = np.array(values, copy=True) if copy else values
 
 
 _LEGACY_MLP_KEY = re.compile(r"^(.*?)net\.layers\.(\d+)\.(weight|bias)$")

@@ -23,6 +23,17 @@ engine into that online service:
   gracefully to the analytical cost model behind a per-deployment circuit
   breaker — degraded responses are explicitly flagged ``DEGRADED``, never
   silently substituted.
+* :class:`PredictorFleet` (``fleet.py``) — the scale-out version: a
+  router in the client process shards requests by database fingerprint
+  (with least-loaded spill for hot shards) across long-lived *forked*
+  worker processes, each running the shared serving core
+  (:class:`~repro.serving.core.ServingCore`, ``core.py`` — the
+  transport-agnostic half of the server) over checkpoints hydrated via
+  the registry's mmap path: one page-cache copy of every model for the
+  whole fleet.  Handles keep the exact server semantics; worker death is
+  supervised (fork-restart + exactly-once re-send of unanswered
+  requests); promote/rollback broadcasts on ``registry.generation``
+  changes, zero downtime fleet-wide.
 * :func:`run_load` (``loadgen.py``) — a seeded open-loop load harness
   recording throughput, availability, p50/p95/p99 latency (completed
   requests only), batch-size histograms and cache/shed/degraded counters,
@@ -47,16 +58,19 @@ Perfstats counters: ``serve.batch.count`` / ``serve.batch.requests``,
 
 from .registry import (HydrationError, ModelDeployment, ModelRegistry,
                        RoutingError)
+from .core import ServingCore
 from .server import (DeadlineExceededError, DegradedResponseError,
                      PredictionRequest, PredictorServer, RequestShedError,
                      RequestStatus, ServerClosedError, ServerConfig,
                      ServingRecord)
-from .loadgen import LoadConfig, LoadReport, run_load
+from .fleet import PredictorFleet
+from .loadgen import LoadConfig, LoadReport, run_load, skewed_requests
 
 __all__ = [
     "HydrationError", "ModelDeployment", "ModelRegistry", "RoutingError",
     "DeadlineExceededError", "DegradedResponseError",
-    "PredictionRequest", "PredictorServer", "RequestShedError",
-    "RequestStatus", "ServerClosedError", "ServerConfig", "ServingRecord",
-    "LoadConfig", "LoadReport", "run_load",
+    "PredictionRequest", "PredictorFleet", "PredictorServer",
+    "RequestShedError", "RequestStatus", "ServerClosedError", "ServerConfig",
+    "ServingCore", "ServingRecord",
+    "LoadConfig", "LoadReport", "run_load", "skewed_requests",
 ]

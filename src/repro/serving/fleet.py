@@ -1,0 +1,673 @@
+"""Scale-out serving: a sharding router over forked predictor workers.
+
+The in-process :class:`~repro.serving.server.PredictorServer` is capped by
+the GIL at roughly one core no matter the offered load.  This module is the
+BRAD-style front-end/worker split that removes the cap:
+
+* **A router in the client process** sharding requests by *database
+  fingerprint* across a pool of long-lived forked workers
+  (:class:`~repro.bench.parallel.WorkerProcess`).  Each database has a
+  preferred shard; when a hot database saturates its shard (more than
+  ``spill_threshold`` requests outstanding), requests spill to the least
+  loaded worker — placement is a pure performance decision, because
+  predictions are bit-identical wherever they run (see below).
+* **Workers run the same serving core** (:class:`~repro.serving.core.
+  ServingCore`) the thread server uses — micro-batch coalescing,
+  retry/backoff, poisoned-batch bisection, per-request deadlines, circuit
+  breaker with flagged-``DEGRADED`` analytical fallback — over checkpoints
+  hydrated via the registry's mmap path (:meth:`~repro.serving.registry.
+  ModelRegistry.load_mmap`): every worker's parameters are read-only views
+  of one content-addressed on-disk extraction, one page-cache copy for the
+  whole fleet, no per-worker deserialization.
+* **Handles cross the pipe, semantics don't change.**  ``submit`` returns
+  the same :class:`~repro.serving.core.PredictionRequest` handle the
+  in-process server does (``PENDING``/``DONE``/``CACHED``/``SHED``/
+  ``FAILED``/``DEGRADED``); requests and results move over per-worker
+  duplex pipes.  Repeat plans travel as small integer tokens: router and
+  worker maintain *mirrored* bounded LRU plan tables (pipe messages are
+  ordered and both sides apply identical insert/touch/evict sequences), so
+  a hot plan is pickled once per worker, not once per request.
+* **Exactly-once completion across worker death.**  The router supervises
+  its workers: a dead worker (crash, kill -9) is detected through its pipe,
+  a replacement is forked on a fresh pipe, and every request whose result
+  had not been received is re-sent — the PR-6 batcher-supervisor contract
+  extended across process boundaries.  Execution is at-least-once (a
+  result in flight when the worker died is recomputed, bit-identically);
+  *completion* is exactly-once — each handle resolves exactly one time, no
+  request is lost, none is answered twice.
+* **Zero-downtime promote/rollback, fleet-wide.**  The router watches
+  ``registry.generation`` (one int read per submit) and broadcasts a
+  ``refresh`` to all workers only when the registry actually changed;
+  workers re-read the atomic on-disk manifests and re-resolve routes
+  between micro-batches.  In-flight batches finish on the model they
+  started with.
+
+**Fleet equivalence contract**: for any request mix, any shard placement
+and any worker count, every ``DONE``/``CACHED`` value is bit-identical to
+a direct :func:`~repro.core.training.predict_runtimes` call on the same
+model — including across worker kills and restarts.  This is inherited
+from the row-stable inference kernels: per-plan outputs are pure functions
+of the plan, so *where* a plan is served can never change *what* it
+returns.
+
+Observability: ``fleet.worker.spawn`` / ``fleet.worker.restart``,
+``fleet.route.hit`` (request landed on its preferred shard) /
+``fleet.route.rebalance`` (spill to the least-loaded worker, or a
+generation-change placement refresh), and ``fleet.queue.depth`` (high-water
+mark of fleet-wide outstanding requests), plus every ``serve.*`` counter
+inside each worker.  :meth:`PredictorFleet.stats` aggregates worker cores'
+counters into the same shape :meth:`PredictorServer.stats` reports, so the
+load harness (:func:`~repro.serving.loadgen.run_load`) drives a fleet
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from collections import Counter, OrderedDict, deque
+
+import numpy as np
+
+from .. import perfstats
+from ..bench.parallel import WorkerProcess
+from ..featurization import database_digest, plan_fingerprint
+from ..robustness import faults
+from .core import (DeadlineExceededError, DegradedResponseError,
+                   PredictionRequest, RequestShedError, RequestStatus,
+                   ServerClosedError, ServerConfig, ServingCore)
+from .registry import HydrationError, ModelRegistry, RoutingError
+
+__all__ = ["PredictorFleet"]
+
+# Mirrored plan-LRU size: router and worker evict identically at this bound.
+_TOKEN_LRU_BOUND = 4096
+
+_ERROR_TYPES = {
+    "RoutingError": RoutingError,
+    "HydrationError": HydrationError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "DegradedResponseError": DegradedResponseError,
+    "ServerClosedError": ServerClosedError,
+    "RequestShedError": RequestShedError,
+    "InjectedFault": faults.InjectedFault,
+}
+
+
+def _decode_error(encoded):
+    """Rebuild a typed exception from its ``(class name, message)`` wire
+    form; unknown classes come back as RuntimeError with the name kept."""
+    if encoded is None:
+        return None
+    name, message = encoded
+    exc_type = _ERROR_TYPES.get(name)
+    if exc_type is not None:
+        return exc_type(message)
+    return RuntimeError(f"{name}: {message}")
+
+
+def _fleet_worker_main(conn, index, registry_root, dbs, config,
+                       fault_schedule):
+    """Worker process entry point: a serving core fed by the pipe.
+
+    Hydrates its models through the registry's mmap path (shared page
+    cache), coalesces pipe-delivered requests into micro-batches with the
+    same deadline/size trigger as the thread server, and ships results
+    back in batches.  Exits on ``stop``, pipe EOF, or parent death (the
+    process is a daemon).
+    """
+    if fault_schedule is not None:
+        faults.install(fault_schedule)
+    registry = ModelRegistry(registry_root)
+    core = ServingCore(registry, dbs, config=config, mmap=True)
+    plans = OrderedDict()          # token -> plan (mirror of router table)
+    control = deque()              # control messages pulled mid-drain
+    max_delay_s = config.max_delay_ms / 1e3
+
+    def answer_stats():
+        try:
+            conn.send(("stats", core.stats()))
+        except OSError:
+            pass
+
+    while True:
+        if control:
+            message = control.popleft()
+        else:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+        kind = message[0]
+        if kind == "stop":
+            answer_stats()  # final counters for post-shutdown stats()
+            return
+        if kind == "refresh":
+            registry.refresh()
+            core.resolve_routes()
+            continue
+        if kind == "stats_req":
+            answer_stats()
+            continue
+        # kind == "req": coalesce a micro-batch (deadline/size trigger).
+        batch = [message]
+        deadline = time.perf_counter() + max_delay_s
+        while len(batch) < config.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                if not conn.poll(remaining):
+                    break
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "req":
+                batch.append(message)
+            else:
+                control.append(message)
+                if message[0] == "stop":
+                    break  # serve what we have, then exit via control
+        requests, req_ids = [], []
+        for _, req_id, db_name, token, payload, submitted_at in batch:
+            if payload is not None:
+                plans[token] = payload
+                while len(plans) > _TOKEN_LRU_BOUND:
+                    plans.popitem(last=False)
+            else:
+                plans.move_to_end(token)
+            request = PredictionRequest(db_name, plans[token])
+            # The router's submit timestamp: deadlines and latency count
+            # pipe time (perf_counter is system-wide on this platform).
+            request.submitted_at = submitted_at
+            requests.append(request)
+            req_ids.append(req_id)
+        core.process_batch(requests)
+        results = []
+        for req_id, request in zip(req_ids, requests):
+            error = None
+            if request.error is not None:
+                error = (type(request.error).__name__, str(request.error))
+            results.append((req_id, request.status.value, request.value,
+                            error, request.served_by, request.retries))
+        try:
+            conn.send(("res", results))
+        except OSError:
+            return  # router gone; daemon exit
+
+
+class _WorkerSlot:
+    """Router-side state for one worker: pipe, pending map, plan tokens."""
+
+    __slots__ = ("index", "wp", "pending", "tokens", "next_token",
+                 "send_lock", "epoch", "closing", "last_stats",
+                 "stats_event")
+
+    def __init__(self, index, wp):
+        self.index = index
+        self.wp = wp
+        self.pending = OrderedDict()   # req_id -> (request, digest)
+        self.tokens = OrderedDict()    # plan digest -> token (mirrored LRU)
+        self.next_token = 0
+        self.send_lock = threading.Lock()  # token table + wire order
+        self.epoch = 0                 # bumped per restart
+        self.closing = False
+        self.last_stats = None
+        self.stats_event = threading.Event()
+
+    def token_for(self, digest, plan):
+        """Token + payload for one request (caller holds ``send_lock``).
+
+        Returns ``(token, plan)`` the first time a plan crosses this pipe
+        and ``(token, None)`` afterwards; the insert/touch/evict sequence
+        is exactly what the worker applies on receipt, so both tables stay
+        mirrored.
+        """
+        token = self.tokens.get(digest)
+        if token is not None:
+            self.tokens.move_to_end(digest)
+            return token, None
+        token = self.next_token
+        self.next_token += 1
+        self.tokens[digest] = token
+        while len(self.tokens) > _TOKEN_LRU_BOUND:
+            self.tokens.popitem(last=False)
+        return token, plan
+
+    def send(self, req_id, db_name, digest, plan, submitted_at):
+        """Encode and send one request (token assignment + send atomic)."""
+        with self.send_lock:
+            token, payload = self.token_for(digest, plan)
+            try:
+                self.wp.conn.send(("req", req_id, db_name, token, payload,
+                                   submitted_at))
+            except (OSError, BrokenPipeError):
+                # Worker died under us: the request is registered in
+                # `pending`, so the supervisor's restart will re-send it.
+                pass
+
+
+class PredictorFleet:
+    """Multi-process prediction service: router + forked worker pool.
+
+    Drop-in for :class:`~repro.serving.server.PredictorServer` where it
+    counts: ``submit`` / ``submit_many`` / ``predict`` / ``stats`` /
+    context-manager lifecycle all match, so the load harness and the
+    benchmarks drive either transparently.
+
+    ::
+
+        registry = ModelRegistry(root)
+        registry.publish("zs", model, dbs=[db], default=True)
+        with PredictorFleet(registry, {"imdb": db}, n_workers=4) as fleet:
+            runtime_ms = fleet.submit(plan, "imdb").result()
+
+    ``registry`` may be a :class:`~repro.serving.registry.ModelRegistry`
+    or a store path.  Workers fork at :meth:`start`: they inherit ``dbs``
+    copy-on-write and hydrate checkpoints from the registry's *on-disk*
+    state via mmap — publish before starting the fleet, and call
+    :meth:`refresh` after out-of-band registry changes.
+
+    ``fault_schedule`` installs a deterministic
+    :class:`~repro.robustness.faults.FaultSchedule` inside every worker at
+    startup (each worker owns independent seeded streams), for chaos tests
+    of the fleet path.
+    """
+
+    def __init__(self, registry, dbs, config=None, n_workers=2,
+                 spill_threshold=16, fault_schedule=None):
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.n_workers = max(1, int(n_workers))
+        self.spill_threshold = max(1, int(spill_threshold))
+        self._fault_schedule = fault_schedule
+        self._dbs = dict(dbs)
+        self._db_digests = {name: database_digest(db).hex()
+                            for name, db in self._dbs.items()}
+        self._db_fingerprints = {name: db.fingerprint()
+                                 for name, db in self._dbs.items()}
+        # Shard preference: database fingerprint -> worker index.
+        self._preferred = {name: int(digest[:8], 16) % self.n_workers
+                           for name, digest in self._db_digests.items()}
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._all_drained = threading.Condition(self._lock)
+        self._digest_memo = OrderedDict()
+        self._counts = Counter()
+        self._outstanding = 0
+        self._queue_high_water = 0
+        self._req_seq = 0
+        self._slots = []
+        self._running = False
+        self._accepting = False
+        self._seen_generation = registry.generation
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._running:
+            raise RuntimeError("fleet already started")
+        registry_root = str(self.registry.store.root)
+        self._slots = []
+        for index in range(self.n_workers):
+            wp = WorkerProcess(
+                _fleet_worker_main,
+                args=(index, registry_root, self._dbs, self.config,
+                      self._fault_schedule),
+                name=f"repro-fleet-{index}")
+            wp.start()
+            perfstats.increment("fleet.worker.spawn")
+            self._slots.append(_WorkerSlot(index, wp))
+        self._running = True
+        self._accepting = True
+        for slot in self._slots:
+            self._spawn_collector(slot)
+        return self
+
+    def close(self, drain=True):
+        """Stop the fleet; every pending handle resolves, none hangs.
+
+        ``drain=True`` waits for all outstanding requests to complete
+        first; ``drain=False`` fails them immediately with a typed
+        :class:`ServerClosedError`.
+        """
+        with self._lock:
+            if not self._running:
+                return
+            self._accepting = False
+            if drain:
+                while self._outstanding > 0:
+                    self._all_drained.wait(0.1)
+            dropped = []
+            if not drain:
+                for slot in self._slots:
+                    dropped.extend(request for request, _
+                                   in slot.pending.values())
+                    slot.pending.clear()
+                self._outstanding = 0
+                self._counts["failed"] += len(dropped)
+            self._running = False
+            for slot in self._slots:
+                slot.closing = True
+            self._not_full.notify_all()
+            self._all_drained.notify_all()
+        error = ServerClosedError("fleet stopped without draining")
+        for request in dropped:
+            request._finish(RequestStatus.FAILED, error=error)
+        for slot in self._slots:
+            with slot.send_lock:
+                try:
+                    slot.wp.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+        # Workers answer "stop" with their final stats before exiting;
+        # collectors stash them for post-shutdown stats().
+        for slot in self._slots:
+            if slot.wp.process is not None:
+                slot.wp.process.join(timeout=5.0)
+            slot.wp.stop()
+
+    def stop(self, drain=True):
+        """Alias for :meth:`close` (PredictorServer parity)."""
+        self.close(drain=drain)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Client API (PredictorServer-compatible)
+    # ------------------------------------------------------------------
+    def submit(self, plan, db_name, block=False, timeout=None):
+        """Submit one plan; returns a :class:`PredictionRequest` handle.
+
+        Admission control is fleet-wide: more than ``queue_depth``
+        outstanding requests shed (``block=True`` waits for space
+        instead).  The request is routed to its database's preferred
+        shard, spilling to the least-loaded worker when the shard is hot.
+        """
+        if db_name not in self._dbs:
+            raise KeyError(f"database {db_name!r} is not registered with "
+                           "this fleet")
+        self._maybe_swap()
+        request = PredictionRequest(db_name, plan)
+        digest = self._plan_digest(db_name, plan)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._lock:
+            self._counts["requests"] += 1
+            while (self._accepting
+                   and self._outstanding >= self.config.queue_depth):
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if (not block
+                        or (remaining is not None and remaining <= 0)
+                        or not self._not_full.wait(remaining)):
+                    break
+            if (not self._accepting
+                    or self._outstanding >= self.config.queue_depth):
+                self._counts["shed"] += 1
+                perfstats.increment("serve.shed.count")
+                request._finish(RequestStatus.SHED)
+                return request
+            req_id = self._req_seq
+            self._req_seq += 1
+            slot = self._route_locked(db_name)
+            slot.pending[req_id] = (request, digest)
+            self._outstanding += 1
+            if self._outstanding > self._queue_high_water:
+                perfstats.increment(
+                    "fleet.queue.depth",
+                    self._outstanding - self._queue_high_water)
+                self._queue_high_water = self._outstanding
+        slot.send(req_id, db_name, digest, plan, request.submitted_at)
+        return request
+
+    def submit_many(self, plans, db_name, block=False, timeout=None):
+        return [self.submit(plan, db_name, block=block, timeout=timeout)
+                for plan in plans]
+
+    def predict(self, plans, db_name, timeout=None, allow_degraded=False):
+        """Blocking bulk prediction (backpressure, never sheds)."""
+        requests = self.submit_many(plans, db_name, block=True,
+                                    timeout=timeout)
+        values = [request.result(timeout) for request in requests]
+        if not allow_degraded:
+            degraded = sum(request.degraded for request in requests)
+            if degraded:
+                raise DegradedResponseError(
+                    f"{degraded}/{len(requests)} predictions came from the "
+                    "analytical fallback; pass allow_degraded=True to "
+                    "accept flagged degraded values")
+        return np.array(values)
+
+    def refresh(self):
+        """Re-read the registry from disk and rebroadcast to all workers."""
+        self.registry.refresh()
+        self._maybe_swap()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route_locked(self, db_name):
+        """Preferred shard by database fingerprint, least-loaded spill."""
+        preferred = self._slots[self._preferred[db_name]]
+        if len(preferred.pending) < self.spill_threshold:
+            perfstats.increment("fleet.route.hit")
+            return preferred
+        chosen = min(self._slots, key=lambda slot: len(slot.pending))
+        if chosen is preferred:
+            perfstats.increment("fleet.route.hit")
+        else:
+            perfstats.increment("fleet.route.rebalance")
+            self._counts["spills"] += 1
+        return chosen
+
+    def _maybe_swap(self):
+        with self._lock:
+            generation = self.registry.generation
+            if generation == self._seen_generation:
+                return
+            self._seen_generation = generation
+            slots = list(self._slots)
+        perfstats.increment("fleet.route.rebalance")
+        for slot in slots:
+            with slot.send_lock:
+                try:
+                    slot.wp.conn.send(("refresh",))
+                except (OSError, BrokenPipeError):
+                    pass  # a restarted worker re-reads the disk state anyway
+
+    def _plan_digest(self, db_name, plan):
+        """Memoized plan content fingerprint (the sharding + token key)."""
+        memo_key = (id(plan), db_name)
+        with self._lock:
+            entry = self._digest_memo.get(memo_key)
+            if entry is not None and entry[0] is plan:
+                return entry[1]
+        digest = plan_fingerprint(
+            self._dbs[db_name], plan, self.config.cards,
+            db_fingerprint=self._db_fingerprints[db_name])
+        with self._lock:
+            self._digest_memo[memo_key] = (plan, digest)
+            while len(self._digest_memo) > 4 * max(
+                    self.config.result_cache_size, 1024):
+                self._digest_memo.popitem(last=False)
+        return digest
+
+    # ------------------------------------------------------------------
+    # Collection + supervision
+    # ------------------------------------------------------------------
+    def _spawn_collector(self, slot):
+        thread = threading.Thread(
+            target=self._collect, args=(slot, slot.epoch),
+            name=f"repro-fleet-collect-{slot.index}", daemon=True)
+        thread.start()
+
+    def _collect(self, slot, epoch):
+        conn = slot.wp.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "res":
+                self._on_results(slot, message[1])
+            elif message[0] == "stats":
+                slot.last_stats = message[1]
+                slot.stats_event.set()
+        self._on_worker_exit(slot, epoch)
+
+    def _on_results(self, slot, results):
+        finished = []
+        with self._lock:
+            for result in results:
+                entry = slot.pending.pop(result[0], None)
+                if entry is None:
+                    # Result for a request the supervisor re-sent (the
+                    # original answer raced the worker's death) — its
+                    # handle already completed exactly once.
+                    continue
+                finished.append((entry[0], result))
+            self._outstanding -= len(finished)
+            if finished:
+                self._not_full.notify_all()
+                if self._outstanding == 0:
+                    self._all_drained.notify_all()
+        for request, result in finished:
+            _, status, value, error, served_by, retries = result
+            request.retries = retries
+            request._finish(RequestStatus(status), value=value,
+                            error=_decode_error(error), served_by=served_by)
+
+    def _on_worker_exit(self, slot, epoch):
+        """Supervision: restart a dead worker, re-send unanswered requests.
+
+        Every request whose result was not received goes to the
+        replacement worker exactly once (results are popped from
+        ``pending`` on receipt, so nothing completed is re-sent, and a
+        duplicate answer from a raced in-flight result is dropped by the
+        pop).  A collector observing a normal shutdown, or a stale epoch
+        (the slot was already restarted), does nothing.
+        """
+        with self._lock:
+            if not self._running or slot.closing or slot.epoch != epoch:
+                return
+            slot.epoch += 1
+            perfstats.increment("fleet.worker.restart")
+            self._counts["worker_restarts"] += 1
+            resend = list(slot.pending.items())
+            self._counts["requeued"] += len(resend)
+            perfstats.increment("serve.fault.requeued", len(resend))
+            with slot.send_lock:
+                slot.wp.restart()
+                slot.tokens.clear()
+                slot.next_token = 0
+                for req_id, (request, digest) in resend:
+                    token, payload = slot.token_for(digest, request.plan)
+                    try:
+                        slot.wp.conn.send(
+                            ("req", req_id, request.db_name, token,
+                             payload, request.submitted_at))
+                    except (OSError, BrokenPipeError):
+                        break  # died again; the next collector restarts
+            self._spawn_collector(slot)
+
+    def kill_worker(self, index):
+        """Test hook: SIGKILL one worker process (the supervisor restarts
+        it and re-sends its unanswered requests).  Returns the pid."""
+        process = self._slots[index].wp.process
+        if process is None or not process.is_alive():
+            return None
+        pid = process.pid
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def worker_pids(self):
+        return [slot.wp.process.pid if slot.wp.process is not None else None
+                for slot in self._slots]
+
+    def _collect_worker_stats(self):
+        """Latest per-worker core stats (live query; cached after stop)."""
+        pending_reply = []
+        for slot in self._slots:
+            if not (self._running and slot.wp.alive):
+                continue
+            slot.stats_event.clear()
+            with slot.send_lock:
+                try:
+                    slot.wp.conn.send(("stats_req",))
+                except (OSError, BrokenPipeError):
+                    continue
+            pending_reply.append(slot)
+        for slot in pending_reply:
+            slot.stats_event.wait(5.0)
+        return [slot.last_stats for slot in self._slots]
+
+    def stats(self):
+        """Fleet-wide counters in the :meth:`PredictorServer.stats` shape,
+        plus fleet extras (worker/restart/spill counts, per-worker rows)."""
+        worker_stats = self._collect_worker_stats()
+        summed = Counter()
+        hist = Counter()
+        breakers = {}
+        cache_entries = 0
+        for index, stats in enumerate(worker_stats):
+            if not stats:
+                continue
+            for key in ("completed", "cached", "degraded", "failed",
+                        "swaps", "retries", "bisects", "batcher_crashes",
+                        "deadline_expired", "hydrate_failures"):
+                summed[key] += stats[key]
+            for size, count in stats["batch_size_hist"].items():
+                hist[int(size)] += count
+            for key, state in stats["breakers"].items():
+                breakers[f"w{index}:{key}"] = state
+            cache_entries += stats["result_cache_entries"]
+        batches = sum(hist.values())
+        sizes = sum(size * count for size, count in hist.items())
+        with self._lock:
+            counts = Counter(self._counts)
+            queue_high_water = self._queue_high_water
+            outstanding = self._outstanding
+        return {
+            "requests": counts["requests"],
+            "completed": summed["completed"],
+            "cached": summed["cached"],
+            "degraded": summed["degraded"],
+            "shed": counts["shed"],
+            "failed": summed["failed"] + counts["failed"],
+            "swaps": summed["swaps"],
+            "retries": summed["retries"],
+            "bisects": summed["bisects"],
+            "batcher_crashes": summed["batcher_crashes"],
+            "requeued": counts["requeued"],
+            "deadline_expired": summed["deadline_expired"],
+            "hydrate_failures": summed["hydrate_failures"],
+            "batches": batches,
+            "batch_size_hist": dict(sorted(hist.items())),
+            "mean_batch_size": (sizes / batches) if batches else 0.0,
+            "queue_high_water": queue_high_water,
+            "result_cache_entries": cache_entries,
+            "breakers": breakers,
+            "workers": self.n_workers,
+            "worker_restarts": counts["worker_restarts"],
+            "spills": counts["spills"],
+            "outstanding": outstanding,
+            "worker_stats": worker_stats,
+        }
+
+    def __repr__(self):
+        return (f"PredictorFleet(dbs={sorted(self._dbs)}, "
+                f"workers={self.n_workers}, running={self._running})")

@@ -1,8 +1,13 @@
-"""Seeded open-loop load generator for the predictor server.
+"""Seeded open-loop load generator for the predictor server and fleet.
 
-Drives a :class:`~repro.serving.PredictorServer` with concurrent client
-threads and measures what "How Good are Learned Cost Models, Really?"
-argues offline Q-error misses: prediction *latency under load*.
+Drives a :class:`~repro.serving.PredictorServer` — or a
+:class:`~repro.serving.PredictorFleet`, whose ``submit``/``stats`` surface
+is identical — with concurrent client threads and measures what "How Good
+are Learned Cost Models, Really?" argues offline Q-error misses:
+prediction *latency under load*.  :func:`skewed_requests` builds the
+hot-database mixes the fleet's sharding experiments use, and every report
+carries a per-database latency/degraded breakdown (``latency_by_db``) so
+hot-shard tails are visible directly.
 
 Open-loop means arrivals follow a seeded schedule (Poisson by default)
 regardless of completions — the standard way to expose queueing delay: a
@@ -42,7 +47,32 @@ import numpy as np
 from ..robustness import faults as fault_plane
 from .server import RequestStatus
 
-__all__ = ["LoadConfig", "LoadReport", "run_load"]
+__all__ = ["LoadConfig", "LoadReport", "run_load", "skewed_requests"]
+
+
+def skewed_requests(requests_by_db, weights, n, seed=0):
+    """A seeded hot-database request mix for fleet skew experiments.
+
+    ``requests_by_db`` maps database names to lists of ``(db_name, plan)``
+    pairs; ``weights`` maps the same names to relative arrival weights
+    (e.g. ``{"hot": 0.9, "cold": 0.1}``).  Returns ``n`` requests drawn
+    with replacement on the weighted mix, interleaved in one seeded
+    arrival order — what a hot shard sees in production, and what the
+    fleet's per-database latency breakdown is for.
+    """
+    names = sorted(requests_by_db)
+    probabilities = np.array([float(weights[name]) for name in names])
+    probabilities = probabilities / probabilities.sum()
+    rng = np.random.default_rng(seed)
+    choices = rng.choice(len(names), size=n, p=probabilities)
+    positions = {name: 0 for name in names}
+    mix = []
+    for choice in choices:
+        name = names[choice]
+        pool = requests_by_db[name]
+        mix.append(pool[positions[name] % len(pool)])
+        positions[name] += 1
+    return mix
 
 
 @dataclass(frozen=True)
@@ -71,6 +101,7 @@ class LoadReport:
     duration_s: float   # first submit -> last completion
     throughput_rps: float
     latency_ms: dict = field(default_factory=dict)  # p50/p95/p99/mean/max
+    latency_by_db: dict = field(default_factory=dict)  # db -> percentiles
     batch_size_hist: dict = field(default_factory=dict)
     mean_batch_size: float = 0.0
     server_stats: dict = field(default_factory=dict)
@@ -86,10 +117,22 @@ class LoadReport:
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput_rps,
             "latency_ms": dict(self.latency_ms),
+            "latency_by_db": {name: dict(summary) for name, summary
+                              in self.latency_by_db.items()},
             "batch_size_hist": dict(self.batch_size_hist),
             "mean_batch_size": self.mean_batch_size,
             "fault_stats": dict(self.fault_stats),
         }
+
+
+def _latency_summary(latencies):
+    """p50/p95/p99/mean/max over a latency list; empty dict when empty."""
+    if not latencies:
+        return {}
+    values = np.asarray(latencies)
+    p50, p95, p99 = np.percentile(values, [50, 95, 99])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99),
+            "mean": float(values.mean()), "max": float(values.max())}
 
 
 def _arrival_offsets(n, rate_per_s, rng):
@@ -161,25 +204,36 @@ def run_load(server, requests, config=None):
 
     by_status = {status: 0 for status in RequestStatus}
     latencies = []
+    per_db = {}  # db -> {"latencies": [...], "degraded": int, "requests": int}
     first_submit, last_complete = np.inf, -np.inf
     delivered_statuses = (RequestStatus.DONE, RequestStatus.CACHED,
                           RequestStatus.DEGRADED)
     for handle in flat:
         by_status[handle.status] += 1
         first_submit = min(first_submit, handle.submitted_at)
+        bucket = per_db.setdefault(handle.db_name,
+                                   {"latencies": [], "degraded": 0,
+                                    "requests": 0})
+        bucket["requests"] += 1
+        if handle.status is RequestStatus.DEGRADED:
+            bucket["degraded"] += 1
         if handle.status in delivered_statuses:
             latencies.append(handle.latency_ms)
+            bucket["latencies"].append(handle.latency_ms)
             last_complete = max(last_complete, handle.completed_at)
     served = sum(by_status[status] for status in delivered_statuses)
     duration = max(last_complete - first_submit, 0.0) if served else 0.0
-    latency_summary = {}
-    if latencies:
-        values = np.asarray(latencies)
-        p50, p95, p99 = np.percentile(values, [50, 95, 99])
-        latency_summary = {"p50": float(p50), "p95": float(p95),
-                           "p99": float(p99),
-                           "mean": float(values.mean()),
-                           "max": float(values.max())}
+    latency_summary = _latency_summary(latencies)
+    # Per-database breakdown: the hot-shard tails the fleet benchmarks
+    # watch, plus how often each database fell back to the analytical model.
+    latency_by_db = {}
+    for db_name in sorted(per_db):
+        bucket = per_db[db_name]
+        summary = _latency_summary(bucket["latencies"])
+        summary["requests"] = bucket["requests"]
+        summary["delivered"] = len(bucket["latencies"])
+        summary["degraded"] = bucket["degraded"]
+        latency_by_db[db_name] = summary
     stats = server.stats()
     return LoadReport(
         n_requests=len(flat),
@@ -193,6 +247,7 @@ def run_load(server, requests, config=None):
         duration_s=duration,
         throughput_rps=(served / duration) if duration > 0 else 0.0,
         latency_ms=latency_summary,
+        latency_by_db=latency_by_db,
         batch_size_hist=stats["batch_size_hist"],
         mean_batch_size=stats["mean_batch_size"],
         server_stats=stats,

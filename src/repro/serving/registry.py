@@ -47,14 +47,21 @@ Perfstats: ``serve.registry.publish`` / ``.promote`` / ``.rollback`` /
 
 from __future__ import annotations
 
+import io
+import json
+import os
+import shutil
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 from .. import perfstats
 from ..bench.store import ArtifactStore
 from ..core.api import ZeroShotCostModel
 from ..featurization import database_digest
+from ..nn.serialize import load_state
 from ..robustness import faults
 
 __all__ = ["ModelRegistry", "ModelDeployment", "RoutingError",
@@ -276,27 +283,55 @@ class ModelRegistry:
         entry, re-resolves the manifest to the previous good version (see
         :meth:`quarantine_version`) and raises :class:`HydrationError`.
         """
-        if deployment is None:
-            name = name or self._default
-            if name is None:
-                raise ValueError("registry has no default model")
-            if version is None:
-                deployment = self.active(name)
-                if deployment is None:
-                    raise ValueError(f"{name!r} has no active version")
-            else:
-                manifest = self._manifest(name)
-                if not 1 <= version <= len(manifest["versions"]):
-                    raise ValueError(f"{name!r} has no version {version}")
-                deployment = ModelDeployment.from_dict(
-                    manifest["versions"][version - 1])
+        deployment = self._resolve_deployment(name, version, deployment)
+        return self._load_cached(deployment, self._hydrate, key_prefix=None)
+
+    def load_mmap(self, name=None, version=None, deployment=None):
+        """Like :meth:`load`, but hydrate via memory-mapped arrays.
+
+        The checkpoint's ``.npz`` members are materialized once (per
+        content address) as per-array ``.npy`` files on disk — see
+        :meth:`materialize_checkpoint` — and every parameter and scaler
+        array is then a read-only ``np.load(mmap_mode="r")`` view of those
+        files.  Any number of processes serving the same checkpoint share
+        one page-cache copy instead of each deserializing its own; this is
+        how the serving fleet's forked workers hydrate.
+
+        The content address is verified exactly as in :meth:`load` (the
+        mapped model's :meth:`~repro.core.ZeroShotCostModel.state_digest`
+        must equal the checkpoint key), with the same quarantine +
+        :class:`HydrationError` behavior on damage.  Models returned here
+        are inference-only: their parameters are not writable.
+        """
+        deployment = self._resolve_deployment(name, version, deployment)
+        return self._load_cached(deployment, self._hydrate_mmap,
+                                 key_prefix="mmap")
+
+    def _resolve_deployment(self, name, version, deployment):
+        if deployment is not None:
+            return deployment
+        name = name or self._default
+        if name is None:
+            raise ValueError("registry has no default model")
+        if version is None:
+            deployment = self.active(name)
+            if deployment is None:
+                raise ValueError(f"{name!r} has no active version")
+            return deployment
+        manifest = self._manifest(name)
+        if not 1 <= version <= len(manifest["versions"]):
+            raise ValueError(f"{name!r} has no version {version}")
+        return ModelDeployment.from_dict(manifest["versions"][version - 1])
+
+    def _load_cached(self, deployment, hydrate, key_prefix):
         key = deployment.checkpoint_key
+        cache_key = key if key_prefix is None else (key_prefix, key)
         with self._lock:
-            model = self._loaded.get(key)
+            model = self._loaded.get(cache_key)
             if model is not None:
-                self._loaded.move_to_end(key)
+                self._loaded.move_to_end(cache_key)
                 return model
-        model, failure = self._hydrate(key)
+        model, failure = hydrate(key)
         if model is None:
             self.quarantine_version(deployment.name, deployment.version,
                                     reason=failure)
@@ -305,7 +340,7 @@ class ModelRegistry:
                 f"v{deployment.version} failed to hydrate ({failure}); "
                 "entry quarantined, manifest re-resolved")
         with self._lock:
-            self._loaded[key] = model
+            self._loaded[cache_key] = model
             self._trim_loaded()
         return model
 
@@ -320,6 +355,81 @@ class ModelRegistry:
                                      keys=(key,))
             model = ZeroShotCostModel.from_bytes(payload)
         except Exception:  # torn/corrupt checkpoint bytes
+            return None, "missing-or-corrupt"
+        if model.state_digest() != key:
+            return None, "digest-mismatch"
+        return model, None
+
+    # ------------------------------------------------------------------
+    # mmap hydration (the fleet's shared-checkpoint path)
+    # ------------------------------------------------------------------
+    def mmap_dir(self, key):
+        """Where a checkpoint's materialized ``.npy`` arrays live."""
+        return self.store.root / "mmap" / key
+
+    def materialize_checkpoint(self, key):
+        """Extract a checkpoint's arrays to per-array ``.npy`` files.
+
+        ``np.load(mmap_mode="r")`` cannot memory-map members *inside* an
+        ``.npz`` zip container (they are decompressed/copied), so the mmap
+        path materializes each array as its own ``.npy`` file under
+        ``<store>/mmap/<content-key>/`` plus a ``manifest.json`` naming
+        them.  The extraction is atomic: arrays are written into a private
+        temp directory and the whole directory is renamed into place, so a
+        concurrent reader sees either nothing or a complete extraction —
+        never a torn one.  Losing the rename race to another process is
+        fine: the loser discards its temp directory and uses the winner's
+        (both extracted identical content-addressed bytes).
+
+        Returns the directory path, or ``None`` when the payload is
+        missing or unreadable.  Idempotent and safe to call from any
+        number of processes concurrently.
+        """
+        target = self.mmap_dir(key)
+        if (target / "manifest.json").exists():
+            return target
+        payload = self.store.load(_DEPLOY_KIND, key, on_corrupt="quarantine")
+        if payload is None:
+            return None
+        try:
+            payload = faults.corrupt("registry.hydrate", payload,
+                                     keys=(key,))
+            state, metadata = load_state(io.BytesIO(payload))
+        except Exception:  # torn/corrupt checkpoint bytes
+            return None
+        tmp = target.parent / f".tmp-{key}-{os.getpid()}"
+        shutil.rmtree(tmp, ignore_errors=True)
+        tmp.mkdir(parents=True)
+        names = sorted(state)
+        for index, name in enumerate(names):
+            np.save(tmp / f"arr{index:04d}.npy", np.asarray(state[name]))
+        with open(tmp / "manifest.json", "w") as fh:
+            json.dump({"names": names, "metadata": metadata}, fh)
+        try:
+            os.rename(tmp, target)
+        except OSError:
+            # Another process renamed its extraction first; use theirs.
+            shutil.rmtree(tmp, ignore_errors=True)
+        return target
+
+    def _hydrate_mmap(self, key):
+        """Materialize + map + verify one checkpoint: ``(model, None)`` or
+        ``(None, failure_code)``.  Never raises for damaged payloads."""
+        try:
+            root = self.materialize_checkpoint(key)
+        except Exception:
+            return None, "missing-or-corrupt"
+        if root is None:
+            return None, "missing-or-corrupt"
+        try:
+            with open(root / "manifest.json") as fh:
+                manifest = json.load(fh)
+            state = {name: np.load(root / f"arr{index:04d}.npy",
+                                   mmap_mode="r", allow_pickle=False)
+                     for index, name in enumerate(manifest["names"])}
+            model = ZeroShotCostModel.from_state(state, manifest["metadata"],
+                                                 copy=False)
+        except Exception:  # torn/unreadable extraction
             return None, "missing-or-corrupt"
         if model.state_digest() != key:
             return None, "digest-mismatch"
@@ -384,6 +494,10 @@ class ModelRegistry:
             bad_key = manifest["versions"][version - 1]["checkpoint_key"]
             self.store.quarantine(_DEPLOY_KIND, bad_key)
             self._loaded.pop(bad_key, None)
+            self._loaded.pop(("mmap", bad_key), None)
+            # The extraction is derived data; the payload itself is what
+            # gets preserved in quarantine.
+            shutil.rmtree(self.mmap_dir(bad_key), ignore_errors=True)
             if manifest["active"] == version:
                 manifest["active"] = self._previous_good(manifest, bad_key)
             self._write_manifest(name, manifest)

@@ -13,6 +13,12 @@ since the fleet is only as deployable as its worst failure mode, explicit
 handling for everything the fault plane (:mod:`repro.robustness.faults`)
 can throw.
 
+The request/route/cache/hardening logic lives in the transport-agnostic
+:class:`~repro.serving.core.ServingCore`; this module owns only the thread
+transport around it (bounded queue, deadline/size trigger, supervised
+batcher thread).  :mod:`repro.serving.fleet` drives the same core from
+forked worker processes.
+
 Guarantees:
 
 * **Bit-identical predictions** — for any request mix, the value a ``DONE``
@@ -75,196 +81,22 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, OrderedDict, deque, namedtuple
-from dataclasses import dataclass
-from enum import Enum
+from collections import deque
 
 import numpy as np
 
 from .. import perfstats
-from ..core.api import EstimatorCache, featurize_records
-from ..core.training import predict_runtimes
-from ..featurization import (BatchCache, FeaturizationCache, database_digest,
-                             plan_fingerprint)
-from ..optimizer.cost_model import AnalyticalCostModel
 from ..robustness import faults
+from .core import (DeadlineExceededError, DegradedResponseError,
+                   PredictionRequest, RequestShedError, RequestStatus,
+                   ServerClosedError, ServerConfig, ServingCore,
+                   ServingRecord)
 from .registry import RoutingError
 
 __all__ = ["PredictorServer", "ServerConfig", "PredictionRequest",
            "RequestStatus", "RequestShedError", "RoutingError",
            "DeadlineExceededError", "DegradedResponseError",
            "ServerClosedError", "ServingRecord"]
-
-# The unit of serving work: featurize_records only reads .db_name and .plan,
-# so this lightweight record stands in for an executed TraceRecord.
-ServingRecord = namedtuple("ServingRecord", ["db_name", "plan"])
-
-
-class RequestStatus(Enum):
-    PENDING = "pending"
-    DONE = "done"        # predicted by a micro-batch
-    CACHED = "cached"    # answered from the result cache
-    DEGRADED = "degraded"  # answered by the analytical fallback (flagged)
-    SHED = "shed"        # rejected by admission control
-    FAILED = "failed"    # routing/featurization/prediction/deadline error
-
-
-class RequestShedError(RuntimeError):
-    """The bounded queue was full and the request was shed."""
-
-
-class DeadlineExceededError(RuntimeError):
-    """The request exceeded its per-request deadline before completing."""
-
-
-class DegradedResponseError(RuntimeError):
-    """A blocking ``predict`` received a DEGRADED (analytical-fallback)
-    response and the caller did not opt in with ``allow_degraded=True``."""
-
-
-class ServerClosedError(RuntimeError):
-    """The server was stopped without draining; the request was dropped."""
-
-
-class PredictionRequest:
-    """Client-side handle for one submitted plan."""
-
-    __slots__ = ("db_name", "plan", "status", "value", "error", "served_by",
-                 "submitted_at", "completed_at", "retries", "_event")
-
-    def __init__(self, db_name, plan):
-        self.db_name = db_name
-        self.plan = plan
-        self.status = RequestStatus.PENDING
-        self.value = None
-        self.error = None
-        self.served_by = None  # (model name, version) that produced value
-        self.submitted_at = time.perf_counter()
-        self.completed_at = None
-        self.retries = 0
-        self._event = threading.Event()
-
-    # -- completion (server side) --------------------------------------
-    def _finish(self, status, value=None, error=None, served_by=None):
-        self.value = value
-        self.error = error
-        self.served_by = served_by
-        self.completed_at = time.perf_counter()
-        self.status = status
-        self._event.set()
-
-    # -- client side ----------------------------------------------------
-    def done(self):
-        return self._event.is_set()
-
-    @property
-    def degraded(self):
-        """True when the value came from the analytical fallback."""
-        return self.status is RequestStatus.DEGRADED
-
-    def wait(self, timeout=None):
-        return self._event.wait(timeout)
-
-    def result(self, timeout=None):
-        """The predicted runtime (ms); raises for shed/failed requests.
-
-        A ``DEGRADED`` request returns its analytical-fallback value — the
-        :attr:`status` / :attr:`degraded` flag is the explicit marker that
-        the value did not come from the learned model.
-        """
-        if not self._event.wait(timeout):
-            raise TimeoutError("prediction still pending")
-        if self.status is RequestStatus.SHED:
-            raise RequestShedError(
-                f"request for {self.db_name!r} was shed (queue full)")
-        if self.status is RequestStatus.FAILED:
-            raise self.error
-        return self.value
-
-    @property
-    def latency_ms(self):
-        if self.completed_at is None:
-            return None
-        return (self.completed_at - self.submitted_at) * 1e3
-
-    def __repr__(self):
-        return (f"PredictionRequest({self.db_name!r}, "
-                f"status={self.status.value})")
-
-
-@dataclass(frozen=True)
-class ServerConfig:
-    """Micro-batching, admission-control, routing and robustness knobs."""
-
-    max_batch_size: int = 64     # size trigger: dispatch when this many queue
-    max_delay_ms: float = 2.0    # deadline trigger: oldest request's max wait
-    queue_depth: int = 1024      # admission control: shed beyond this
-    result_cache_size: int = 4096  # 0 disables the result cache
-    predict_batch_size: int = 256  # inference chunking inside one batch
-    cards: str = "exact"         # cardinality source for featurization
-    model_name: str | None = None  # pin every database to one model name
-    # -- robustness ----------------------------------------------------
-    request_timeout_ms: float | None = None  # per-request deadline (age cap)
-    max_retries: int = 2         # extra model-path attempts per group
-    retry_backoff_ms: float = 1.0  # backoff base; doubles per retry
-    breaker_threshold: int = 3   # consecutive failures that open the breaker
-    breaker_reset_ms: float = 50.0  # open -> half-open probe delay
-    degraded_fallback: bool = True  # serve analytical predictions when open
-
-
-class _Route:
-    """A database's resolved deployment with the loaded model."""
-
-    __slots__ = ("deployment", "model")
-
-    def __init__(self, deployment, model):
-        self.deployment = deployment
-        self.model = model
-
-    @property
-    def checkpoint_key(self):
-        return self.deployment.checkpoint_key
-
-    @property
-    def served_by(self):
-        return (self.deployment.name, self.deployment.version)
-
-
-class _Breaker:
-    """Per-deployment circuit breaker (batcher-thread state only)."""
-
-    __slots__ = ("state", "failures", "opened_at")
-
-    def __init__(self):
-        self.state = "closed"     # closed | open | half-open
-        self.failures = 0
-        self.opened_at = 0.0
-
-    def allows_model_path(self, reset_s):
-        """Closed: yes.  Open: only once the reset delay elapsed, as a
-        half-open probe.  (Called only by the batcher thread.)"""
-        if self.state == "closed":
-            return True
-        if time.monotonic() - self.opened_at >= reset_s:
-            if self.state != "half-open":
-                self.state = "half-open"
-                perfstats.increment("serve.degraded.half_open")
-            return True
-        return False
-
-    def record_success(self):
-        if self.state != "closed":
-            perfstats.increment("serve.degraded.close")
-        self.state = "closed"
-        self.failures = 0
-
-    def record_failure(self, threshold):
-        self.failures += 1
-        if self.state == "half-open" or self.failures >= threshold:
-            if self.state != "open":
-                perfstats.increment("serve.degraded.open")
-            self.state = "open"
-            self.opened_at = time.monotonic()
 
 
 class PredictorServer:
@@ -279,40 +111,23 @@ class PredictorServer:
             runtime_ms = request.result()
     """
 
-    def __init__(self, registry, dbs, config=None, estimator_cache=None):
-        self.registry = registry
-        self.config = config or ServerConfig()
-        self._dbs = dict(dbs)
-        self._db_digests = {name: database_digest(db).hex()
-                            for name, db in self._dbs.items()}
-        self._db_fingerprints = {name: db.fingerprint()
-                                 for name, db in self._dbs.items()}
-        # One lock guards the queue, the result cache, the digest memo, the
-        # routes, the in-flight batch and the counters.  Featurization and
-        # inference run outside it; the featurization/batch caches and the
-        # breakers are touched only by the batcher thread, so they need no
-        # locking of their own.
+    def __init__(self, registry, dbs, config=None, estimator_cache=None,
+                 core=None):
+        self.core = core or ServingCore(registry, dbs, config=config,
+                                        estimator_cache=estimator_cache)
+        self.registry = self.core.registry
+        self.config = self.core.config
+        # The transport lock guards the queue, the in-flight batch and the
+        # high-water mark; all serving state lives behind the core's lock.
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._queue = deque()
         self._inflight = []
-        self._result_cache = OrderedDict()
-        self._digest_memo = OrderedDict()  # id(plan) -> (plan, digest)
-        self._feat_cache = FeaturizationCache()
-        self._batch_cache = BatchCache(max_entries=64)
-        self._estimator_cache = estimator_cache or EstimatorCache()
         self._running = False
         self._accepting = True  # False only after stop(); start() restores
         self._thread = None
-        self._counts = Counter()
-        self._batch_sizes = Counter()
         self._queue_high_water = 0
-        self._routes = {}
-        self._breakers = {}     # checkpoint_key -> _Breaker (batcher only)
-        self._analytical = {}   # db_name -> AnalyticalCostModel (batcher only)
-        self._seen_generation = None
-        self._resolve_routes()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -346,11 +161,12 @@ class PredictorServer:
                     "server stopped without draining")
                 dropped = list(self._queue)
                 self._queue.clear()
-                self._counts["failed"] += len(dropped)
             else:
                 dropped = []
             self._not_empty.notify_all()
             self._not_full.notify_all()
+        if dropped:
+            self.core.count("failed", len(dropped))
         for request in dropped:
             request._finish(RequestStatus.FAILED, error=error)
         # The batcher may crash and be replaced while we wait: join
@@ -392,33 +208,32 @@ class PredictorServer:
         (nothing would ever process them); submissions *before*
         :meth:`start` queue up normally.
         """
-        if db_name not in self._dbs:
+        core = self.core
+        if not core.has_db(db_name):
             raise KeyError(f"database {db_name!r} is not registered with "
                            "this server")
-        self._maybe_swap()
+        core.maybe_swap()
         request = PredictionRequest(db_name, plan)
+        core.count("requests")
+        route = core.route_for(db_name)
+        if route is None:
+            core.count("failed")
+            request._finish(RequestStatus.FAILED, error=RoutingError(
+                f"no deployment serves {db_name!r} and the registry "
+                "has no default model"))
+            return request
         # The content hash is a pure function of the plan: compute it
-        # outside the lock so concurrent first-seen submits don't serialize
+        # outside the locks so concurrent first-seen submits don't serialize
         # behind each other's O(plan) digest walks.
-        digest = self._plan_digest(db_name, plan)
+        digest = core.plan_digest(db_name, plan)
+        value = core.cached_value(route, digest)
+        if value is not None:
+            request._finish(RequestStatus.CACHED, value=value,
+                            served_by=route.served_by)
+            return request
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
         with self._lock:
-            self._counts["requests"] += 1
-            route = self._routes.get(db_name)
-            if route is None:
-                self._counts["failed"] += 1
-                request._finish(RequestStatus.FAILED, error=RoutingError(
-                    f"no deployment serves {db_name!r} and the registry "
-                    "has no default model"))
-                return request
-            value = self._cache_get_locked((route.checkpoint_key, digest))
-            if value is not None:
-                self._counts["cached"] += 1
-                perfstats.increment("serve.cache.hit")
-                request._finish(RequestStatus.CACHED, value=value,
-                                served_by=route.served_by)
-                return request
             while (self._accepting
                    and len(self._queue) >= self.config.queue_depth):
                 remaining = (None if deadline is None
@@ -429,14 +244,17 @@ class PredictorServer:
                     break
             if (not self._accepting
                     or len(self._queue) >= self.config.queue_depth):
-                self._counts["shed"] += 1
-                perfstats.increment("serve.shed.count")
-                request._finish(RequestStatus.SHED)
-                return request
-            self._queue.append(request)
-            self._queue_high_water = max(self._queue_high_water,
-                                         len(self._queue))
-            self._not_empty.notify()
+                shed = True
+            else:
+                shed = False
+                self._queue.append(request)
+                self._queue_high_water = max(self._queue_high_water,
+                                             len(self._queue))
+                self._not_empty.notify()
+        if shed:
+            core.count("shed")
+            perfstats.increment("serve.shed.count")
+            request._finish(RequestStatus.SHED)
         return request
 
     def submit_many(self, plans, db_name, block=False, timeout=None):
@@ -467,7 +285,7 @@ class PredictorServer:
     def refresh(self):
         """Force re-resolution of routes from the registry (e.g. after a
         cross-process registry change plus ``registry.refresh()``)."""
-        self._resolve_routes()
+        self.core.resolve_routes()
 
     # ------------------------------------------------------------------
     # Batcher (supervised)
@@ -480,8 +298,8 @@ class PredictorServer:
             self._serve_loop()
         except Exception:  # noqa: BLE001 — crash path must survive anything
             perfstats.increment("serve.fault.batcher_crash")
+            self.core.count("batcher_crashes")
             with self._lock:
-                self._counts["batcher_crashes"] += 1
                 # Exactly-once re-enqueue: unfinished in-flight requests go
                 # back to the queue head in their original order; finished
                 # ones are never duplicated.
@@ -489,13 +307,13 @@ class PredictorServer:
                 self._inflight = []
                 for request in reversed(pending):
                     self._queue.appendleft(request)
-                self._counts["requeued"] += len(pending)
                 perfstats.increment("serve.fault.requeued", len(pending))
                 replacement = threading.Thread(target=self._batcher_main,
                                                name="repro-predictor",
                                                daemon=True)
                 self._thread = replacement
                 self._not_empty.notify_all()
+            self.core.count("requeued", len(pending))
             # Started outside the lock; stop() joins whichever thread is
             # current, so the handover is always observed.
             replacement.start()
@@ -526,341 +344,46 @@ class PredictorServer:
             # — exactly the torn state the supervisor must recover.
             faults.check("serve.batcher")
             try:
-                self._process_batch(batch)
+                self.core.process_batch(batch)
             except Exception as exc:  # noqa: BLE001 — the loop must survive
                 # A surprise error outside the hardened group path fails
                 # this batch's requests instead of killing the batcher and
                 # stranding every future request.
-                with self._lock:
-                    self._counts["failed"] += sum(
-                        1 for request in batch if not request.done())
-                for request in batch:
-                    if not request.done():
-                        request._finish(RequestStatus.FAILED, error=exc)
+                unfinished = [request for request in batch
+                              if not request.done()]
+                self.core.count("failed", len(unfinished))
+                for request in unfinished:
+                    request._finish(RequestStatus.FAILED, error=exc)
             finally:
                 with self._lock:
                     self._inflight = []
 
-    def _process_batch(self, batch):
-        self._maybe_swap()
-        perfstats.increment("serve.batch.count")
-        perfstats.increment("serve.batch.requests", len(batch))
-        self._batch_sizes[len(batch)] += 1
-        by_db = {}
-        for request in batch:
-            by_db.setdefault(request.db_name, []).append(request)
-        for db_name, requests in by_db.items():
-            self._process_group(db_name, requests)
-
-    def _process_group(self, db_name, requests):
-        with self._lock:
-            route = self._routes.get(db_name)
-        if route is None:
-            error = RoutingError(f"no deployment serves {db_name!r}")
-            with self._lock:
-                self._counts["failed"] += len(requests)
-            for request in requests:
-                request._finish(RequestStatus.FAILED, error=error)
-            return
-        digests = [self._plan_digest(db_name, request.plan)
-                   for request in requests]
-        # Late cache probe: a duplicate that was queued before its twin's
-        # batch completed is answered here instead of re-predicted.
-        pending, keys = [], []
-        with self._lock:
-            for request, digest in zip(requests, digests):
-                key = (route.checkpoint_key, digest)
-                value = self._cache_get_locked(key)
-                if value is not None:
-                    self._counts["cached"] += 1
-                    perfstats.increment("serve.cache.hit")
-                    request._finish(RequestStatus.CACHED, value=value,
-                                    served_by=route.served_by)
-                else:
-                    pending.append(request)
-                    keys.append(key)
-        if not pending:
-            return
-        perfstats.increment("serve.cache.miss", len(pending))
-        digests = [key[1] for key in keys]
-        breaker = self._breakers.setdefault(route.checkpoint_key, _Breaker())
-        if not breaker.allows_model_path(self.config.breaker_reset_ms / 1e3):
-            # Breaker open: the model path is known-bad; answer from the
-            # analytical baseline (or fail typed) without touching it.
-            self._finish_degraded(db_name, route, pending)
-            return
-        self._predict_group(db_name, route, breaker, pending, digests)
-
-    # -- hardened model path -------------------------------------------
-    def _predict_group(self, db_name, route, breaker, requests, digests):
-        """Retry with backoff; on persistent failure bisect until the
-        poisoned request is isolated; enforce per-request deadlines."""
-        requests, digests = self._enforce_deadlines(requests, digests)
-        if not requests:
-            return
-        last_error = None
-        for attempt in range(self.config.max_retries + 1):
-            if attempt:
-                perfstats.increment("serve.retry.count")
-                with self._lock:
-                    self._counts["retries"] += 1
-                for request in requests:
-                    request.retries += 1
-                backoff_s = (self.config.retry_backoff_ms / 1e3
-                             * (2 ** (attempt - 1)))
-                time.sleep(backoff_s)
-                requests, digests = self._enforce_deadlines(requests,
-                                                            digests)
-                if not requests:
-                    return
-            try:
-                values = self._attempt(db_name, requests, digests,
-                                       route.model)
-            except Exception as exc:  # noqa: BLE001 — injected or real
-                perfstats.increment("serve.fault.model_path")
-                last_error = exc
-                continue
-            breaker.record_success()
-            with self._lock:
-                self._counts["completed"] += len(requests)
-                for digest, value in zip(digests, values):
-                    self._cache_put_locked((route.checkpoint_key, digest),
-                                           float(value))
-            for request, value in zip(requests, values):
-                request._finish(RequestStatus.DONE, value=float(value),
-                                served_by=route.served_by)
-            return
-        if len(requests) > 1:
-            # Poisoned-batch bisection: the halves retry independently, so
-            # everything except the poisoned request still completes.
-            perfstats.increment("serve.fault.bisect")
-            with self._lock:
-                self._counts["bisects"] += 1
-            mid = len(requests) // 2
-            self._predict_group(db_name, route, breaker,
-                                requests[:mid], digests[:mid])
-            self._predict_group(db_name, route, breaker,
-                                requests[mid:], digests[mid:])
-            return
-        # A single request exhausted its retries: it fails alone — and the
-        # breaker counts it; past the threshold the deployment degrades.
-        breaker.record_failure(self.config.breaker_threshold)
-        if breaker.state == "open" and self.config.degraded_fallback:
-            self._finish_degraded(db_name, route, requests)
-            return
-        with self._lock:
-            self._counts["failed"] += 1
-        requests[0]._finish(RequestStatus.FAILED, error=last_error)
-
-    def _attempt(self, db_name, requests, digests, model):
-        """One model-path attempt over a group (featurize + predict)."""
-        faults.check("serve.featurize", keys=digests)
-        records = [ServingRecord(db_name, request.plan)
-                   for request in requests]
-        graphs = featurize_records(
-            records, self._dbs, cards=self.config.cards,
-            estimator_cache=self._estimator_cache,
-            feat_cache=self._feat_cache)
-        faults.check("serve.infer", keys=digests)
-        return predict_runtimes(
-            model.model, graphs, model.feature_scalers,
-            model.target_scaler,
-            batch_size=self.config.predict_batch_size,
-            batch_cache=self._batch_cache)
-
-    def _enforce_deadlines(self, requests, digests):
-        """Fail requests whose age exceeds the per-request deadline."""
-        timeout_ms = self.config.request_timeout_ms
-        if timeout_ms is None:
-            return requests, digests
-        now = time.perf_counter()
-        alive, alive_digests, expired = [], [], []
-        for request, digest in zip(requests, digests):
-            if (now - request.submitted_at) * 1e3 > timeout_ms:
-                expired.append(request)
-            else:
-                alive.append(request)
-                alive_digests.append(digest)
-        if expired:
-            perfstats.increment("serve.fault.deadline", len(expired))
-            with self._lock:
-                self._counts["failed"] += len(expired)
-                self._counts["deadline_expired"] += len(expired)
-            for request in expired:
-                request._finish(RequestStatus.FAILED,
-                                error=DeadlineExceededError(
-                                    f"request exceeded its "
-                                    f"{timeout_ms:.0f} ms deadline"))
-        return alive, alive_digests
-
-    def _finish_degraded(self, db_name, route, requests):
-        """Answer requests from the analytical cost model, flagged DEGRADED.
-
-        Degraded values never enter the result cache — a recovered model
-        must never replay them — and ``served_by`` names the fallback, not
-        the deployment.
-        """
-        if not self.config.degraded_fallback:
-            error = RoutingError(
-                f"deployment {route.deployment.name!r} is circuit-broken "
-                "and degraded fallback is disabled")
-            with self._lock:
-                self._counts["failed"] += len(requests)
-            for request in requests:
-                request._finish(RequestStatus.FAILED, error=error)
-            return
-        analytical = self._analytical.get(db_name)
-        if analytical is None:
-            analytical = AnalyticalCostModel(self._dbs[db_name])
-            self._analytical[db_name] = analytical
-        served_by = ("analytical", route.deployment.name)
-        perfstats.increment("serve.degraded.count", len(requests))
-        with self._lock:
-            self._counts["degraded"] += len(requests)
-        for request in requests:
-            try:
-                value = analytical.predict_plan(request.plan)
-            except Exception as exc:  # noqa: BLE001 — even fallbacks fail
-                with self._lock:
-                    self._counts["degraded"] -= 1
-                    self._counts["failed"] += 1
-                request._finish(RequestStatus.FAILED, error=exc)
-                continue
-            request._finish(RequestStatus.DEGRADED, value=value,
-                            served_by=served_by)
-
     # ------------------------------------------------------------------
-    # Routing / hot-swap
-    # ------------------------------------------------------------------
-    def _maybe_swap(self):
-        if self.registry.generation != self._seen_generation:
-            self._resolve_routes()
-
-    def _resolve_routes(self):
-        """Re-resolve every database's deployment from the registry.
-
-        Runs between batches (or at submit time); in-flight work keeps the
-        route object it started with, so a promote/rollback is a
-        zero-downtime swap.  A deployment whose checkpoint fails hydration
-        is quarantined by the registry (which re-resolves its manifest to
-        the previous good version), and resolution retries against the
-        updated registry state — serving falls back to known-good
-        checkpoints instead of wedging.
-        """
-        generation = self.registry.generation
-        routes = {db_name: self._resolve_one(digest)
-                  for db_name, digest in self._db_digests.items()}
-        with self._lock:
-            for db_name, route in routes.items():
-                previous = self._routes.get(db_name)
-                if (previous is not None and route is not None
-                        and previous.checkpoint_key != route.checkpoint_key):
-                    self._counts["swaps"] += 1
-                    perfstats.increment("serve.swap.count")
-            self._routes = routes
-            self._seen_generation = generation
-
-    def _resolve_one(self, digest):
-        """Route one database digest to a loaded model, surviving
-        quarantines: every HydrationError re-resolves against the
-        registry's updated manifest until a good version loads or nothing
-        routable remains."""
-        for _ in range(8):  # bounded: each retry consumed a quarantine
-            try:
-                if self.config.model_name is not None:
-                    deployment = self.registry.active(self.config.model_name)
-                else:
-                    deployment = self.registry.route(digest)
-            except RoutingError:
-                return None
-            if deployment is None:
-                return None
-            try:
-                model = self.registry.load(deployment=deployment)
-            except RoutingError:
-                perfstats.increment("serve.fault.hydrate")
-                with self._lock:
-                    self._counts["hydrate_failures"] += 1
-                continue
-            return _Route(deployment, model)
-        return None
-
-    # ------------------------------------------------------------------
-    # Caches
+    # Introspection
     # ------------------------------------------------------------------
     def _plan_digest(self, db_name, plan):
-        """Memoized content fingerprint of a plan object (self-locking).
+        return self.core.plan_digest(db_name, plan)
 
-        Memo keys carry the database name: the digest hashes the
-        database's fingerprint, so the same plan object submitted against
-        two databases must produce two distinct digests (and therefore two
-        result-cache keys).  The hash itself — an O(plan) tree walk — runs
-        outside the lock so first-seen plans from concurrent clients don't
-        serialize behind each other; only the memo probes take it.
-        """
-        memo_key = (id(plan), db_name)
-        with self._lock:
-            entry = self._digest_memo.get(memo_key)
-            if entry is not None and entry[0] is plan:
-                return entry[1]
-        digest = plan_fingerprint(
-            self._dbs[db_name], plan, self.config.cards,
-            db_fingerprint=self._db_fingerprints[db_name])
-        with self._lock:
-            self._digest_memo[memo_key] = (plan, digest)
-            while len(self._digest_memo) > 4 * max(
-                    self.config.result_cache_size, 1024):
-                self._digest_memo.popitem(last=False)
-        return digest
-
-    def _cache_get_locked(self, key):
-        if self.config.result_cache_size <= 0:
-            return None
-        value = self._result_cache.get(key)
-        if value is not None:
-            self._result_cache.move_to_end(key)
-        return value
-
-    def _cache_put_locked(self, key, value):
-        if self.config.result_cache_size <= 0:
-            return
-        self._result_cache[key] = value
-        while len(self._result_cache) > self.config.result_cache_size:
-            self._result_cache.popitem(last=False)
-
-    # ------------------------------------------------------------------
     def stats(self):
         """Request/batch/cache/swap/fault counters, batch-size histogram,
         and per-deployment breaker states."""
-        breakers = {key: breaker.state
-                    for key, breaker in self._breakers.items()}
+        stats = self.core.stats()
         with self._lock:
-            batches = sum(self._batch_sizes.values())
-            sizes = sum(size * count
-                        for size, count in self._batch_sizes.items())
-            return {
-                "requests": self._counts["requests"],
-                "completed": self._counts["completed"],
-                "cached": self._counts["cached"],
-                "degraded": self._counts["degraded"],
-                "shed": self._counts["shed"],
-                "failed": self._counts["failed"],
-                "swaps": self._counts["swaps"],
-                "retries": self._counts["retries"],
-                "bisects": self._counts["bisects"],
-                "batcher_crashes": self._counts["batcher_crashes"],
-                "requeued": self._counts["requeued"],
-                "deadline_expired": self._counts["deadline_expired"],
-                "hydrate_failures": self._counts["hydrate_failures"],
-                "batches": batches,
-                "batch_size_hist": dict(sorted(self._batch_sizes.items())),
-                "mean_batch_size": (sizes / batches) if batches else 0.0,
-                "queue_high_water": self._queue_high_water,
-                "result_cache_entries": len(self._result_cache),
-                "breakers": breakers,
-            }
+            queue_high_water = self._queue_high_water
+        # Keep the key order stable: queue_high_water sits between
+        # mean_batch_size and result_cache_entries, as it always has.
+        breakers = stats.pop("breakers")
+        cache_entries = stats.pop("result_cache_entries")
+        stats["queue_high_water"] = queue_high_water
+        stats["result_cache_entries"] = cache_entries
+        stats["breakers"] = breakers
+        return stats
+
+    @property
+    def _dbs(self):
+        return self.core.dbs
 
     def __repr__(self):
-        return (f"PredictorServer(dbs={sorted(self._dbs)}, "
+        return (f"PredictorServer(dbs={sorted(self.core.dbs)}, "
                 f"max_batch={self.config.max_batch_size}, "
                 f"running={self._thread is not None})")

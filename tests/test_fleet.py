@@ -1,0 +1,434 @@
+"""Fleet serving: sharding router, forked workers, mmap-shared checkpoints.
+
+The load-bearing contract is *fleet equivalence*: for any request mix, any
+shard placement and any worker count, every ``DONE``/``CACHED`` value is
+bit-identical to a direct ``predict_runtimes`` call on the same model —
+including across worker kills and restarts.  These tests pin that down,
+plus the transport underneath it: the long-lived ``WorkerProcess`` pipe
+protocol, the registry's mmap hydration path (one page-cache copy per
+checkpoint, content-address verified, safe under concurrent
+materialization from many processes), supervision (SIGKILL a worker
+mid-load — no handle lost, none answered twice), and cross-process
+hot-swap on ``registry.generation`` changes.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.parallel import WorkerProcess
+from repro.core import TrainingConfig, ZeroShotCostModel, featurize_records
+from repro.core.model import ZeroShotModel
+from repro.core.training import predict_runtimes
+from repro.datagen import generate_database, random_database_spec
+from repro.featurization import FeatureScalers, TargetScaler, database_digest
+from repro.serving import (LoadConfig, ModelRegistry, PredictorFleet,
+                           RequestStatus, ServerConfig, run_load,
+                           skewed_requests)
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the serving fleet requires the fork start method")
+
+
+# ----------------------------------------------------------------------
+# Shared world: two databases, executed workloads, a model over both
+# ----------------------------------------------------------------------
+def _make_db(name, seed, base_rows=500):
+    spec = random_database_spec(name, seed=seed, layout="snowflake",
+                                base_rows=base_rows, n_tables=4,
+                                complexity=0.6)
+    return generate_database(spec)
+
+
+def _make_trace(db, n, seed):
+    queries = WorkloadGenerator(db, WorkloadConfig(max_joins=2),
+                                seed=seed).generate(n)
+    return list(generate_trace(db, queries, seed=seed))
+
+
+def _make_model(graphs, runtimes, seed=0, hidden_dim=24, dtype="float32"):
+    model = ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval()
+    model.to(np.dtype(dtype))
+    return ZeroShotCostModel(model, FeatureScalers().fit(graphs),
+                             TargetScaler().fit(runtimes),
+                             TrainingConfig(hidden_dim=hidden_dim,
+                                            dtype=dtype))
+
+
+def _direct(model, graphs):
+    return predict_runtimes(model.model, graphs, model.feature_scalers,
+                            model.target_scaler, batch_cache=False)
+
+
+@pytest.fixture(scope="module")
+def world():
+    db_a = _make_db("fleet_a", seed=31)
+    db_b = _make_db("fleet_b", seed=32)
+    dbs = {db_a.name: db_a, db_b.name: db_b}
+    records_a = _make_trace(db_a, 16, seed=7)
+    records_b = _make_trace(db_b, 10, seed=8)
+    graphs_a = featurize_records(records_a, dbs, cards="exact")
+    graphs_b = featurize_records(records_b, dbs, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records_a + records_b])
+    model = _make_model(graphs_a + graphs_b, runtimes, seed=0)
+    return {
+        "dbs": dbs, "db_a": db_a, "db_b": db_b,
+        "records_a": records_a, "records_b": records_b,
+        "graphs_a": graphs_a, "graphs_b": graphs_b,
+        "graphs_all": graphs_a + graphs_b, "runtimes": runtimes,
+        "model": model,
+        "expected_a": _direct(model, graphs_a),
+        "expected_b": _direct(model, graphs_b),
+    }
+
+
+def _registry_with(world, root, model=None):
+    registry = ModelRegistry(root)
+    registry.publish("main", model or world["model"],
+                     dbs=[world["db_a"], world["db_b"]], default=True)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# WorkerProcess: the long-lived forked worker + duplex pipe
+# ----------------------------------------------------------------------
+def _echo_worker(conn, tag):
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message == "die":
+            os._exit(3)
+        conn.send((tag, message))
+
+
+class TestWorkerProcess:
+    def test_echo_roundtrip(self):
+        wp = WorkerProcess(_echo_worker, args=("w0",)).start()
+        try:
+            wp.send("ping")
+            assert wp.recv() == ("w0", "ping")
+            assert wp.alive
+        finally:
+            wp.stop()
+        assert not wp.alive
+
+    def test_death_is_observable_and_restart_recovers(self):
+        wp = WorkerProcess(_echo_worker, args=("w1",)).start()
+        try:
+            wp.send("die")
+            # Death surfaces on the selectable sentinel and as EOF on the
+            # pipe — never as a silent hang.
+            multiprocessing.connection.wait([wp.sentinel], timeout=10.0)
+            wp.process.join(timeout=10.0)
+            assert not wp.alive
+            assert wp.exitcode == 3
+            with pytest.raises((EOFError, OSError)):
+                while True:
+                    wp.recv()
+            wp.restart()
+            assert wp.restarts == 1
+            wp.send("back")
+            assert wp.recv() == ("w1", "back")
+        finally:
+            wp.stop()
+
+    def test_stop_is_idempotent_and_never_hangs(self):
+        wp = WorkerProcess(_echo_worker, args=("w2",)).start()
+        wp.stop(timeout=5.0)
+        wp.stop(timeout=5.0)
+        assert wp.process is None and wp.conn is None
+
+
+# ----------------------------------------------------------------------
+# mmap hydration: one on-disk extraction, verified, race-safe
+# ----------------------------------------------------------------------
+def _hydrate_child(root, barrier, queue):
+    try:
+        barrier.wait(timeout=20)
+        registry = ModelRegistry(root)  # fresh instance: disk state only
+        model = registry.load_mmap()
+        queue.put(("ok", model.state_digest()))
+    except BaseException as exc:  # noqa: BLE001 - report, parent asserts
+        queue.put(("err", repr(exc)))
+
+
+class TestMmapHydration:
+    def test_load_mmap_bit_identical_and_read_only(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        plain = registry.load()
+        mapped = registry.load_mmap()
+        np.testing.assert_array_equal(_direct(mapped, world["graphs_all"]),
+                                      _direct(plain, world["graphs_all"]))
+        params = list(mapped.model.parameters())
+        assert params
+        for param in params:
+            assert not param.data.flags.writeable
+            assert isinstance(param.data.base, np.memmap)
+        # Verified content address: the mapped model digests to its key.
+        assert mapped.state_digest() == registry.active("main").checkpoint_key
+        # Memoized: a second load returns the same hydrated object.
+        assert registry.load_mmap() is mapped
+
+    def test_concurrent_hydration_from_many_processes(self, world, tmp_path):
+        """N processes race to materialize the same checkpoint: every one
+        must hydrate a digest-verified model (temp-dir + rename makes the
+        extraction atomic — no process can observe a torn manifest), and
+        no temp debris survives."""
+        registry = _registry_with(world, tmp_path)
+        key = registry.active("main").checkpoint_key
+        context = multiprocessing.get_context("fork")
+        n = 4
+        barrier = context.Barrier(n)
+        queue = context.Queue()
+        processes = [context.Process(target=_hydrate_child,
+                                     args=(tmp_path, barrier, queue),
+                                     daemon=True)
+                     for _ in range(n)]
+        for process in processes:
+            process.start()
+        outcomes = [queue.get(timeout=60) for _ in range(n)]
+        for process in processes:
+            process.join(timeout=10)
+        assert outcomes == [("ok", key)] * n
+        mmap_dir = registry.mmap_dir(key)
+        assert (mmap_dir / "manifest.json").exists()
+        leftovers = [p for p in mmap_dir.parent.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Fleet equivalence: any worker count, any placement, same bits
+# ----------------------------------------------------------------------
+class TestFleetEquivalence:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_bit_identical_to_direct_prediction(self, world, tmp_path,
+                                                n_workers):
+        registry = _registry_with(world, tmp_path)
+        plans_a = [r.plan for r in world["records_a"]]
+        plans_b = [r.plan for r in world["records_b"]]
+        with PredictorFleet(registry, world["dbs"],
+                            n_workers=n_workers) as fleet:
+            got_a = fleet.predict(plans_a, world["db_a"].name)
+            got_b = fleet.predict(plans_b, world["db_b"].name)
+            # Repeat round: answered from worker result caches (CACHED),
+            # same bits by construction — but verify anyway.
+            again_a = fleet.predict(plans_a, world["db_a"].name)
+            stats = fleet.stats()
+        np.testing.assert_array_equal(got_a, world["expected_a"])
+        np.testing.assert_array_equal(got_b, world["expected_b"])
+        np.testing.assert_array_equal(again_a, world["expected_a"])
+        assert stats["workers"] == n_workers
+        assert stats["cached"] > 0
+        assert stats["failed"] == 0 and stats["shed"] == 0
+
+    def test_spill_keeps_values_identical(self, world, tmp_path):
+        """spill_threshold=1 forces nearly every request off its preferred
+        shard — placement must never change a value."""
+        registry = _registry_with(world, tmp_path)
+        plans_a = [r.plan for r in world["records_a"]]
+        config = ServerConfig(result_cache_size=0)
+        with PredictorFleet(registry, world["dbs"], config, n_workers=3,
+                            spill_threshold=1) as fleet:
+            got = fleet.predict(plans_a, world["db_a"].name)
+            stats = fleet.stats()
+        np.testing.assert_array_equal(got, world["expected_a"])
+        assert stats["spills"] > 0
+
+    def test_shed_when_queue_full(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        config = ServerConfig(queue_depth=1, max_delay_ms=50.0)
+        plans_a = [r.plan for r in world["records_a"]]
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=1) as fleet:
+            handles = [fleet.submit(plan, world["db_a"].name)
+                       for plan in plans_a]
+            for handle in handles:
+                handle.wait(30)
+            stats = fleet.stats()
+        shed = [h for h in handles if h.status is RequestStatus.SHED]
+        done = [h for h in handles if h.status in (RequestStatus.DONE,
+                                                   RequestStatus.CACHED)]
+        assert shed and done
+        assert len(shed) + len(done) == len(handles)
+        assert stats["shed"] == len(shed)
+
+    def test_unknown_database_rejected(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        with PredictorFleet(registry, world["dbs"], n_workers=1) as fleet:
+            with pytest.raises(KeyError):
+                fleet.submit(world["records_a"][0].plan, "nope")
+
+
+# ----------------------------------------------------------------------
+# Supervision: SIGKILL mid-load, exactly-once completion
+# ----------------------------------------------------------------------
+class TestFleetSupervision:
+    def test_worker_kill_no_lost_no_duplicated_handles(self, world,
+                                                       tmp_path):
+        registry = _registry_with(world, tmp_path)
+        db_a = world["db_a"]
+        # Large coalescing delay: results are still pending when the kill
+        # lands, so the supervisor must re-send them to the replacement.
+        config = ServerConfig(max_delay_ms=200.0, max_batch_size=256,
+                              result_cache_size=0)
+        plans = [r.plan for r in world["records_a"]] * 2
+        expected = np.concatenate([world["expected_a"]] * 2)
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=2, spill_threshold=10_000) as fleet:
+            target = fleet._preferred[db_a.name]  # every request lands here
+            handles = fleet.submit_many(plans, db_a.name, block=True)
+            assert fleet.kill_worker(target) is not None
+            completions = []
+            for handle in handles:
+                # Exactly-once: result() returns the single final value;
+                # a second read observes the same resolved state.
+                completions.append(handle.result(60))
+                assert handle.status is RequestStatus.DONE
+            stats = fleet.stats()
+        np.testing.assert_array_equal(np.array(completions), expected)
+        assert stats["worker_restarts"] >= 1
+        assert stats["requeued"] >= 1
+        assert stats["failed"] == 0 and stats["shed"] == 0
+        assert stats["requests"] == len(plans)
+
+    def test_kill_during_open_loop_load(self, world, tmp_path):
+        """The bench-shaped scenario: saturation load, a worker dies
+        mid-run, every delivered value still matches the direct call."""
+        registry = _registry_with(world, tmp_path)
+        config = ServerConfig(result_cache_size=0,
+                              queue_depth=10_000, max_delay_ms=20.0)
+        requests = ([(world["db_a"].name, r.plan)
+                     for r in world["records_a"]] * 3)
+        expected = {id(r.plan): float(v) for r, v in
+                    zip(world["records_a"], world["expected_a"])}
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=2, spill_threshold=4) as fleet:
+            fleet.submit(requests[0][1], requests[0][0], block=True)
+            fleet.kill_worker(0)
+            report = run_load(fleet, requests,
+                              LoadConfig(n_clients=3, block=True, seed=3))
+        assert report.failed == 0 and report.shed == 0
+        assert report.completed == len(requests)
+        for handle in report.handles:
+            assert handle.value == expected[id(handle.plan)]
+
+    def test_close_without_drain_fails_pending_typed(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        config = ServerConfig(max_delay_ms=500.0, max_batch_size=256)
+        fleet = PredictorFleet(registry, world["dbs"], config,
+                               n_workers=1).start()
+        handles = fleet.submit_many([r.plan for r in world["records_a"]],
+                                    world["db_a"].name, block=True)
+        fleet.close(drain=False)
+        for handle in handles:
+            handle.wait(10)
+            assert handle.status in (RequestStatus.FAILED,
+                                     RequestStatus.DONE)
+        failed = [h for h in handles if h.status is RequestStatus.FAILED]
+        for handle in failed:
+            with pytest.raises(Exception) as err:
+                handle.result(0)
+            assert "fleet stopped" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# Cross-process hot swap: promote/rollback reach every worker
+# ----------------------------------------------------------------------
+class TestFleetHotSwap:
+    def test_publish_promote_rollback_fleet_wide(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        model_v2 = _make_model(world["graphs_all"], world["runtimes"],
+                               seed=9)
+        expected_v2 = _direct(model_v2, world["graphs_a"])
+        plans_a = [r.plan for r in world["records_a"]]
+        config = ServerConfig(result_cache_size=0)
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=2) as fleet:
+            got_v1 = fleet.predict(plans_a, world["db_a"].name)
+            registry.publish("main", model_v2,
+                             dbs=[world["db_a"], world["db_b"]])
+            got_v2 = fleet.predict(plans_a, world["db_a"].name)
+            registry.promote("main", 1)
+            got_back = fleet.predict(plans_a, world["db_a"].name)
+            stats = fleet.stats()
+        np.testing.assert_array_equal(got_v1, world["expected_a"])
+        np.testing.assert_array_equal(got_v2, expected_v2)
+        np.testing.assert_array_equal(got_back, world["expected_a"])
+        assert not np.array_equal(got_v1, got_v2)
+        assert stats["failed"] == 0
+
+
+# ----------------------------------------------------------------------
+# Load generator: fleet mode, skewed mixes, per-database breakdown
+# ----------------------------------------------------------------------
+class TestFleetLoadgen:
+    def test_latency_by_db_breakdown(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        requests = ([(world["db_a"].name, r.plan)
+                     for r in world["records_a"]]
+                    + [(world["db_b"].name, r.plan)
+                       for r in world["records_b"]])
+        with PredictorFleet(registry, world["dbs"], n_workers=2) as fleet:
+            report = run_load(fleet, requests,
+                              LoadConfig(n_clients=2, block=True, seed=1))
+        assert report.completed + report.cached == len(requests)
+        by_db = report.latency_by_db
+        assert set(by_db) == {world["db_a"].name, world["db_b"].name}
+        for name, summary in by_db.items():
+            assert summary["delivered"] == summary["requests"]
+            assert summary["degraded"] == 0
+            assert summary["p50"] > 0
+        total = sum(s["requests"] for s in by_db.values())
+        assert total == len(requests)
+
+    def test_skewed_requests_seeded_and_weighted(self, world):
+        pools = {
+            world["db_a"].name: [(world["db_a"].name, r.plan)
+                                 for r in world["records_a"]],
+            world["db_b"].name: [(world["db_b"].name, r.plan)
+                                 for r in world["records_b"]],
+        }
+        weights = {world["db_a"].name: 0.9, world["db_b"].name: 0.1}
+        mix = skewed_requests(pools, weights, n=200, seed=4)
+        assert mix == skewed_requests(pools, weights, n=200, seed=4)
+        assert mix != skewed_requests(pools, weights, n=200, seed=5)
+        counts = {name: sum(1 for db, _ in mix if db == name)
+                  for name in pools}
+        assert counts[world["db_a"].name] > counts[world["db_b"].name] * 3
+        assert len(mix) == 200
+        for db_name, plan in mix:
+            assert (db_name, plan) in pools[db_name]
+
+    def test_skewed_load_routes_hot_database(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        pools = {
+            world["db_a"].name: [(world["db_a"].name, r.plan)
+                                 for r in world["records_a"]],
+            world["db_b"].name: [(world["db_b"].name, r.plan)
+                                 for r in world["records_b"]],
+        }
+        weights = {world["db_a"].name: 0.85, world["db_b"].name: 0.15}
+        mix = skewed_requests(pools, weights, n=80, seed=2)
+        expected = {}
+        for records, values in ((world["records_a"], world["expected_a"]),
+                                (world["records_b"], world["expected_b"])):
+            for record, value in zip(records, values):
+                expected[id(record.plan)] = float(value)
+        config = ServerConfig(result_cache_size=0, queue_depth=10_000)
+        with PredictorFleet(registry, world["dbs"], config, n_workers=2,
+                            spill_threshold=4) as fleet:
+            report = run_load(fleet, mix,
+                              LoadConfig(n_clients=3, block=True, seed=2))
+        assert report.completed == len(mix)
+        for handle in report.handles:
+            assert handle.value == expected[id(handle.plan)]
+        hot = report.latency_by_db[world["db_a"].name]
+        cold = report.latency_by_db[world["db_b"].name]
+        assert hot["requests"] > cold["requests"]
