@@ -1,0 +1,112 @@
+"""Entry point: run the continuous-learning controller benchmark and write
+``BENCH_controller.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/controller.py           # full run
+    PYTHONPATH=src python benchmarks/perf/controller.py --quick   # CI smoke
+
+Drives the calibrated drift scenario through
+:func:`harness.bench_controller`: the base model serves in-distribution
+traffic, the workload shifts to a database it has never seen, and the
+controller must close the full observe -> detect -> retrain ->
+shadow-evaluate -> promote loop.  The run **fails** (non-zero exit) when
+
+* any promotion is rolled back on the happy path (``wrong_promotions``
+  must be zero — the gate let a bad candidate through), or
+* the replayed scenario is not bit-identical to the first run (the
+  control plane is supposed to be deterministic), or
+* the regression run does *not* auto-roll-back inside the probation
+  window (the guard slept through a real regression), or
+* availability while the daemon-mode controller fine-tunes in the
+  background drops below ``--min-availability`` (default 0.99), or
+* the happy path takes more than ``--max-recover-ticks`` control ticks
+  from detection to promotion,
+
+so CI exercises the whole retrain/promote/rollback control plane on every
+push instead of trusting it to unit tests alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(HERE))
+
+DEFAULT_OUTPUT = REPO / "BENCH_controller.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="bound the daemon graduation pump (the drift "
+                             "scenario itself is calibration-pinned and "
+                             "identical to the full run)")
+    parser.add_argument("--min-availability", type=float, default=0.99)
+    parser.add_argument("--max-recover-ticks", type=int, default=8,
+                        help="ceiling on promote_tick - detect_tick")
+    args = parser.parse_args(argv)
+
+    from harness import bench_controller
+
+    results = bench_controller(quick=args.quick)
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    regression = results["regression"]
+    print(f"controller report written to {args.output}")
+    print(f"  detect/promote/graduate ticks: {results['detect_tick']}/"
+          f"{results['promote_tick']}/{results['graduate_tick']}")
+    print(f"  ticks to recover: {results['ticks_to_recover']} "
+          f"(ceiling {args.max_recover_ticks})")
+    print(f"  wrong promotions: {results['wrong_promotions']} (must be 0)")
+    print(f"  replay identical: {results['replay_identical']}")
+    print(f"  regression rolled back: {regression['rolled_back']} "
+          f"(restored v{regression['restored_version']}, "
+          f"seen {regression['probation_seen']} in probation)")
+    print(f"  availability during retrain: "
+          f"{results['availability_during_retrain']:.4f} "
+          f"(floor {args.min_availability}, "
+          f"{results['daemon']['delivered']}/"
+          f"{results['daemon']['submitted']} delivered)")
+    for name, phase in results["q_error_by_phase"].items():
+        print(f"  q-error[{name}]: median {phase['median']:.2f}, "
+              f"p95 {phase['p95']:.2f} ({phase['count']} queries)")
+
+    failures = []
+    if results["wrong_promotions"]:
+        failures.append(f"{results['wrong_promotions']} promotions were "
+                        f"rolled back on the happy path")
+    if not results["replay_identical"]:
+        failures.append("replayed scenario diverged from the first run")
+    if not regression["rolled_back"]:
+        failures.append("regression run did not roll back")
+    elif not regression["within_probation"]:
+        failures.append("rollback fired only after probation graduated")
+    if results["availability_during_retrain"] < args.min_availability:
+        failures.append(
+            f"availability {results['availability_during_retrain']:.4f} "
+            f"below {args.min_availability} during background retrain")
+    if results["daemon"]["crashes"]:
+        failures.append(f"daemon crashed {results['daemon']['crashes']} "
+                        f"times with no faults injected")
+    if not results["daemon"]["graduated"]:
+        failures.append("daemon-mode run never graduated probation")
+    if results["ticks_to_recover"] > args.max_recover_ticks:
+        failures.append(f"recovery took {results['ticks_to_recover']} ticks "
+                        f"(> {args.max_recover_ticks})")
+    if failures:
+        print("CONTROLLER FAILURE: " + "; ".join(failures))
+        return 1
+    print("controller run passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

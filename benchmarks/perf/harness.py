@@ -53,7 +53,8 @@ __all__ = ["build_plan_corpus", "build_corpus", "build_exec_corpus",
            "bench_featurization_cached", "bench_batch_construction",
            "bench_training_step", "bench_train_epoch",
            "bench_experiment_warm_start", "bench_inference", "bench_serving",
-           "bench_chaos", "bench_fleet", "run_all", "run_pipeline_reference"]
+           "bench_chaos", "bench_fleet", "bench_controller", "run_all",
+           "run_pipeline_reference"]
 
 
 def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
@@ -691,6 +692,215 @@ def bench_fleet(db, records, hidden_dim=64, n_clients=4,
         ["fleet.worker.spawn", "fleet.worker.restart",
          "fleet.route.hit", "fleet.route.rebalance", "fleet.queue.depth"])
     return rates, extras
+
+
+def bench_controller(quick=False, pump_rounds=20):
+    """End-to-end drift scenario through the continuous-learning controller.
+
+    Builds the calibrated three-database world (a small training database,
+    a drift database the base model has never seen, and a heavy database
+    the *candidate* never learns) and drives the full
+    observe -> detect -> retrain -> shadow-evaluate -> promote loop four
+    times:
+
+    * **happy path, twice**: traffic shifts to the drift database, the
+      controller detects, fine-tunes a candidate from the observed window,
+      shadow-evaluates and promotes it, and graduates probation.  The two
+      runs must produce *bit-identical* event streams (``replay_identical``)
+      and zero rollbacks (``wrong_promotions``);
+    * **regression**: post-promotion traffic shifts again to the heavy
+      database; the candidate must be auto-rolled-back *inside* the
+      probation window;
+    * **daemon availability**: the same happy scenario with the controller
+      ticking in its supervised background thread while the load generator
+      keeps submitting — availability across the whole run (fine-tune
+      included) is the headline SLO.
+
+    The scenario is calibration-pinned (thresholds were validated against
+    cross-process training jitter), so ``quick`` runs measure the identical
+    workload — the flag only bounds the daemon graduation pump.
+
+    Returns a flat metrics dict: detect/promote/graduate ticks,
+    ``ticks_to_recover``, ``wrong_promotions``, ``replay_identical``,
+    per-phase Q-error summaries (the recovery curve), the regression
+    rollback audit, ``availability_during_retrain``, and the happy-path
+    event stream.
+    """
+    import dataclasses
+    import time as _time
+    from pathlib import Path
+
+    from repro.bench import ArtifactStore
+    from repro.core import TrainingConfig, ZeroShotCostModel
+    from repro.datagen import generate_database, random_database_spec
+    from repro.executor import simulate_runtime_ms_batch
+    from repro.serving import (ContinuousLearningController, ControllerConfig,
+                               LoadConfig, ModelRegistry, PredictorServer,
+                               ServerConfig, run_load)
+    from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+    # Same calibrated world as tests/test_controller.py: the base model's
+    # Q-error on drift traffic (~3x) clears the 2.0 threshold, the
+    # fine-tuned candidate's (~1.3-1.7x) stays under it, and the
+    # candidate's on heavy traffic (~4-12x) clears the 2.5 probation
+    # threshold — with margin under cross-process training jitter.
+    db = generate_database(random_database_spec(
+        "ctl_db", seed=31, layout="snowflake", base_rows=400, n_tables=4,
+        complexity=0.6))
+    drift_db = generate_database(random_database_spec(
+        "drift_db", seed=77, layout="star", base_rows=900, n_tables=5,
+        complexity=0.9))
+    heavy_db = generate_database(random_database_spec(
+        "heavy_db", seed=5, layout="star", base_rows=20000, n_tables=6,
+        complexity=0.9))
+    dbs = {d.name: d for d in (db, drift_db, heavy_db)}
+    trace_a = list(generate_trace(db, WorkloadGenerator(
+        db, WorkloadConfig(max_joins=1), seed=7).generate(40), seed=7))
+    trace_b = list(generate_trace(drift_db, WorkloadGenerator(
+        drift_db, WorkloadConfig(min_joins=2, max_joins=4),
+        seed=99).generate(120), seed=7))
+    trace_c = list(generate_trace(heavy_db, WorkloadGenerator(
+        heavy_db, WorkloadConfig(min_joins=3, max_joins=5),
+        seed=13).generate(32), seed=7))
+    base = ZeroShotCostModel.train(
+        [trace_a], dbs, cards="exact",
+        config=TrainingConfig(hidden_dim=24, epochs=12, dtype="float32",
+                              seed=0))
+
+    config = ControllerConfig(
+        truth_seed=7, drift_threshold=2.0, drift_window=16,
+        min_observations=8, max_fine_tune_records=16, fine_tune_epochs=20,
+        fine_tune_lr=1e-3, shadow_margin=1.05, min_shadow_samples=16,
+        probation_observations=64, probation_threshold=2.5,
+        max_observations_per_tick=16)
+    load = LoadConfig(n_clients=1, block=True)
+    phases = [
+        ("before", [("ctl_db", r.plan) for r in trace_a[:24]]),
+        ("drift", [("drift_db", r.plan) for r in trace_b[:48]]),
+        ("recovery", [("drift_db", r.plan) for r in trace_b[48:80]]),
+        ("after", [("drift_db", r.plan) for r in trace_b[80:120]]),
+    ]
+    regression_phases = phases[:3] + [
+        ("after", [("heavy_db", r.plan) for r in trace_c]),
+    ]
+
+    def stack(tmp, ctl_config=config):
+        registry = ModelRegistry(ArtifactStore(tmp))
+        registry.publish("zs", base, dbs=list(dbs.values()), default=True)
+        server = PredictorServer(
+            registry, dbs, ServerConfig(max_batch_size=8, max_delay_ms=1.0,
+                                        result_cache_size=0)).start()
+        controller = ContinuousLearningController(registry, server,
+                                                  ctl_config)
+        return registry, server, controller
+
+    def truth_for(handle):
+        return float(simulate_runtime_ms_batch(
+            dbs[handle.db_name], [handle.plan], seed=config.truth_seed)[0])
+
+    def run_scenario(tmp, scenario_phases):
+        """Synchronous drain-per-phase run; returns (registry, controller,
+        per-phase Q-error summaries)."""
+        registry, server, controller = stack(tmp)
+        q_by_phase = {}
+        try:
+            with _gc_paused():
+                for name, requests in scenario_phases:
+                    report = run_load(server, requests, load)
+                    controller.drain()
+                    q_by_phase[name] = report.compute_q_error_phases(
+                        truth_for, {name: (0, len(requests))})[name]
+        finally:
+            server.stop()
+        return registry, controller, q_by_phase
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        # Happy path, twice: the replay contract.
+        _, first, q_by_phase = run_scenario(tmp / "happy1", phases)
+        _, second, _ = run_scenario(tmp / "happy2", phases)
+        happy = first.journal.events()
+        kinds = [e.kind for e in happy]
+        expected_kinds = ["drift-detected", "candidate-published",
+                          "promoted", "probation-passed"]
+        if kinds != expected_kinds:
+            raise RuntimeError(
+                f"happy path produced {kinds}, expected {expected_kinds}")
+        replay_identical = happy == second.journal.events()
+        detect_tick = happy[0].tick
+        promote_tick = happy[2].tick
+        graduate_tick = happy[3].tick
+        wrong_promotions = len(first.journal.events("rolled-back"))
+
+        # Regression: promote, then shift to the heavy database.
+        registry_r, regressed, _ = run_scenario(tmp / "regression",
+                                                regression_phases)
+        rollbacks = regressed.journal.events("rolled-back")
+        rollback_detail = dict(rollbacks[0].detail) if rollbacks else {}
+
+        # Daemon availability: the controller ticks (and fine-tunes) in
+        # its background thread while load keeps flowing.
+        daemon_config = dataclasses.replace(config, cadence_s=0.01)
+        registry_d, server_d, daemon = stack(tmp / "daemon", daemon_config)
+        submitted = delivered = 0
+
+        def pump(requests):
+            nonlocal submitted, delivered
+            report = run_load(server_d, requests, load)
+            submitted += report.n_requests
+            delivered += report.completed + report.cached + report.degraded
+            deadline = _time.monotonic() + 30.0
+            while len(daemon.tap) and _time.monotonic() < deadline:
+                _time.sleep(0.02)
+
+        try:
+            with daemon:
+                for _, requests in phases[:2]:
+                    pump(requests)
+                # Promotion can land anywhere inside a phase under a live
+                # daemon; keep pumping recovery traffic until probation
+                # graduates (bounded).
+                rounds = pump_rounds if not quick else min(pump_rounds, 10)
+                for _ in range(rounds):
+                    if daemon.journal.events("probation-passed"):
+                        break
+                    pump(phases[2][1])
+        finally:
+            server_d.stop()
+        daemon_stats = daemon.stats()
+        wrong_promotions += len(daemon.journal.events("rolled-back"))
+
+    return {
+        "detect_tick": detect_tick,
+        "promote_tick": promote_tick,
+        "graduate_tick": graduate_tick,
+        "ticks_to_recover": promote_tick - detect_tick,
+        "wrong_promotions": wrong_promotions,
+        "replay_identical": replay_identical,
+        "candidate_digest": happy[1].digest,
+        "q_error_by_phase": q_by_phase,
+        "regression": {
+            "rolled_back": len(rollbacks) == 1,
+            "restored_version": rollback_detail.get("restored_version"),
+            "probation_seen": rollback_detail.get("probation_seen"),
+            "within_probation": (
+                bool(rollbacks)
+                and rollback_detail["probation_seen"]
+                < config.probation_observations),
+            "rollback_median": rollback_detail.get("rolling_median"),
+            "active_version_after": registry_r.active("zs").version,
+        },
+        "availability_during_retrain": (
+            delivered / submitted if submitted else 0.0),
+        "daemon": {
+            "submitted": submitted,
+            "delivered": delivered,
+            "crashes": daemon_stats["crashes"],
+            "graduated": bool(daemon.journal.events("probation-passed")),
+            "active_version": registry_d.active("zs").version,
+        },
+        "events": [e.as_dict() for e in happy],
+    }
 
 
 def run_pipeline_reference(n_queries=192, seed=0):

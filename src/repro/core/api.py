@@ -165,14 +165,18 @@ class ZeroShotCostModel:
 
     def fine_tune(self, records, dbs, cards="exact", epochs=15,
                   learning_rate=4e-4, estimator_cache=None, graphs=None,
-                  runtimes=None):
+                  runtimes=None, feat_cache=None):
         """Few-shot mode: continue training on queries of the target database.
 
-        Returns a *new* model; the original is unchanged.
+        Returns a *new* model; the original is unchanged.  A ``feat_cache``
+        (fingerprint-keyed) lets a long-running caller — the continuous-
+        learning controller fine-tunes on plans it will also shadow-
+        evaluate — reuse featurized graphs across calls.
         """
         if graphs is None:
             graphs = featurize_records(records, dbs, cards=cards,
-                                       estimator_cache=estimator_cache)
+                                       estimator_cache=estimator_cache,
+                                       feat_cache=feat_cache)
             runtimes = np.array([r.runtime_ms for r in records])
         clone = copy.deepcopy(self)
         few_config = self.config.few_shot(epochs=epochs,

@@ -37,6 +37,8 @@ arrays passed into :class:`Tensor` keep their dtype.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "concat", "maximum", "scatter_sum", "linear",
@@ -46,7 +48,11 @@ __all__ = ["Tensor", "concat", "maximum", "scatter_sum", "linear",
            "no_grad", "is_grad_enabled",
            "set_default_dtype", "get_default_dtype", "default_dtype"]
 
-_GRAD_ENABLED = True
+# Grad mode is *per-thread* (like torch.no_grad): a serving thread running
+# inference under ``no_grad`` must not disable graph construction for a
+# training thread — the continuous-learning controller fine-tunes while the
+# predictor keeps serving in the same process.
+_GRAD_STATE = threading.local()
 _DEFAULT_DTYPE = np.dtype(np.float64)
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -81,22 +87,24 @@ class default_dtype:
 
 
 class no_grad:
-    """Context manager that disables graph construction (for inference)."""
+    """Context manager that disables graph construction (for inference).
+
+    The switch is thread-local: entering ``no_grad`` on one thread leaves
+    every other thread's autograd untouched.
+    """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = getattr(_GRAD_STATE, "enabled", True)
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled():
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def activation_numpy(kind, x, negative_slope=0.01):
@@ -216,7 +224,8 @@ class Tensor:
     def __init__(self, data, requires_grad=False, _parents=(), _backward=None, name=None):
         self.data = _coerce(data)
         self.grad = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = (bool(requires_grad)
+                              and getattr(_GRAD_STATE, "enabled", True))
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
         self.name = name
@@ -269,7 +278,8 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data, parents, backward):
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = (any(p.requires_grad for p in parents)
+                    and getattr(_GRAD_STATE, "enabled", True))
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

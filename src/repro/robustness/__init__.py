@@ -4,11 +4,11 @@ serving stack is hardened against (``faults.py``)."""
 
 from .generalization import (GeneralizationEstimate,
                              estimate_generalization_error, sufficiency_curve)
-from .drift import DriftDetector
+from .drift import DriftDetector, DriftObservationError
 from .faults import (FaultSchedule, FaultSpec, InjectedFault, inject,
                      install, uninstall)
 
 __all__ = ["GeneralizationEstimate", "estimate_generalization_error",
-           "sufficiency_curve", "DriftDetector",
+           "sufficiency_curve", "DriftDetector", "DriftObservationError",
            "FaultSchedule", "FaultSpec", "InjectedFault", "inject",
            "install", "uninstall"]

@@ -4,35 +4,79 @@ Zero-shot models degrade when production queries look unlike anything in the
 training distribution (e.g. much larger joins).  The paper's strategy is to
 monitor the observed Q-error at inference time and, once it exceeds a
 threshold, to fine-tune with the newly observed queries (few-shot mode).
+
+The detector is the sensing half of the continuous-learning control plane
+(``repro.serving.controller``): the controller feeds it (prediction, ground
+truth) pairs joined from the serving observation tap, and reads
+``fine_tuning_records()`` back as the few-shot training set once it trips.
+Because it lives inside a long-running daemon, the record buffer is bounded
+(``max_records`` keep-latest) — the freshest observations are exactly the
+ones a drift-recovery fine-tune wants anyway.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
 
 from ..nn import q_error
 
-__all__ = ["DriftDetector"]
+__all__ = ["DriftDetector", "DriftObservationError"]
+
+
+class DriftObservationError(ValueError):
+    """An unusable q-error observation (non-positive or non-finite runtime).
+
+    Q-error is a ratio of positive runtimes; a zero, negative, NaN or
+    infinite input would otherwise poison the rolling median with NaN/inf
+    and silently wedge (or permanently trip) the detector.  Raising a typed
+    error keeps the failure at the call site, where the controller can
+    count and skip it.
+    """
 
 
 class DriftDetector:
-    """Rolling-median Q-error monitor that triggers few-shot retraining."""
+    """Rolling-median Q-error monitor that triggers few-shot retraining.
 
-    def __init__(self, threshold=2.0, window=50, min_observations=10):
+    ``drifted`` trips strictly *above* ``threshold`` (a median exactly at
+    the threshold does not trip) once at least ``min_observations`` errors
+    are in the window.  Records passed to :meth:`observe` are retained
+    under a ``max_records`` keep-latest policy (``None`` = unbounded, only
+    for short-lived offline use).
+    """
+
+    def __init__(self, threshold=2.0, window=50, min_observations=10,
+                 max_records=512):
         if threshold < 1.0:
             raise ValueError("q-error thresholds are >= 1")
         self.threshold = threshold
         self.window = window
         self.min_observations = min_observations
+        self.max_records = max_records
         self._errors = deque(maxlen=window)
-        self._observed = []   # (record, actual) pairs for potential fine-tuning
+        # Keep-latest buffer of records for potential fine-tuning.
+        self._observed = deque(maxlen=max_records)
+        self.observed_total = 0
 
     def observe(self, predicted_ms, actual_ms, record=None):
-        """Record one (prediction, actual) observation; returns its q-error."""
-        error = float(q_error([predicted_ms], [actual_ms])[0])
+        """Record one (prediction, actual) observation; returns its q-error.
+
+        Raises :class:`DriftObservationError` when either runtime is
+        non-positive or non-finite instead of letting NaN/inf enter the
+        rolling median.
+        """
+        predicted = float(predicted_ms)
+        actual = float(actual_ms)
+        if (not math.isfinite(predicted) or not math.isfinite(actual)
+                or predicted <= 0.0 or actual <= 0.0):
+            raise DriftObservationError(
+                f"unusable q-error observation (predicted={predicted_ms!r}, "
+                f"actual={actual_ms!r}): runtimes must be positive and finite")
+        error = float(q_error([predicted], [actual])[0])
         self._errors.append(error)
+        self.observed_total += 1
         if record is not None:
             self._observed.append(record)
         return error
@@ -51,12 +95,28 @@ class DriftDetector:
         return self.rolling_median > self.threshold
 
     def fine_tuning_records(self):
-        """The queries observed since monitoring began (few-shot training set)."""
+        """The retained observed queries (few-shot training set), oldest first.
+
+        At most ``max_records`` records are kept (keep-latest); see
+        :meth:`stats` for how many observations were seen versus retained.
+        """
         return list(self._observed)
+
+    def stats(self):
+        """Observation/retention counters plus the current drift state."""
+        return {
+            "observed_total": self.observed_total,
+            "retained_records": len(self._observed),
+            "max_records": self.max_records,
+            "window_fill": len(self._errors),
+            "rolling_median": self.rolling_median,
+            "drifted": self.drifted,
+        }
 
     def reset(self):
         self._errors.clear()
         self._observed.clear()
+        self.observed_total = 0
 
     def monitor(self, model, trace, dbs, cards="deepdb", estimator_cache=None):
         """Replay a trace through the detector; returns the per-query errors."""

@@ -5,12 +5,15 @@ schedule must produce the same faults at the same places, every time.  This
 module gives the repo that property:
 
 * **Injection points are registered by name.**  Production code calls
-  :func:`check` (or :func:`corrupt` / :func:`delay_ms`) at a handful of
+  :func:`check` (or :func:`corrupt` / :func:`delay_ms`) at eight named
   choke points — registry checkpoint hydration (``registry.hydrate``),
   artifact-store reads (``store.read``), featurization
-  (``serve.featurize``), inference (``serve.infer``) and the batcher loop
-  itself (``serve.batcher``).  With no schedule installed these calls are a
-  single ``is None`` check — the fault plane costs nothing when idle.
+  (``serve.featurize``), inference (``serve.infer``), the batcher loop
+  itself (``serve.batcher``), and the continuous-learning control plane's
+  observation ingest (``controller.observe``), retrain/publish step
+  (``controller.retrain``) and shadow evaluation (``controller.shadow``).
+  With no schedule installed these calls are a single ``is None`` check —
+  the fault plane costs nothing when idle.
 * **A seeded :class:`FaultSchedule` decides per call.**  Every injection
   point owns an independent counted RNG stream seeded from
   ``(schedule seed, point name)``; the *n*-th call at a point always sees
@@ -61,11 +64,14 @@ __all__ = ["FaultSpec", "FaultSchedule", "InjectedFault", "inject",
 # The registered injection-point names (documentation + typo guard: a spec
 # naming an unknown point fails fast at schedule construction).
 POINTS = (
-    "store.read",         # ArtifactStore.load payload reads
-    "registry.hydrate",   # ModelRegistry checkpoint hydration
-    "serve.featurize",    # batcher-side featurization of a request group
-    "serve.infer",        # batcher-side predict_runtimes call
-    "serve.batcher",      # the batcher loop machinery itself (crash tests)
+    "store.read",          # ArtifactStore.load payload reads
+    "registry.hydrate",    # ModelRegistry checkpoint hydration
+    "serve.featurize",     # batcher-side featurization of a request group
+    "serve.infer",         # batcher-side predict_runtimes call
+    "serve.batcher",       # the batcher loop machinery itself (crash tests)
+    "controller.observe",  # control-plane observation ingest (per record)
+    "controller.retrain",  # drift retrain: train start + pre-publish
+    "controller.shadow",   # shadow evaluation of an unactivated candidate
 )
 
 

@@ -34,6 +34,16 @@ engine into that online service:
   supervised (fork-restart + exactly-once re-send of unanswered
   requests); promote/rollback broadcasts on ``registry.generation``
   changes, zero downtime fleet-wide.
+* :class:`ContinuousLearningController` (``controller.py``) — the
+  drift-aware control plane: an :class:`~repro.serving.core.
+  ObservationTap` on the serving core feeds delivered predictions to a
+  supervised daemon that joins them with seeded-simulator ground truth,
+  drives per-deployment :class:`~repro.robustness.DriftDetector`\\ s,
+  fine-tunes a candidate on drift, shadow-evaluates it on mirrored
+  traffic, promotes it atomically behind a Q-error-margin gate, and
+  auto-rolls-back on regression inside a probation window — every
+  decision counted (``controller.*`` perfstats) and journaled to a
+  typed, replayable event log.
 * :func:`run_load` (``loadgen.py``) — a seeded open-loop load harness
   recording throughput, availability, p50/p95/p99 latency (completed
   requests only), batch-size histograms and cache/shed/degraded counters,
@@ -58,19 +68,23 @@ Perfstats counters: ``serve.batch.count`` / ``serve.batch.requests``,
 
 from .registry import (HydrationError, ModelDeployment, ModelRegistry,
                        RoutingError)
-from .core import ServingCore
+from .core import Observation, ObservationTap, ServingCore
 from .server import (DeadlineExceededError, DegradedResponseError,
                      PredictionRequest, PredictorServer, RequestShedError,
                      RequestStatus, ServerClosedError, ServerConfig,
                      ServingRecord)
 from .fleet import PredictorFleet
 from .loadgen import LoadConfig, LoadReport, run_load, skewed_requests
+from .controller import (ContinuousLearningController, ControllerConfig,
+                         ControllerEvent, ControllerJournal, ObservedRecord)
 
 __all__ = [
     "HydrationError", "ModelDeployment", "ModelRegistry", "RoutingError",
     "DeadlineExceededError", "DegradedResponseError",
     "PredictionRequest", "PredictorFleet", "PredictorServer",
     "RequestShedError", "RequestStatus", "ServerClosedError", "ServerConfig",
-    "ServingCore", "ServingRecord",
+    "ServingCore", "ServingRecord", "Observation", "ObservationTap",
     "LoadConfig", "LoadReport", "run_load", "skewed_requests",
+    "ContinuousLearningController", "ControllerConfig", "ControllerEvent",
+    "ControllerJournal", "ObservedRecord",
 ]

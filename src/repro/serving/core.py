@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, OrderedDict, namedtuple
+from collections import Counter, OrderedDict, deque, namedtuple
 from dataclasses import dataclass
 from enum import Enum
 
@@ -47,11 +47,72 @@ from .registry import RoutingError
 
 __all__ = ["ServingCore", "ServerConfig", "PredictionRequest",
            "RequestStatus", "RequestShedError", "DeadlineExceededError",
-           "DegradedResponseError", "ServerClosedError", "ServingRecord"]
+           "DegradedResponseError", "ServerClosedError", "ServingRecord",
+           "Observation", "ObservationTap"]
 
 # The unit of serving work: featurize_records only reads .db_name and .plan,
 # so this lightweight record stands in for an executed TraceRecord.
 ServingRecord = namedtuple("ServingRecord", ["db_name", "plan"])
+
+# One delivered model-path prediction, as seen by the observation tap:
+# enough to recompute ground truth (db_name + plan), key the result
+# (digest) and attribute the prediction to a deployment (served_by is the
+# (model name, version) pair).  DEGRADED and FAILED deliveries are never
+# observed — the tap watches the learned model, not the fallback.
+Observation = namedtuple(
+    "Observation", ["db_name", "plan", "digest", "predicted_ms", "served_by"])
+
+
+class ObservationTap:
+    """Bounded, lock-protected queue feeding deliveries to a controller.
+
+    The serving side calls :meth:`record` for every DONE/CACHED delivery;
+    when the queue is full the *incoming* observation is dropped (counted,
+    never blocking the batcher).  The consuming side reads with
+    :meth:`peek` and acknowledges with :meth:`commit` — a consumer that
+    crashes between the two re-reads the same observations on restart, so
+    a controller crash loses nothing.
+    """
+
+    def __init__(self, max_pending=4096):
+        self.max_pending = int(max_pending)
+        self._lock = threading.Lock()
+        self._items = deque()
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, observation):
+        """Enqueue one observation; False (and a counter) when full."""
+        with self._lock:
+            if len(self._items) >= self.max_pending:
+                self.dropped += 1
+                perfstats.increment("controller.observe.dropped")
+                return False
+            self._items.append(observation)
+            self.recorded += 1
+        return True
+
+    def peek(self, n=None):
+        """Up to ``n`` oldest observations, without removing them."""
+        with self._lock:
+            if n is None:
+                n = len(self._items)
+            return [self._items[i] for i in range(min(n, len(self._items)))]
+
+    def commit(self, n=1):
+        """Acknowledge (remove) the ``n`` oldest observations."""
+        with self._lock:
+            for _ in range(min(n, len(self._items))):
+                self._items.popleft()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._items)
+
+    def stats(self):
+        with self._lock:
+            return {"pending": len(self._items), "recorded": self.recorded,
+                    "dropped": self.dropped, "max_pending": self.max_pending}
 
 
 class RequestStatus(Enum):
@@ -264,6 +325,7 @@ class ServingCore:
         self._breakers = {}     # checkpoint_key -> _Breaker
         self._analytical = {}   # db_name -> AnalyticalCostModel
         self._seen_generation = None
+        self._observer = None   # opt-in ObservationTap (continuous learning)
         self.resolve_routes()
 
     # ------------------------------------------------------------------
@@ -287,6 +349,28 @@ class ServingCore:
     def counts_snapshot(self):
         with self._lock:
             return Counter(self._counts)
+
+    # ------------------------------------------------------------------
+    # Observation tap (continuous learning)
+    # ------------------------------------------------------------------
+    def attach_observer(self, tap):
+        """Opt in to observation: every DONE/CACHED delivery is recorded
+        to ``tap`` (an :class:`ObservationTap`).  One observer at a time;
+        ``None`` detaches."""
+        self._observer = tap
+        return tap
+
+    @property
+    def observer(self):
+        return self._observer
+
+    def _observe(self, db_name, plan, digest, value, route):
+        """Feed one model-path delivery to the attached tap (if any)."""
+        observer = self._observer
+        if observer is None:
+            return
+        observer.record(Observation(db_name, plan, digest, float(value),
+                                    route.served_by))
 
     # ------------------------------------------------------------------
     # Routing / hot-swap
@@ -379,15 +463,21 @@ class ServingCore:
                 self._digest_memo.popitem(last=False)
         return digest
 
-    def cached_value(self, route, digest):
+    def cached_value(self, route, digest, db_name=None, plan=None):
         """Result-cache probe; counts the hit and returns the value, or
-        ``None`` on a miss (the miss is counted at prediction time)."""
+        ``None`` on a miss (the miss is counted at prediction time).
+
+        When ``db_name``/``plan`` are given, a hit is also fed to the
+        observation tap — submit-time cache answers are deliveries too.
+        """
         with self._lock:
             value = self._cache_get_locked((route.checkpoint_key, digest))
             if value is not None:
                 self._counts["cached"] += 1
         if value is not None:
             perfstats.increment("serve.cache.hit")
+            if plan is not None:
+                self._observe(db_name, plan, digest, value, route)
         return value
 
     def _cache_get_locked(self, key):
@@ -439,7 +529,7 @@ class ServingCore:
                    for request in requests]
         # Late cache probe: a duplicate that was queued before its twin's
         # batch completed is answered here instead of re-predicted.
-        pending, keys = [], []
+        pending, keys, hits = [], [], []
         with self._lock:
             for request, digest in zip(requests, digests):
                 key = (route.checkpoint_key, digest)
@@ -449,9 +539,12 @@ class ServingCore:
                     perfstats.increment("serve.cache.hit")
                     request._finish(RequestStatus.CACHED, value=value,
                                     served_by=route.served_by)
+                    hits.append((request, digest, value))
                 else:
                     pending.append(request)
                     keys.append(key)
+        for request, digest, value in hits:  # observe outside the lock
+            self._observe(db_name, request.plan, digest, value, route)
         if not pending:
             return
         perfstats.increment("serve.cache.miss", len(pending))
@@ -498,9 +591,11 @@ class ServingCore:
                 for digest, value in zip(digests, values):
                     self._cache_put_locked((route.checkpoint_key, digest),
                                            float(value))
-            for request, value in zip(requests, values):
+            for request, digest, value in zip(requests, digests, values):
                 request._finish(RequestStatus.DONE, value=float(value),
                                 served_by=route.served_by)
+                self._observe(db_name, request.plan, digest, float(value),
+                              route)
             return
         if len(requests) > 1:
             # Poisoned-batch bisection: the halves retry independently, so

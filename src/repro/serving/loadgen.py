@@ -106,7 +106,45 @@ class LoadReport:
     mean_batch_size: float = 0.0
     server_stats: dict = field(default_factory=dict)
     fault_stats: dict = field(default_factory=dict)  # per-point inject counts
+    q_error_by_phase: dict = field(default_factory=dict)  # drift scenarios
     handles: list = field(default_factory=list, repr=False)  # per-request
+
+    def compute_q_error_phases(self, truth_for, phases):
+        """Per-phase Q-error summary for drift scenarios; stored and returned.
+
+        ``phases`` maps phase names (e.g. ``"before"`` / ``"drift"`` /
+        ``"after"``) to ``(start, end)`` index bounds over this report's
+        handles in submission order; ``truth_for(handle)`` returns the
+        ground-truth runtime (ms) for a handle.  Only model-path
+        deliveries (``DONE``/``CACHED``) are scored — degraded fallback
+        answers would conflate the fallback's error with the model's —
+        so controller benchmarks and the quickstart can report recovery
+        curves (Q-error before drift injection, during degradation, after
+        recovery) without ad-hoc plumbing.
+        """
+        from ..nn import q_error
+        ordered = sorted(self.handles, key=lambda handle: handle.submitted_at)
+        scored = (RequestStatus.DONE, RequestStatus.CACHED)
+        summary = {}
+        for name, (start, end) in phases.items():
+            predictions, truths = [], []
+            for handle in ordered[start:end]:
+                if handle.status in scored:
+                    predictions.append(handle.value)
+                    truths.append(truth_for(handle))
+            if predictions:
+                errors = q_error(np.asarray(predictions, dtype=float),
+                                 np.asarray(truths, dtype=float))
+                summary[name] = {
+                    "count": int(errors.size),
+                    "median": float(np.median(errors)),
+                    "p95": float(np.percentile(errors, 95)),
+                    "max": float(errors.max()),
+                }
+            else:
+                summary[name] = {"count": 0}
+        self.q_error_by_phase = summary
+        return summary
 
     def as_dict(self):
         return {
@@ -122,6 +160,8 @@ class LoadReport:
             "batch_size_hist": dict(self.batch_size_hist),
             "mean_batch_size": self.mean_batch_size,
             "fault_stats": dict(self.fault_stats),
+            "q_error_by_phase": {name: dict(summary) for name, summary
+                                 in self.q_error_by_phase.items()},
         }
 
 

@@ -241,6 +241,23 @@ class ModelRegistry:
         """Version numbers of ``name`` whose checkpoints were quarantined."""
         return tuple(self._manifest(name).get("quarantined", ()))
 
+    def find_version(self, name, checkpoint_key):
+        """Newest version of ``name`` backed by ``checkpoint_key`` (or None).
+
+        Checkpoints are content-addressed, so this makes re-publishing a
+        deterministically retrained candidate idempotent: a controller that
+        crashed after ``publish`` but before recording the fact finds the
+        existing version on retry instead of minting a duplicate.
+        """
+        try:
+            manifest = self._manifest(name)
+        except RoutingError:
+            return None
+        for entry in reversed(manifest["versions"]):
+            if entry["checkpoint_key"] == checkpoint_key:
+                return entry["version"]
+        return None
+
     def active(self, name):
         """The active :class:`ModelDeployment` of ``name`` (None if none)."""
         manifest = self._manifest(name)

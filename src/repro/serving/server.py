@@ -226,7 +226,7 @@ class PredictorServer:
         # outside the locks so concurrent first-seen submits don't serialize
         # behind each other's O(plan) digest walks.
         digest = core.plan_digest(db_name, plan)
-        value = core.cached_value(route, digest)
+        value = core.cached_value(route, digest, db_name=db_name, plan=plan)
         if value is not None:
             request._finish(RequestStatus.CACHED, value=value,
                             served_by=route.served_by)

@@ -1,0 +1,535 @@
+"""Continuous-learning control plane: observe -> detect -> retrain ->
+shadow-evaluate -> promote -> probation.
+
+The contract under test, end to end:
+
+* the serving core's observation tap sees every DONE/CACHED delivery (and
+  nothing else), peek-then-commit, bounded with a drop counter,
+* a calibrated drift scenario (train on small-join queries, shift traffic
+  to an unseen database) drives the full loop: drift detected, candidate
+  fine-tuned on the observed drift window and published *unactivated*,
+  shadow-evaluated against the active model, promoted behind the Q-error
+  margin gate, and graduated from probation,
+* the same scenario replayed from scratch produces *bit-identical*
+  controller decisions — same detect tick, same candidate digest, same
+  event stream,
+* a promoted candidate that regresses (traffic shifts again, to a heavy
+  database it never learned) is auto-rolled-back inside the probation
+  window,
+* a controller crash at any fault point (observation ingest, retrain
+  start, pre-publish, shadow evaluation) loses no observations and never
+  double-publishes or double-promotes — retry converges,
+* daemon mode is supervised: an injected crash bumps the crash counter,
+  the loop restarts, and the scenario still completes.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro import perfstats
+from repro.bench import ArtifactStore
+from repro.core import TrainingConfig, ZeroShotCostModel
+from repro.datagen import generate_database, random_database_spec
+from repro.executor import simulate_runtime_ms_batch
+from repro.optimizer import plan_query
+from repro.robustness.faults import (FaultSchedule, FaultSpec, InjectedFault,
+                                     POINTS, inject)
+from repro.serving import (ContinuousLearningController, ControllerConfig,
+                           ControllerEvent, ControllerJournal, LoadConfig,
+                           ModelRegistry, Observation, ObservationTap,
+                           PredictorServer, RequestStatus, ServerConfig,
+                           run_load)
+from repro.serving.core import ServingCore
+from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
+
+
+# ----------------------------------------------------------------------
+# Shared world: a small training database, a drift database the base
+# model has never seen, and a heavy database the *candidate* never learns
+# (regression traffic).  Calibrated so the base model's Q-error on drift
+# traffic (~3x) clears the 2.0 threshold, the fine-tuned candidate's
+# (~1.3-1.7x) stays under it, and the candidate's on heavy traffic
+# (~4-12x) clears the 2.5 probation threshold — with margin to spare
+# under cross-process (hash-seed) training jitter.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def world():
+    db = generate_database(random_database_spec(
+        "ctl_db", seed=31, layout="snowflake", base_rows=400, n_tables=4,
+        complexity=0.6))
+    drift_db = generate_database(random_database_spec(
+        "drift_db", seed=77, layout="star", base_rows=900, n_tables=5,
+        complexity=0.9))
+    heavy_db = generate_database(random_database_spec(
+        "heavy_db", seed=5, layout="star", base_rows=20000, n_tables=6,
+        complexity=0.9))
+    dbs = {d.name: d for d in (db, drift_db, heavy_db)}
+    queries_a = WorkloadGenerator(db, WorkloadConfig(max_joins=1),
+                                  seed=7).generate(40)
+    trace_a = list(generate_trace(db, queries_a, seed=7))
+    queries_b = WorkloadGenerator(drift_db,
+                                  WorkloadConfig(min_joins=2, max_joins=4),
+                                  seed=99).generate(120)
+    trace_b = list(generate_trace(drift_db, queries_b, seed=7))
+    queries_c = WorkloadGenerator(heavy_db,
+                                  WorkloadConfig(min_joins=3, max_joins=5),
+                                  seed=13).generate(32)
+    trace_c = list(generate_trace(heavy_db, queries_c, seed=7))
+    base = ZeroShotCostModel.train(
+        [trace_a], dbs, cards="exact",
+        config=TrainingConfig(hidden_dim=24, epochs=12, dtype="float32",
+                              seed=0))
+    return {"dbs": dbs, "trace_a": trace_a, "trace_b": trace_b,
+            "trace_c": trace_c, "base": base}
+
+
+CTL_CONFIG = ControllerConfig(
+    truth_seed=7, drift_threshold=2.0, drift_window=16, min_observations=8,
+    max_fine_tune_records=16, fine_tune_epochs=20, fine_tune_lr=1e-3,
+    shadow_margin=1.05, min_shadow_samples=16,
+    probation_observations=64, probation_threshold=2.5,
+    max_observations_per_tick=16)
+
+LOAD = LoadConfig(n_clients=1, block=True)
+
+
+def _stack(world, tmp_path, config=CTL_CONFIG, **server_overrides):
+    registry = ModelRegistry(ArtifactStore(tmp_path))
+    registry.publish("zs", world["base"],
+                     dbs=list(world["dbs"].values()), default=True)
+    defaults = dict(max_batch_size=8, max_delay_ms=1.0, result_cache_size=0)
+    defaults.update(server_overrides)
+    server = PredictorServer(registry, world["dbs"],
+                             ServerConfig(**defaults)).start()
+    controller = ContinuousLearningController(registry, server, config)
+    return registry, server, controller
+
+
+def _phases(world, regression=False):
+    """The scenario's traffic phases, as (db_name, plans) lists."""
+    a, b, c = world["trace_a"], world["trace_b"], world["trace_c"]
+    last = ([("heavy_db", r.plan) for r in c] if regression
+            else [("drift_db", r.plan) for r in b[80:120]])
+    return [
+        [("ctl_db", r.plan) for r in a[:24]],        # in-distribution
+        [("drift_db", r.plan) for r in b[:48]],      # drift hits
+        [("drift_db", r.plan) for r in b[48:80]],    # recovery traffic
+        last,                                        # graduation / regression
+    ]
+
+
+def _run_scenario(world, tmp_path, regression=False, schedule=None,
+                  max_retries=3):
+    """Drive the scenario synchronously; returns (registry, controller,
+    faults raised out of drain)."""
+    registry, server, controller = _stack(world, tmp_path)
+    raised = 0
+
+    def drain():
+        nonlocal raised
+        for _ in range(max_retries):
+            try:
+                controller.drain()
+                return
+            except InjectedFault:
+                raised += 1
+        raise AssertionError("drain kept faulting")
+
+    try:
+        if schedule is not None:
+            with inject(schedule):
+                for phase in _phases(world, regression):
+                    run_load(server, phase, LOAD)
+                    drain()
+        else:
+            for phase in _phases(world, regression):
+                run_load(server, phase, LOAD)
+                drain()
+    finally:
+        server.stop()
+    return registry, controller, raised
+
+
+# ----------------------------------------------------------------------
+# Observation tap
+# ----------------------------------------------------------------------
+class TestObservationTap:
+    def test_peek_then_commit(self):
+        tap = ObservationTap(max_pending=8)
+        for i in range(3):
+            assert tap.record(("obs", i))
+        assert tap.peek(2) == [("obs", 0), ("obs", 1)]
+        assert len(tap) == 3  # peek does not consume
+        tap.commit(2)
+        assert tap.peek() == [("obs", 2)]
+        tap.commit(5)  # over-commit is clamped
+        assert len(tap) == 0
+
+    def test_bounded_drops_incoming(self):
+        perfstats.reset()
+        tap = ObservationTap(max_pending=2)
+        assert tap.record("a") and tap.record("b")
+        assert not tap.record("c")  # full: incoming dropped, not oldest
+        assert tap.peek() == ["a", "b"]
+        stats = tap.stats()
+        assert stats == {"pending": 2, "recorded": 2, "dropped": 1,
+                         "max_pending": 2}
+        assert perfstats.snapshot()["controller.observe.dropped"] == 1
+
+    def test_fault_points_registered(self):
+        for point in ("controller.observe", "controller.retrain",
+                      "controller.shadow"):
+            assert point in POINTS
+
+
+# ----------------------------------------------------------------------
+# Serving-core observation plumbing
+# ----------------------------------------------------------------------
+class TestObservationPlumbing:
+    def test_done_and_cached_observed(self, world, tmp_path):
+        registry, server, controller = _stack(world, tmp_path,
+                                              result_cache_size=64)
+        try:
+            plans = [("ctl_db", r.plan) for r in world["trace_a"][:6]]
+            run_load(server, plans + plans[:2], LOAD)
+        finally:
+            server.stop()
+        tap = controller.tap
+        assert tap.stats()["recorded"] == 8  # 6 DONE + 2 CACHED
+        observations = tap.peek()
+        assert all(isinstance(o, Observation) for o in observations)
+        assert all(o.served_by == ("zs", 1) for o in observations)
+        assert all(o.db_name == "ctl_db" for o in observations)
+        assert all(o.predicted_ms > 0 for o in observations)
+        # Cache hits observe the same value as the original prediction.
+        by_digest = {}
+        for o in observations:
+            by_digest.setdefault(o.digest, []).append(o.predicted_ms)
+        repeats = [vals for vals in by_digest.values() if len(vals) > 1]
+        assert repeats and all(len(set(vals)) == 1 for vals in repeats)
+
+    def test_failed_requests_not_observed(self, world, tmp_path):
+        registry, server, controller = _stack(world, tmp_path,
+                                              max_retries=1,
+                                              retry_backoff_ms=0.2)
+        schedule = FaultSchedule(
+            [FaultSpec("serve.infer", rate=1.0)], seed=3)
+        try:
+            with inject(schedule):
+                handle = server.submit(world["trace_a"][0].plan, "ctl_db")
+                handle.wait(10.0)
+            assert handle.status in (RequestStatus.FAILED,
+                                     RequestStatus.DEGRADED)
+        finally:
+            server.stop()
+        assert controller.tap.stats()["recorded"] == 0
+
+    def test_core_without_observer_unchanged(self, world, tmp_path):
+        registry, server, _ = _stack(world, tmp_path)
+        core = ServingCore(registry, world["dbs"])
+        assert core.observer is None  # opt-in: no tap, no observation work
+        server.stop()
+
+
+# ----------------------------------------------------------------------
+# Registry content-addressed lookup (the idempotent-publish primitive)
+# ----------------------------------------------------------------------
+class TestFindVersion:
+    def test_finds_by_checkpoint_key(self, world, tmp_path):
+        registry = ModelRegistry(ArtifactStore(tmp_path))
+        deployment = registry.publish("zs", world["base"],
+                                      dbs=[world["dbs"]["ctl_db"]])
+        assert registry.find_version("zs", deployment.checkpoint_key) == 1
+        assert registry.find_version("zs", "no-such-digest") is None
+        assert registry.find_version("ghost", deployment.checkpoint_key) is None
+
+
+# ----------------------------------------------------------------------
+# Ground-truth join
+# ----------------------------------------------------------------------
+class TestGroundTruthJoin:
+    def test_truth_matches_trace_runtime(self, world, tmp_path):
+        # The seeded simulator is a pure function of the executed plan, so
+        # the controller's online ground truth for a served plan equals the
+        # runtime the trace recorded at generation time.
+        registry, server, controller = _stack(world, tmp_path)
+        server.stop()
+        records = world["trace_a"][:5]
+        batch = [Observation("ctl_db", r.plan, f"d{i}", 1.0, ("zs", 1))
+                 for i, r in enumerate(records)]
+        truths = controller._ground_truths(batch)
+        assert truths == [pytest.approx(r.runtime_ms) for r in records]
+
+    def test_fresh_plans_executed_first(self, world, tmp_path):
+        perfstats.reset()
+        registry, server, controller = _stack(world, tmp_path)
+        server.stop()
+        db = world["dbs"]["ctl_db"]
+        query = WorkloadGenerator(db, WorkloadConfig(max_joins=1),
+                                  seed=123).generate(1)[0]
+        plan = plan_query(db, query)
+        assert plan.true_rows is None  # planned, never executed
+        tap = controller.tap
+        tap.record(Observation("ctl_db", plan, "fresh", 5.0, ("zs", 1)))
+        controller.tick()
+        assert plan.true_rows is not None  # executed through the engine
+        counters = perfstats.snapshot()
+        assert counters["controller.observe.executed"] == 1
+        assert controller.detector_for(1).observed_total == 1
+
+
+# ----------------------------------------------------------------------
+# The full loop, deterministically replayed
+# ----------------------------------------------------------------------
+class TestControllerScenario:
+    def test_happy_path_promotes_and_graduates(self, world, tmp_path):
+        perfstats.reset()
+        registry, controller, raised = _run_scenario(world, tmp_path)
+        assert raised == 0
+        events = controller.journal.events()
+        assert [e.kind for e in events] == [
+            "drift-detected", "candidate-published", "promoted",
+            "probation-passed"]
+        drift, published, promoted, graduated = events
+        assert drift.version == 1
+        assert dict(drift.detail)["rolling_median"] > 2.0
+        assert dict(published.detail)["records"] == 16
+        assert published.candidate_version == 2
+        detail = dict(promoted.detail)
+        assert (detail["candidate_median"] * CTL_CONFIG.shadow_margin
+                <= detail["active_median"])
+        assert dict(graduated.detail)["probation_seen"] == 64
+        assert registry.active("zs").version == 2
+        assert len(registry.deployments("zs")) == 2
+        assert controller.state == "monitoring"
+        assert len(controller.tap) == 0
+        counters = perfstats.snapshot()
+        assert counters["controller.promote.count"] == 1
+        assert counters.get("controller.rollback.count", 0) == 0
+        assert counters["controller.retrain.count"] == 1
+
+    def test_replay_is_bit_identical(self, world, tmp_path):
+        _, first, _ = _run_scenario(world, tmp_path / "run1")
+        _, second, _ = _run_scenario(world, tmp_path / "run2")
+        # Typed events compare with == — same seq, tick, kind, versions,
+        # digest and detail.  Identical digests mean the retrain produced
+        # bit-identical candidate checkpoints.
+        assert first.journal.events() == second.journal.events()
+        digests = [e.digest for e in first.journal.events("candidate-published")]
+        assert digests and digests == [
+            e.digest for e in second.journal.events("candidate-published")]
+
+    def test_regression_rolls_back_within_probation(self, world, tmp_path):
+        perfstats.reset()
+        registry, controller, _ = _run_scenario(world, tmp_path,
+                                                regression=True)
+        events = controller.journal.events()
+        assert [e.kind for e in events] == [
+            "drift-detected", "candidate-published", "promoted",
+            "rolled-back"]
+        rollback = dict(events[-1].detail)
+        assert rollback["restored_version"] == 1
+        # Inside the window: the regression tripped before graduation.
+        assert rollback["probation_seen"] < CTL_CONFIG.probation_observations
+        assert rollback["rolling_median"] > 2.5
+        assert registry.active("zs").version == 1
+        assert controller.state == "monitoring"
+        assert perfstats.snapshot()["controller.rollback.count"] == 1
+
+    def test_stats_surface(self, world, tmp_path):
+        registry, controller, _ = _run_scenario(world, tmp_path)
+        stats = controller.stats()
+        assert stats["state"] == "monitoring"
+        assert stats["active_version"] == 2
+        assert stats["crashes"] == 0
+        assert stats["tap"]["pending"] == 0
+        assert stats["detector"]["observed_total"] > 0
+
+
+# ----------------------------------------------------------------------
+# Crash-recovery: the loop converges through injected faults
+# ----------------------------------------------------------------------
+class TestControllerChaos:
+    @pytest.mark.parametrize("spec_kwargs", [
+        dict(point="controller.observe", rate=1.0, max_faults=1),
+        dict(point="controller.retrain", rate=1.0, max_faults=1),
+        dict(point="controller.retrain", rate=1.0, max_faults=1,
+             skip_calls=1),  # after training, before publication
+        dict(point="controller.shadow", rate=1.0, max_faults=1),
+    ], ids=["observe", "retrain-start", "retrain-pre-publish", "shadow"])
+    def test_crash_then_retry_converges(self, world, tmp_path, spec_kwargs):
+        schedule = FaultSchedule([FaultSpec(**spec_kwargs)], seed=3)
+        registry, controller, raised = _run_scenario(world, tmp_path,
+                                                     schedule=schedule)
+        assert raised == 1  # the fault did fire, out of tick/drain
+        # Exactly-once everything: one candidate version, one publication,
+        # one promotion — and the scenario still completes.
+        assert [e.kind for e in controller.journal.events()] == [
+            "drift-detected", "candidate-published", "promoted",
+            "probation-passed"]
+        assert len(registry.deployments("zs")) == 2
+        assert registry.active("zs").version == 2
+        # No observation was lost or double-ingested: every delivery for
+        # the v1 deployment (24 in-distribution + 48 drift) is accounted.
+        assert controller.detector_for(1).observed_total == 72
+        assert len(controller.tap) == 0
+
+    def test_crashed_chaos_run_replays_identically(self, world, tmp_path):
+        runs = []
+        for name in ("c1", "c2"):
+            schedule = FaultSchedule(
+                [FaultSpec("controller.retrain", rate=1.0, max_faults=1)],
+                seed=5)
+            _, controller, raised = _run_scenario(world, tmp_path / name,
+                                                  schedule=schedule)
+            assert raised == 1
+            runs.append(controller.journal.events())
+        assert runs[0] == runs[1]
+
+    def test_extra_ticks_never_double_promote(self, world, tmp_path):
+        registry, controller, _ = _run_scenario(world, tmp_path)
+        for _ in range(5):
+            controller.tick()  # idle ticks after convergence
+        assert len(controller.journal.events("promoted")) == 1
+        assert len(registry.deployments("zs")) == 2
+
+
+# ----------------------------------------------------------------------
+# Supervised daemon mode
+# ----------------------------------------------------------------------
+class TestControllerDaemon:
+    def _await(self, predicate, timeout_s=30.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.02)
+        return False
+
+    def _pump_until_graduated(self, world, server, controller):
+        """Drive the drift scenario under a live daemon.
+
+        Unlike the synchronous tests, the daemon ticks *while* load runs,
+        so the promotion can land anywhere inside a phase and the number
+        of post-promotion deliveries a fixed phase list produces is not
+        deterministic.  After the drift phases, keep pumping recovery
+        traffic until the controller graduates probation (bounded).
+        """
+        for phase in _phases(world)[:2]:
+            run_load(server, phase, LOAD)
+            assert self._await(lambda: len(controller.tap) == 0)
+        recovery = [("drift_db", r.plan) for r in world["trace_b"][48:80]]
+        for _ in range(20):
+            if controller.journal.events("probation-passed"):
+                return True
+            run_load(server, recovery, LOAD)
+            assert self._await(lambda: len(controller.tap) == 0)
+        return bool(controller.journal.events("probation-passed"))
+
+    def test_daemon_closes_the_loop(self, world, tmp_path):
+        config = dataclasses.replace(CTL_CONFIG, cadence_s=0.01)
+        registry, server, controller = _stack(world, tmp_path, config=config)
+        try:
+            with controller:
+                assert self._pump_until_graduated(world, server, controller)
+        finally:
+            server.stop()
+        assert registry.active("zs").version == 2
+        assert controller.stats()["crashes"] == 0
+
+    def test_daemon_survives_injected_crash(self, world, tmp_path):
+        config = dataclasses.replace(CTL_CONFIG, cadence_s=0.01)
+        registry, server, controller = _stack(world, tmp_path, config=config)
+        schedule = FaultSchedule(
+            [FaultSpec("controller.observe", rate=1.0, max_faults=1)],
+            seed=9)
+        try:
+            with inject(schedule):
+                with controller:
+                    assert self._pump_until_graduated(world, server,
+                                                      controller)
+        finally:
+            server.stop()
+        # The crash was real (supervisor restarted the loop) and harmless
+        # (peek-then-commit re-read the batch; the scenario completed).
+        stats = controller.stats()
+        assert stats["crashes"] == 1, stats["last_crash"]
+        assert schedule.stats()["controller.observe"]["faults"] == 1
+        assert registry.active("zs").version == 2
+
+    def test_stop_is_idempotent_and_restartable(self, world, tmp_path):
+        registry, server, controller = _stack(world, tmp_path)
+        controller.start()
+        with pytest.raises(RuntimeError):
+            controller.start()  # already running
+        controller.stop()
+        controller.stop()  # no-op
+        controller.start()  # restartable after a clean stop
+        controller.stop()
+        server.stop()
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+class TestControllerJournal:
+    def test_jsonl_mirror_round_trips(self, world, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = ControllerJournal(path=str(path))
+        events = [
+            ControllerEvent(seq=0, tick=3, kind="drift-detected", model="zs",
+                            version=1, detail=(("rolling_median", 3.1),)),
+            ControllerEvent(seq=1, tick=3, kind="candidate-published",
+                            model="zs", version=1, candidate_version=2,
+                            digest="abc123", detail=(("records", 16),)),
+        ]
+        for event in events:
+            journal.append(event)
+        assert ControllerJournal.read_jsonl(str(path)) == events
+        assert journal.events("drift-detected") == events[:1]
+        assert len(journal) == 2
+
+    def test_scenario_journal_mirrors_to_disk(self, world, tmp_path):
+        path = tmp_path / "ctl.jsonl"
+        config = dataclasses.replace(CTL_CONFIG, journal_path=str(path))
+        registry, server, controller = _stack(world, tmp_path, config=config)
+        try:
+            for phase in _phases(world):
+                run_load(server, phase, LOAD)
+                controller.drain()
+        finally:
+            server.stop()
+        assert ControllerJournal.read_jsonl(str(path)) == \
+            controller.journal.events()
+
+
+# ----------------------------------------------------------------------
+# Per-phase Q-error reporting (drift scenarios' recovery curves)
+# ----------------------------------------------------------------------
+class TestQErrorByPhase:
+    def test_phase_summaries(self, world, tmp_path):
+        registry, server, _ = _stack(world, tmp_path)
+        try:
+            plans = [("ctl_db", r.plan) for r in world["trace_a"][:12]]
+            report = run_load(server, plans, LOAD)
+        finally:
+            server.stop()
+        dbs = world["dbs"]
+
+        def truth_for(handle):
+            return float(simulate_runtime_ms_batch(
+                dbs[handle.db_name], [handle.plan], seed=7)[0])
+
+        summary = report.compute_q_error_phases(
+            truth_for, {"first": (0, 6), "second": (6, 12), "empty": (12, 12)})
+        assert report.q_error_by_phase is summary
+        assert summary["first"]["count"] == 6
+        assert summary["second"]["count"] == 6
+        assert summary["empty"] == {"count": 0}
+        for name in ("first", "second"):
+            phase = summary[name]
+            assert 1.0 <= phase["median"] <= phase["p95"] <= phase["max"]
+        assert "q_error_by_phase" in report.as_dict()

@@ -196,6 +196,37 @@ class TestGraphMechanics:
             y = x * 2 + 1
         assert not y.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # A serving thread running inference under no_grad must not turn
+        # off graph construction for a concurrently training thread (the
+        # continuous-learning controller fine-tunes in-process while the
+        # predictor serves).
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def inference():
+            with no_grad():
+                entered.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=inference, daemon=True)
+        thread.start()
+        assert entered.wait(5.0)
+        try:
+            assert is_grad_enabled()  # this thread is untouched
+            x = Tensor(np.ones(3), requires_grad=True)
+            loss = (x * 2).sum()
+            assert loss.requires_grad
+            loss.backward()  # graph was built; backward works
+            np.testing.assert_allclose(x.grad, 2.0)
+        finally:
+            release.set()
+            thread.join(5.0)
+
     def test_detach(self):
         x = Tensor(np.ones(2), requires_grad=True)
         assert not x.detach().requires_grad

@@ -5,7 +5,8 @@ import pytest
 
 from repro.core import TrainingConfig
 from repro.datagen import generate_database, random_database_spec
-from repro.robustness import (DriftDetector, estimate_generalization_error,
+from repro.robustness import (DriftDetector, DriftObservationError,
+                              estimate_generalization_error,
                               sufficiency_curve)
 from repro.workloads import WorkloadConfig, WorkloadGenerator, generate_trace
 
@@ -94,3 +95,73 @@ class TestDriftDetector:
     def test_threshold_validation(self):
         with pytest.raises(ValueError):
             DriftDetector(threshold=0.5)
+
+    def test_median_exactly_at_threshold_does_not_trip(self):
+        # ``drifted`` is strictly-above: a rolling median sitting exactly
+        # on the threshold keeps monitoring instead of triggering a
+        # retrain storm on borderline workloads.
+        detector = DriftDetector(threshold=2.0, min_observations=5)
+        for _ in range(10):
+            detector.observe(50.0, 100.0)  # q-error exactly 2.0
+        assert detector.rolling_median == pytest.approx(2.0)
+        assert not detector.drifted
+        for _ in range(11):  # a majority of worse observations tips it
+            detector.observe(10.0, 100.0)
+        assert detector.drifted
+
+    def test_min_observations_gates_even_terrible_errors(self):
+        detector = DriftDetector(threshold=2.0, min_observations=10)
+        for _ in range(9):
+            detector.observe(1.0, 1000.0)
+        assert not detector.drifted  # 9 < 10, however bad they look
+        detector.observe(1.0, 1000.0)
+        assert detector.drifted
+
+    def test_rejects_unusable_observations(self):
+        detector = DriftDetector(min_observations=1)
+        for predicted, actual in [(0.0, 10.0), (-5.0, 10.0), (10.0, 0.0),
+                                  (10.0, -1.0), (float("nan"), 10.0),
+                                  (10.0, float("inf"))]:
+            with pytest.raises(DriftObservationError):
+                detector.observe(predicted, actual, record="poison")
+        # Nothing entered the window or the record buffer.
+        assert detector.stats()["window_fill"] == 0
+        assert detector.observed_total == 0
+        assert detector.fine_tuning_records() == []
+
+    def test_observation_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            DriftDetector().observe(0.0, 1.0)
+
+    def test_record_buffer_keeps_latest(self):
+        detector = DriftDetector(max_records=3)
+        for i in range(8):
+            detector.observe(1.0, 2.0, record=f"r{i}")
+        assert detector.fine_tuning_records() == ["r5", "r6", "r7"]
+        stats = detector.stats()
+        assert stats["observed_total"] == 8
+        assert stats["retained_records"] == 3
+        assert stats["max_records"] == 3
+
+    def test_reset_clears_window_records_and_counters(self):
+        detector = DriftDetector(threshold=2.0, min_observations=2,
+                                 max_records=4)
+        for i in range(6):
+            detector.observe(1.0, 100.0, record=f"r{i}")
+        assert detector.drifted and detector.observed_total == 6
+        detector.reset()
+        assert not detector.drifted
+        assert detector.rolling_median == 1.0  # empty window
+        assert detector.fine_tuning_records() == []
+        assert detector.observed_total == 0
+        assert detector.stats()["window_fill"] == 0
+
+    def test_stats_surface(self):
+        detector = DriftDetector(threshold=3.0, window=4,
+                                 min_observations=2, max_records=2)
+        detector.observe(10.0, 100.0, record="a")
+        stats = detector.stats()
+        assert stats == {"observed_total": 1, "retained_records": 1,
+                         "max_records": 2, "window_fill": 1,
+                         "rolling_median": pytest.approx(10.0),
+                         "drifted": False}
