@@ -694,6 +694,211 @@ def bench_fleet(db, records, hidden_dim=64, n_clients=4,
     return rates, extras
 
 
+_FLEET_CHAOS_COUNTERS = (
+    "fleet.hang.detected", "fleet.hang.killed", "fleet.hedge.sent",
+    "fleet.hedge.won", "fleet.hedge.wasted", "fleet.worker.restart",
+    "fleet.brownout.count", "serve.shed.priority.high",
+    "serve.shed.priority.normal", "serve.shed.priority.low",
+)
+
+
+def bench_fleet_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2,
+                      n_workers=2, seed=0, fault_seed=1, max_batch_size=16,
+                      max_delay_ms=1.0, hang_timeout_ms=500.0,
+                      ping_interval_ms=100.0, hedge_after_ms=60.0,
+                      overload_queue_depth=32):
+    """Fleet liveness and overload control under IPC chaos, fully audited.
+
+    Two phases against one published model, both audited against a direct
+    ``predict_runtimes`` oracle (the fleet equivalence contract):
+
+    **Phase A — liveness chaos.**  Worker 0 is armed with a deterministic
+    per-worker :class:`~repro.robustness.faults.FaultSchedule` that hangs
+    it forever mid-run (``fleet.worker.hang``, gray failure: the process
+    lives, answers nothing); the router process runs a schedule of pinned
+    ``fleet.pipe.send``/``fleet.pipe.recv`` drops plus background send
+    delays; the last worker is SIGKILLed outright before the load starts.
+    Recovery must come from the new liveness plane: hedged re-sends after
+    ``hedge_after_ms``, hang detection + kill after ``hang_timeout_ms``,
+    and restart-with-re-send for both corpses.  The phase **fails** on any
+    wrong value, any lost or duplicated request, availability < 0.99, or
+    when the hang/hedge/restart counters show the machinery did not fire.
+
+    **Phase B — overload control.**  A clean fleet is first saturated to
+    measure its capacity, then driven open-loop at 2x that rate with a
+    seeded 20/30/50 HIGH/NORMAL/LOW priority mix against a bounded queue
+    with a HIGH reserve and LOW brownout.  The phase **fails** when HIGH
+    availability drops below 0.99 or when shedding does not concentrate
+    on the low-priority classes (per-class numbers from
+    ``LoadReport.by_priority``).
+
+    Returns a dict with both phases' reports, the relevant perfstats
+    deltas, and a ``failures`` list (empty means the run passed).
+    """
+    from repro.bench import ArtifactStore
+    from repro.core import TrainingConfig, ZeroShotCostModel
+    from repro.robustness.faults import FaultSchedule, FaultSpec
+    from repro.serving import (LoadConfig, ModelRegistry, PredictorFleet,
+                               RequestPriority, RequestStatus, ServerConfig,
+                               run_load)
+
+    dbs = {db.name: db}
+    graphs = featurize_records(records, dbs, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records])
+    model = ZeroShotCostModel(
+        ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval(),
+        FeatureScalers().fit(graphs), TargetScaler().fit(runtimes),
+        TrainingConfig(hidden_dim=hidden_dim))
+    truth = predict_runtimes(model.model, graphs, model.feature_scalers,
+                             model.target_scaler)
+    expected = {id(record.plan): float(value)
+                for record, value in zip(records, truth)}
+    requests = [(db.name, record.plan) for record in records] * rounds
+    failures = []
+
+    def audit(report, phase):
+        wrong = sum(1 for handle in report.handles
+                    if handle.status in (RequestStatus.DONE,
+                                         RequestStatus.CACHED)
+                    and handle.value != expected[id(handle.plan)])
+        if wrong:
+            failures.append(f"{phase}: {wrong} wrong values (equivalence "
+                            "contract broken)")
+        lost = sum(1 for handle in report.handles
+                   if handle.status is RequestStatus.PENDING)
+        if lost:
+            failures.append(f"{phase}: {lost} requests never completed")
+        if len(report.handles) != len(set(id(h) for h in report.handles)):
+            failures.append(f"{phase}: duplicated handles in report")
+        return wrong
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(ArtifactStore(tmp))
+        registry.publish("fleet-chaos-bench", model, dbs=[db], default=True)
+
+        # -- Phase A: hang + SIGKILL + IPC drops under saturation --------
+        worker_faults = {0: FaultSchedule([
+            FaultSpec("fleet.worker.hang", rate=1.0, skip_calls=1,
+                      max_faults=1, action="hang"),
+        ], seed=fault_seed)}
+        router_faults = FaultSchedule([
+            # Pinned, bounded drops: every run (CI --quick included) loses
+            # real messages in both pipe directions; hedging re-ships them.
+            FaultSpec("fleet.pipe.send", rate=1.0, skip_calls=5,
+                      max_faults=2, action="drop"),
+            FaultSpec("fleet.pipe.recv", rate=1.0, skip_calls=7,
+                      max_faults=2, action="drop"),
+            FaultSpec("fleet.pipe.send", rate=0.02, action="delay",
+                      delay_ms=2.0),
+        ], seed=fault_seed)
+        config = ServerConfig(max_batch_size=max_batch_size,
+                              max_delay_ms=max_delay_ms,
+                              queue_depth=len(requests) + n_clients,
+                              result_cache_size=0)
+        load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
+                          block=True, faults=router_faults)
+        before = perfstats.snapshot(_FLEET_CHAOS_COUNTERS)
+        fleet = PredictorFleet(registry, dbs, config, n_workers=n_workers,
+                               fault_schedule=worker_faults,
+                               hang_timeout_ms=hang_timeout_ms,
+                               ping_interval_ms=ping_interval_ms,
+                               hedge_after_ms=hedge_after_ms)
+        with _gc_paused(), fleet:
+            # Warm the fleet with one audited request, then murder the
+            # last worker outright — crash recovery and hang recovery run
+            # in the same window.
+            warm = fleet.submit(records[0].plan, db.name, block=True)
+            warm.wait(30.0)
+            fleet.kill_worker(n_workers - 1)
+            report_a = run_load(fleet, requests, load)
+            stats_a = fleet.stats()
+        counters = {name: value - before.get(name, 0) for name, value
+                    in perfstats.snapshot(_FLEET_CHAOS_COUNTERS).items()}
+        audit(report_a, "chaos")
+        if report_a.availability < 0.99:
+            failures.append(
+                f"chaos: availability {report_a.availability:.4f} < 0.99")
+        if counters["fleet.hang.detected"] < 1:
+            failures.append("chaos: hung worker was never detected")
+        if counters["fleet.hang.killed"] < 1:
+            failures.append("chaos: hung worker was never killed")
+        if counters["fleet.hedge.sent"] < 1:
+            failures.append("chaos: no hedged requests were sent")
+        if counters["fleet.worker.restart"] < 2:
+            failures.append(
+                f"chaos: {counters['fleet.worker.restart']} restarts "
+                "(expected >= 2: one SIGKILL, one hang-kill)")
+
+        # -- Phase B: 2x-saturation overload with mixed priorities -------
+        config_b = ServerConfig(max_batch_size=max_batch_size,
+                                max_delay_ms=max_delay_ms,
+                                queue_depth=overload_queue_depth,
+                                result_cache_size=0,
+                                high_reserve_fraction=0.25,
+                                brownout_fraction=0.5,
+                                brownout_degraded=True)
+        rng = np.random.default_rng(seed)
+        mix = []
+        for db_name, plan in requests:
+            draw = rng.random()
+            priority = (RequestPriority.HIGH if draw < 0.2
+                        else RequestPriority.NORMAL if draw < 0.5
+                        else RequestPriority.LOW)
+            mix.append((db_name, plan, priority))
+        fleet = PredictorFleet(registry, dbs, config_b, n_workers=n_workers)
+        with _gc_paused(), fleet:
+            calibrate = run_load(fleet, requests, LoadConfig(
+                n_clients=n_clients, rate_per_s=None, seed=seed, block=True))
+            capacity = calibrate.throughput_rps
+            report_b = run_load(fleet, mix, LoadConfig(
+                n_clients=n_clients, rate_per_s=2.0 * capacity, seed=seed,
+                block=False))
+        audit(report_b, "overload")
+        by_priority = report_b.by_priority
+        high = by_priority.get("high", {"availability": 0.0, "shed": 0})
+        low = by_priority.get("low", {"shed": 0, "degraded": 0,
+                                      "requests": 1})
+        normal = by_priority.get("normal", {"shed": 0})
+        low_pressure = low.get("shed", 0) + low.get("degraded", 0)
+        if high["availability"] < 0.99:
+            failures.append(f"overload: HIGH availability "
+                            f"{high['availability']:.4f} < 0.99")
+        if low_pressure + normal.get("shed", 0) < 1:
+            failures.append("overload: 2x saturation never shed or "
+                            "browned out a single request")
+        if high.get("shed", 0) > low_pressure:
+            failures.append(
+                f"overload: shedding hit HIGH ({high.get('shed', 0)}) "
+                f"harder than LOW ({low_pressure})")
+
+    return {
+        "n_requests": len(requests),
+        "chaos": {
+            "availability": report_a.availability,
+            "completed": report_a.completed,
+            "degraded": report_a.degraded,
+            "failed": report_a.failed,
+            "latency_ms": report_a.latency_ms,
+            "fault_stats": report_a.fault_stats,
+            "worker_fault_injected": stats_a.get("worker_fault_injected",
+                                                 {}),
+            "hangs": stats_a.get("hangs", 0),
+            "hedges": stats_a.get("hedges", 0),
+            "hedge_wins": stats_a.get("hedge_wins", 0),
+            "worker_restarts": stats_a.get("worker_restarts", 0),
+            "requeued": stats_a.get("requeued", 0),
+        },
+        "overload": {
+            "capacity_rps": capacity,
+            "offered_rps": 2.0 * capacity,
+            "high_availability": high.get("availability", 0.0),
+            "by_priority": by_priority,
+        },
+        "counters": counters,
+        "failures": failures,
+    }
+
+
 def bench_controller(quick=False, pump_rounds=20):
     """End-to-end drift scenario through the continuous-learning controller.
 

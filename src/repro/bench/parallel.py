@@ -135,8 +135,15 @@ class WorkerProcess:
         parent_conn.close()  # the child's copy of the parent end
         self._target(child_conn, *self._args)
 
-    def restart(self):
-        """Fork a replacement worker on a fresh pipe (old pipe closed)."""
+    def restart(self, args=None):
+        """Fork a replacement worker on a fresh pipe (old pipe closed).
+
+        ``args`` optionally replaces the child arguments for the new fork
+        (and any later restarts) — the fleet uses this to bring hang-killed
+        workers back up *without* the fault schedule that wedged them.
+        """
+        if args is not None:
+            self._args = tuple(args)
         if self.conn is not None:
             self.conn.close()
             self.conn = None
@@ -170,6 +177,18 @@ class WorkerProcess:
 
     def recv(self):
         return self.conn.recv()
+
+    def recv_timeout(self, timeout):
+        """Timed receive: ``(True, message)`` or ``(False, None)``.
+
+        A timeout is not an error — the caller decides whether silence
+        means "idle" or "hung" (the fleet's liveness supervisor does the
+        latter).  A dead peer still surfaces as ``EOFError``/``OSError``,
+        exactly as with a bare :meth:`recv`.
+        """
+        if self.conn.poll(timeout):
+            return True, self.conn.recv()
+        return False, None
 
     # ------------------------------------------------------------------
     def stop(self, timeout=5.0):

@@ -5,15 +5,17 @@ schedule must produce the same faults at the same places, every time.  This
 module gives the repo that property:
 
 * **Injection points are registered by name.**  Production code calls
-  :func:`check` (or :func:`corrupt` / :func:`delay_ms`) at eight named
+  :func:`check` (or :func:`corrupt` / :func:`delay_ms`) at eleven named
   choke points — registry checkpoint hydration (``registry.hydrate``),
   artifact-store reads (``store.read``), featurization
   (``serve.featurize``), inference (``serve.infer``), the batcher loop
-  itself (``serve.batcher``), and the continuous-learning control plane's
+  itself (``serve.batcher``), the continuous-learning control plane's
   observation ingest (``controller.observe``), retrain/publish step
-  (``controller.retrain``) and shadow evaluation (``controller.shadow``).
-  With no schedule installed these calls are a single ``is None`` check —
-  the fault plane costs nothing when idle.
+  (``controller.retrain``) and shadow evaluation (``controller.shadow``),
+  and the fleet's IPC plane — pipe sends (``fleet.pipe.send``), pipe
+  receives (``fleet.pipe.recv``) and the worker compute loop
+  (``fleet.worker.hang``).  With no schedule installed these calls are a
+  single ``is None`` check — the fault plane costs nothing when idle.
 * **A seeded :class:`FaultSchedule` decides per call.**  Every injection
   point owns an independent counted RNG stream seeded from
   ``(schedule seed, point name)``; the *n*-th call at a point always sees
@@ -21,11 +23,16 @@ module gives the repo that property:
   between.  All the hardened points are driven by the single batcher
   thread (or by per-test callers), so the per-point call sequence — and
   therefore the whole chaos run — replays bit-identically.
-* **Three fault actions.**  ``raise`` (an :class:`InjectedFault`, or an
+* **Five fault actions.**  ``raise`` (an :class:`InjectedFault`, or an
   exception type the spec names), ``delay`` (a bounded sleep, for deadline
-  and tail-latency testing) and ``corrupt`` (the caller passes payload
+  and tail-latency testing), ``corrupt`` (the caller passes payload
   bytes through :func:`corrupt`, which flips deterministic bits — how torn
-  checkpoint reads are simulated).
+  checkpoint reads are simulated), ``drop`` (:func:`check` returns the
+  string ``"drop"`` and the call site discards the message — how lost IPC
+  traffic is simulated) and ``hang`` (a long sleep — ``delay_ms``, or
+  effectively forever when unset — simulating a wedged worker; ended by
+  the supervisor's SIGKILL).  :func:`check` returns the fired action name
+  (or ``None``), so pipe call sites can honor ``drop`` without exceptions.
 * **Targeted poisoning.**  A spec may carry ``keys`` — opaque identifiers
   (the server passes plan digests) that make specific *requests* poisonous
   instead of sampling by rate.  This is what the poisoned-batch bisection
@@ -72,7 +79,14 @@ POINTS = (
     "controller.observe",  # control-plane observation ingest (per record)
     "controller.retrain",  # drift retrain: train start + pre-publish
     "controller.shadow",   # shadow evaluation of an unactivated candidate
+    "fleet.pipe.send",     # router<->worker pipe sends (drop/delay/raise)
+    "fleet.pipe.recv",     # router<->worker pipe receives (drop/delay/raise)
+    "fleet.worker.hang",   # worker compute loop: wedge before a batch
 )
+
+# How long a "hang" action sleeps when the spec leaves delay_ms at 0 —
+# effectively forever; the fleet supervisor's SIGKILL is what ends it.
+_HANG_FOREVER_MS = 3_600_000.0
 
 
 class InjectedFault(RuntimeError):
@@ -92,7 +106,7 @@ class FaultSpec:
 
     point: str
     rate: float = 0.0
-    action: str = "raise"            # "raise" | "delay" | "corrupt"
+    action: str = "raise"    # "raise" | "delay" | "corrupt" | "drop" | "hang"
     error: type = InjectedFault
     message: str = ""
     delay_ms: float = 0.0
@@ -104,7 +118,7 @@ class FaultSpec:
         if self.point not in POINTS:
             raise ValueError(f"unknown injection point {self.point!r}; "
                              f"registered points: {POINTS}")
-        if self.action not in ("raise", "delay", "corrupt"):
+        if self.action not in ("raise", "delay", "corrupt", "drop", "hang"):
             raise ValueError(f"unknown fault action {self.action!r}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError("rate must be in [0, 1]")
@@ -245,23 +259,31 @@ class inject:
 # Injection-point API (what production code calls)
 # ----------------------------------------------------------------------
 def check(point, keys=()):
-    """Consult the active schedule at ``point``; raise or delay on a fault.
+    """Consult the active schedule at ``point``; act, return the action.
 
     ``keys`` are opaque request identifiers a targeted spec can poison.
-    A ``corrupt`` decision is ignored here (only byte-stream call sites
-    honor it via :func:`corrupt`).  No schedule installed: a single
-    attribute read.
+    Returns the fired action name (``"delay"``, ``"drop"``, ``"hang"``)
+    after performing any sleep, so pipe call sites can honor ``drop`` by
+    discarding the message; ``raise`` raises.  A ``corrupt`` decision is
+    ignored here (only byte-stream call sites honor it via
+    :func:`corrupt`).  No fault — or no schedule installed, a single
+    attribute read — returns ``None``.
     """
     schedule = _active
     if schedule is None:
-        return
+        return None
     spec = schedule.decide(point, keys)
     if spec is None:
-        return
+        return None
     perfstats.increment(f"fault.injected.{point}")
     if spec.action == "delay":
         time.sleep(spec.delay_ms / 1e3)
-        return
+        return "delay"
+    if spec.action == "drop":
+        return "drop"
+    if spec.action == "hang":
+        time.sleep((spec.delay_ms or _HANG_FOREVER_MS) / 1e3)
+        return "hang"
     if spec.action == "raise":
         raise spec.error(spec.message
                          or f"injected fault at {point!r}")
@@ -287,6 +309,13 @@ def corrupt(point, payload, keys=()):
     perfstats.increment(f"fault.injected.{point}")
     if spec.action == "delay":
         time.sleep(spec.delay_ms / 1e3)
+        return payload
+    if spec.action == "drop":
+        # At a byte call site a dropped message has no meaning; counted,
+        # payload passes untouched.
+        return payload
+    if spec.action == "hang":
+        time.sleep((spec.delay_ms or _HANG_FOREVER_MS) / 1e3)
         return payload
     if spec.action == "raise":
         raise spec.error(spec.message or f"injected fault at {point!r}")

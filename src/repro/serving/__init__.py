@@ -68,7 +68,7 @@ Perfstats counters: ``serve.batch.count`` / ``serve.batch.requests``,
 
 from .registry import (HydrationError, ModelDeployment, ModelRegistry,
                        RoutingError)
-from .core import Observation, ObservationTap, ServingCore
+from .core import Observation, ObservationTap, RequestPriority, ServingCore
 from .server import (DeadlineExceededError, DegradedResponseError,
                      PredictionRequest, PredictorServer, RequestShedError,
                      RequestStatus, ServerClosedError, ServerConfig,
@@ -82,7 +82,8 @@ __all__ = [
     "HydrationError", "ModelDeployment", "ModelRegistry", "RoutingError",
     "DeadlineExceededError", "DegradedResponseError",
     "PredictionRequest", "PredictorFleet", "PredictorServer",
-    "RequestShedError", "RequestStatus", "ServerClosedError", "ServerConfig",
+    "RequestPriority", "RequestShedError", "RequestStatus",
+    "ServerClosedError", "ServerConfig",
     "ServingCore", "ServingRecord", "Observation", "ObservationTap",
     "LoadConfig", "LoadReport", "run_load", "skewed_requests",
     "ContinuousLearningController", "ControllerConfig", "ControllerEvent",

@@ -62,7 +62,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import namedtuple
+from collections import deque, namedtuple
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -112,6 +112,7 @@ class ControllerConfig:
     max_pending_observations: int = 4096
     cadence_s: float = 0.05        # daemon tick period
     journal_path: str | None = None  # optional JSONL event log on disk
+    journal_max_events: int = 4096  # keep-latest bound on in-memory events
 
 
 @dataclass(frozen=True)
@@ -153,20 +154,28 @@ class ControllerEvent:
 class ControllerJournal:
     """Append-only, typed, replayable event log.
 
-    In memory always; mirrored to a JSONL file when ``path`` is given
-    (append + flush per event, so a crash loses at most the event being
-    written).  :meth:`read_jsonl` reconstructs typed events for replay
-    comparison.
+    In memory always, bounded keep-latest at ``max_events`` so a
+    long-lived controller cannot grow without limit; mirrored *complete*
+    to a JSONL file when ``path`` is given (append + flush per event, so
+    a crash loses at most the event being written).  :meth:`read_jsonl`
+    reconstructs typed events for replay comparison; ``total_appended``
+    and ``dropped`` record how much history the memory window has shed.
     """
 
-    def __init__(self, path=None):
+    def __init__(self, path=None, max_events=4096):
         self.path = path
+        self.max_events = max(1, int(max_events))
+        self.total_appended = 0
+        self.dropped = 0
         self._lock = threading.Lock()
-        self._events = []
+        self._events = deque(maxlen=self.max_events)
 
     def append(self, event):
         with self._lock:
+            if len(self._events) == self.max_events:
+                self.dropped += 1
             self._events.append(event)
+            self.total_appended += 1
             if self.path is not None:
                 with open(self.path, "a", encoding="utf-8") as fh:
                     fh.write(json.dumps(event.as_dict()) + "\n")
@@ -234,7 +243,9 @@ class ContinuousLearningController:
         self.model_name = name
         self.tap = ObservationTap(self.config.max_pending_observations)
         self.core.attach_observer(self.tap)
-        self.journal = ControllerJournal(path=self.config.journal_path)
+        self.journal = ControllerJournal(
+            path=self.config.journal_path,
+            max_events=self.config.journal_max_events)
         self._estimator_cache = estimator_cache or EstimatorCache()
         self._feat_cache = FeaturizationCache()
         self._state = "monitoring"

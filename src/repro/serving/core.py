@@ -46,7 +46,8 @@ from ..robustness import faults
 from .registry import RoutingError
 
 __all__ = ["ServingCore", "ServerConfig", "PredictionRequest",
-           "RequestStatus", "RequestShedError", "DeadlineExceededError",
+           "RequestStatus", "RequestPriority", "admission_limit",
+           "RequestShedError", "DeadlineExceededError",
            "DegradedResponseError", "ServerClosedError", "ServingRecord",
            "Observation", "ObservationTap"]
 
@@ -124,6 +125,41 @@ class RequestStatus(Enum):
     FAILED = "failed"    # routing/featurization/prediction/deadline error
 
 
+class RequestPriority(Enum):
+    """Admission-control class for a submitted request.
+
+    Lower values are more important.  Priorities gate *admission*, not
+    execution order: a LOW request stops being admitted once the queue is
+    ``brownout_fraction`` full (and, under brownout, may be answered by
+    the analytical fallback instead of shed), a NORMAL request once the
+    ``high_reserve_fraction`` headroom is all that remains, and only HIGH
+    traffic may fill the queue to ``queue_depth``.  Already-admitted
+    requests are served identically regardless of class — values never
+    depend on priority.
+    """
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+def admission_limit(priority, queue_depth, config):
+    """The effective queue bound for one priority class.
+
+    HIGH may use the whole queue; NORMAL stops at ``queue_depth`` minus
+    the reserved HIGH headroom (``high_reserve_fraction``, default 0 — no
+    reservation unless configured); LOW stops at ``brownout_fraction`` of
+    the queue.  Every class is always allowed at least one slot so tiny
+    queues keep admitting.
+    """
+    if priority is RequestPriority.LOW:
+        return max(1, int(queue_depth * config.brownout_fraction))
+    if priority is RequestPriority.NORMAL:
+        reserve = int(queue_depth * config.high_reserve_fraction)
+        return max(1, queue_depth - reserve)
+    return queue_depth
+
+
 class RequestShedError(RuntimeError):
     """The bounded queue was full and the request was shed."""
 
@@ -151,11 +187,15 @@ class PredictionRequest:
     """
 
     __slots__ = ("db_name", "plan", "status", "value", "error", "served_by",
-                 "submitted_at", "completed_at", "retries", "_event")
+                 "submitted_at", "completed_at", "retries", "priority",
+                 "deadline_ms", "_event")
 
-    def __init__(self, db_name, plan):
+    def __init__(self, db_name, plan, priority=RequestPriority.NORMAL,
+                 deadline_ms=None):
         self.db_name = db_name
         self.plan = plan
+        self.priority = RequestPriority(priority)
+        self.deadline_ms = deadline_ms  # per-request age cap (ms), or None
         self.status = RequestStatus.PENDING
         self.value = None
         self.error = None
@@ -231,6 +271,11 @@ class ServerConfig:
     breaker_threshold: int = 3   # consecutive failures that open the breaker
     breaker_reset_ms: float = 50.0  # open -> half-open probe delay
     degraded_fallback: bool = True  # serve analytical predictions when open
+    # -- priority-aware overload control --------------------------------
+    high_reserve_fraction: float = 0.0  # queue headroom reserved for HIGH
+    brownout_fraction: float = 0.5      # LOW admission cap (x queue_depth)
+    brownout_degraded: bool = True      # LOW over the cap: analytical answer
+    #    (honored by the fleet router; the thread server sheds LOW instead)
 
 
 class _Route:
@@ -636,15 +681,25 @@ class ServingCore:
             batch_cache=self._batch_cache)
 
     def _enforce_deadlines(self, requests, digests):
-        """Fail requests whose age exceeds the per-request deadline."""
-        timeout_ms = self.config.request_timeout_ms
-        if timeout_ms is None:
+        """Fail requests whose age exceeds their deadline.
+
+        A request's own ``deadline_ms`` (which crosses the fleet pipe with
+        it) takes precedence over the config-wide ``request_timeout_ms``;
+        either way expiry is checked *before* featurization, so an
+        already-dead request never costs model-path work.
+        """
+        config_ms = self.config.request_timeout_ms
+        if config_ms is None and not any(
+                request.deadline_ms is not None for request in requests):
             return requests, digests
         now = time.perf_counter()
         alive, alive_digests, expired = [], [], []
         for request, digest in zip(requests, digests):
-            if (now - request.submitted_at) * 1e3 > timeout_ms:
-                expired.append(request)
+            timeout_ms = (request.deadline_ms
+                          if request.deadline_ms is not None else config_ms)
+            if (timeout_ms is not None
+                    and (now - request.submitted_at) * 1e3 > timeout_ms):
+                expired.append((request, timeout_ms))
             else:
                 alive.append(request)
                 alive_digests.append(digest)
@@ -653,7 +708,7 @@ class ServingCore:
             with self._lock:
                 self._counts["failed"] += len(expired)
                 self._counts["deadline_expired"] += len(expired)
-            for request in expired:
+            for request, timeout_ms in expired:
                 request._finish(RequestStatus.FAILED,
                                 error=DeadlineExceededError(
                                     f"request exceeded its "

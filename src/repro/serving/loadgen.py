@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..robustness import faults as fault_plane
-from .server import RequestStatus
+from .server import RequestPriority, RequestStatus
 
 __all__ = ["LoadConfig", "LoadReport", "run_load", "skewed_requests"]
 
@@ -106,6 +106,7 @@ class LoadReport:
     mean_batch_size: float = 0.0
     server_stats: dict = field(default_factory=dict)
     fault_stats: dict = field(default_factory=dict)  # per-point inject counts
+    by_priority: dict = field(default_factory=dict)  # class -> counts/avail
     q_error_by_phase: dict = field(default_factory=dict)  # drift scenarios
     handles: list = field(default_factory=list, repr=False)  # per-request
 
@@ -160,6 +161,8 @@ class LoadReport:
             "batch_size_hist": dict(self.batch_size_hist),
             "mean_batch_size": self.mean_batch_size,
             "fault_stats": dict(self.fault_stats),
+            "by_priority": {name: dict(summary) for name, summary
+                            in self.by_priority.items()},
             "q_error_by_phase": {name: dict(summary) for name, summary
                                  in self.q_error_by_phase.items()},
         }
@@ -185,6 +188,12 @@ def _arrival_offsets(n, rate_per_s, rng):
 def run_load(server, requests, config=None):
     """Fire ``requests`` — ``(db_name, plan)`` pairs — at ``server``.
 
+    A request may also be a ``(db_name, plan, priority)`` triple
+    (:class:`~repro.serving.core.RequestPriority`), in which case the
+    priority rides the submit and the report carries a per-class
+    breakdown in ``by_priority`` — how overload-control experiments show
+    that shedding concentrates on low-priority traffic.
+
     Requests are interleaved round-robin over ``n_clients`` threads; each
     thread submits on the seeded open-loop schedule and never waits for
     results mid-run.  When ``config.faults`` is set, the schedule is
@@ -209,12 +218,16 @@ def run_load(server, requests, config=None):
         out = handles[index]
         barrier.wait()
         start = time.perf_counter()
-        for (db_name, plan), offset in zip(per_client[index],
-                                           schedules[index]):
+        for item, offset in zip(per_client[index], schedules[index]):
+            db_name, plan = item[0], item[1]
+            kwargs = {}
+            if len(item) > 2:
+                kwargs["priority"] = item[2]
             delay = offset - (time.perf_counter() - start)
             if delay > 0:
                 time.sleep(delay)
-            out.append(server.submit(plan, db_name, block=config.block))
+            out.append(server.submit(plan, db_name, block=config.block,
+                                     **kwargs))
 
     threads = [threading.Thread(target=client, args=(index,), daemon=True)
                for index in range(config.n_clients)]
@@ -248,6 +261,7 @@ def run_load(server, requests, config=None):
     first_submit, last_complete = np.inf, -np.inf
     delivered_statuses = (RequestStatus.DONE, RequestStatus.CACHED,
                           RequestStatus.DEGRADED)
+    per_priority = {}  # class name -> status counts
     for handle in flat:
         by_status[handle.status] += 1
         first_submit = min(first_submit, handle.submitted_at)
@@ -255,12 +269,28 @@ def run_load(server, requests, config=None):
                                    {"latencies": [], "degraded": 0,
                                     "requests": 0})
         bucket["requests"] += 1
+        priority = getattr(handle, "priority", None) or \
+            RequestPriority.NORMAL
+        pr_bucket = per_priority.setdefault(
+            priority.name.lower(),
+            {"requests": 0, "delivered": 0, "degraded": 0,
+             "shed": 0, "failed": 0})
+        pr_bucket["requests"] += 1
         if handle.status is RequestStatus.DEGRADED:
             bucket["degraded"] += 1
+            pr_bucket["degraded"] += 1
+        if handle.status is RequestStatus.SHED:
+            pr_bucket["shed"] += 1
+        elif handle.status not in delivered_statuses:
+            pr_bucket["failed"] += 1
         if handle.status in delivered_statuses:
+            pr_bucket["delivered"] += 1
             latencies.append(handle.latency_ms)
             bucket["latencies"].append(handle.latency_ms)
             last_complete = max(last_complete, handle.completed_at)
+    for summary in per_priority.values():
+        summary["availability"] = (summary["delivered"] / summary["requests"]
+                                   if summary["requests"] else 0.0)
     served = sum(by_status[status] for status in delivered_statuses)
     duration = max(last_complete - first_submit, 0.0) if served else 0.0
     latency_summary = _latency_summary(latencies)
@@ -292,5 +322,6 @@ def run_load(server, requests, config=None):
         mean_batch_size=stats["mean_batch_size"],
         server_stats=stats,
         fault_stats=fault_stats,
+        by_priority=per_priority,
         handles=flat,
     )

@@ -88,14 +88,14 @@ import numpy as np
 from .. import perfstats
 from ..robustness import faults
 from .core import (DeadlineExceededError, DegradedResponseError,
-                   PredictionRequest, RequestShedError, RequestStatus,
-                   ServerClosedError, ServerConfig, ServingCore,
-                   ServingRecord)
+                   PredictionRequest, RequestPriority, RequestShedError,
+                   RequestStatus, ServerClosedError, ServerConfig,
+                   ServingCore, ServingRecord, admission_limit)
 from .registry import RoutingError
 
 __all__ = ["PredictorServer", "ServerConfig", "PredictionRequest",
-           "RequestStatus", "RequestShedError", "RoutingError",
-           "DeadlineExceededError", "DegradedResponseError",
+           "RequestStatus", "RequestPriority", "RequestShedError",
+           "RoutingError", "DeadlineExceededError", "DegradedResponseError",
            "ServerClosedError", "ServingRecord"]
 
 
@@ -196,7 +196,8 @@ class PredictorServer:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    def submit(self, plan, db_name, block=False, timeout=None):
+    def submit(self, plan, db_name, block=False, timeout=None,
+               priority=RequestPriority.NORMAL, deadline_ms=None):
         """Submit one plan; returns a :class:`PredictionRequest` handle.
 
         Repeat plans (by content fingerprint, under the currently routed
@@ -204,16 +205,24 @@ class PredictorServer:
         bounded queue is full, ``block=False`` sheds the request
         (``status == SHED``); ``block=True`` waits for space
         (backpressure), shedding only once ``timeout`` (a total bound, not
-        per-wakeup) elapses.  Submissions after :meth:`stop` are shed
-        (nothing would ever process them); submissions *before*
-        :meth:`start` queue up normally.
+        per-wakeup) elapses.  Admission is priority-classed: each
+        :class:`RequestPriority` sheds at its own queue bound (see
+        :func:`~repro.serving.core.admission_limit`; with the default
+        config NORMAL and HIGH share the full queue).  Unlike the fleet
+        router, the thread server sheds over-limit LOW traffic rather
+        than browning it out.  ``deadline_ms`` sets this request's age
+        cap, overriding ``request_timeout_ms``.  Submissions after
+        :meth:`stop` are shed (nothing would ever process them);
+        submissions *before* :meth:`start` queue up normally.
         """
         core = self.core
         if not core.has_db(db_name):
             raise KeyError(f"database {db_name!r} is not registered with "
                            "this server")
         core.maybe_swap()
-        request = PredictionRequest(db_name, plan)
+        priority = RequestPriority(priority)
+        request = PredictionRequest(db_name, plan, priority=priority,
+                                    deadline_ms=deadline_ms)
         core.count("requests")
         route = core.route_for(db_name)
         if route is None:
@@ -233,17 +242,18 @@ class PredictorServer:
             return request
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
+        limit = min(self.config.queue_depth,
+                    admission_limit(priority, self.config.queue_depth,
+                                    self.config))
         with self._lock:
-            while (self._accepting
-                   and len(self._queue) >= self.config.queue_depth):
+            while self._accepting and len(self._queue) >= limit:
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if (not block
                         or (remaining is not None and remaining <= 0)
                         or not self._not_full.wait(remaining)):
                     break
-            if (not self._accepting
-                    or len(self._queue) >= self.config.queue_depth):
+            if not self._accepting or len(self._queue) >= limit:
                 shed = True
             else:
                 shed = False
@@ -254,11 +264,15 @@ class PredictorServer:
         if shed:
             core.count("shed")
             perfstats.increment("serve.shed.count")
+            perfstats.increment(
+                f"serve.shed.priority.{priority.name.lower()}")
             request._finish(RequestStatus.SHED)
         return request
 
-    def submit_many(self, plans, db_name, block=False, timeout=None):
-        return [self.submit(plan, db_name, block=block, timeout=timeout)
+    def submit_many(self, plans, db_name, block=False, timeout=None,
+                    priority=RequestPriority.NORMAL, deadline_ms=None):
+        return [self.submit(plan, db_name, block=block, timeout=timeout,
+                            priority=priority, deadline_ms=deadline_ms)
                 for plan in plans]
 
     def predict(self, plans, db_name, timeout=None, allow_degraded=False):

@@ -533,3 +533,38 @@ class TestQErrorByPhase:
             phase = summary[name]
             assert 1.0 <= phase["median"] <= phase["p95"] <= phase["max"]
         assert "q_error_by_phase" in report.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Journal memory bound (PR 9): keep-latest in memory, complete on disk
+# ----------------------------------------------------------------------
+class TestJournalBound:
+    def test_keeps_latest_in_memory_jsonl_complete(self, tmp_path):
+        path = tmp_path / "bounded.jsonl"
+        journal = ControllerJournal(path=str(path), max_events=5)
+        events = [ControllerEvent(seq=i, tick=i, kind="drift-detected",
+                                  model="zs", version=1)
+                  for i in range(12)]
+        for event in events:
+            journal.append(event)
+        # Memory keeps the latest 5; the JSONL mirror keeps everything.
+        assert journal.events() == events[-5:]
+        assert len(journal) == 5
+        assert journal.total_appended == 12
+        assert journal.dropped == 7
+        assert ControllerJournal.read_jsonl(str(path)) == events
+
+    def test_default_bound_is_generous(self):
+        journal = ControllerJournal()
+        assert journal.max_events == 4096
+        journal.append(ControllerEvent(seq=0, tick=0, kind="drift-detected",
+                                       model="zs"))
+        assert journal.dropped == 0
+
+    def test_config_threads_bound_to_controller(self, world, tmp_path):
+        config = dataclasses.replace(CTL_CONFIG, journal_max_events=7)
+        registry, server, controller = _stack(world, tmp_path, config=config)
+        try:
+            assert controller.journal.max_events == 7
+        finally:
+            server.stop()

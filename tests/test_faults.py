@@ -654,3 +654,61 @@ class TestChaosIntegration:
         assert report.shed > 0
         assert report.availability == served / report.n_requests
         assert report.availability < 1.0
+
+
+# ----------------------------------------------------------------------
+# Fleet IPC fault points and the drop/hang actions (PR 9)
+# ----------------------------------------------------------------------
+class TestFleetFaultActions:
+    def test_fleet_points_registered(self):
+        for point in ("fleet.pipe.send", "fleet.pipe.recv",
+                      "fleet.worker.hang"):
+            assert point in POINTS
+
+    def test_drop_action_signals_without_raising(self):
+        schedule = FaultSchedule(
+            [FaultSpec("fleet.pipe.send", rate=1.0, max_faults=2,
+                       action="drop")], seed=0)
+        with inject(schedule):
+            assert check("fleet.pipe.send") == "drop"
+            assert check("fleet.pipe.send") == "drop"
+            assert check("fleet.pipe.send") is None  # exhausted
+        assert check("fleet.pipe.send") is None      # uninstalled
+
+    def test_hang_action_sleeps_then_returns(self):
+        schedule = FaultSchedule(
+            [FaultSpec("fleet.worker.hang", rate=1.0, max_faults=1,
+                       action="hang", delay_ms=30.0)], seed=0)
+        start = time.perf_counter()
+        with inject(schedule):
+            assert check("fleet.worker.hang") == "hang"
+            assert check("fleet.worker.hang") is None
+        assert time.perf_counter() - start >= 0.025
+
+    def test_drop_counts_as_injected(self):
+        name = "fault.injected.fleet.pipe.recv"
+        before = perfstats.snapshot([name])[name]
+        schedule = FaultSchedule(
+            [FaultSpec("fleet.pipe.recv", rate=1.0, max_faults=1,
+                       action="drop")], seed=0)
+        with inject(schedule):
+            check("fleet.pipe.recv")
+        assert perfstats.snapshot([name])[name] == before + 1
+        assert schedule.stats()["fleet.pipe.recv"]["by_action"]["drop"] == 1
+
+    def test_drop_and_hang_replay_bit_identically(self):
+        def run():
+            schedule = FaultSchedule([
+                FaultSpec("fleet.pipe.send", rate=0.5, action="drop"),
+                FaultSpec("fleet.pipe.recv", rate=0.25, action="drop"),
+            ], seed=42)
+            fired = []
+            with inject(schedule):
+                for _ in range(64):
+                    fired.append((check("fleet.pipe.send"),
+                                  check("fleet.pipe.recv")))
+            return fired
+
+        first, second = run(), run()
+        assert first == second
+        assert any(action == "drop" for pair in first for action in pair)

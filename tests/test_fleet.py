@@ -432,3 +432,338 @@ class TestFleetLoadgen:
         hot = report.latency_by_db[world["db_a"].name]
         cold = report.latency_by_db[world["db_b"].name]
         assert hot["requests"] > cold["requests"]
+
+
+# ----------------------------------------------------------------------
+# Liveness plane: heartbeats, hang detection, replayable recovery
+# ----------------------------------------------------------------------
+class TestFleetLiveness:
+    def _run_hang_scenario(self, world, root, fault_seed=11):
+        """One full hang-recovery pass; returns (per-handle outcomes,
+        counter signature) for replay comparison."""
+        from repro.robustness.faults import FaultSchedule, FaultSpec
+
+        registry = _registry_with(world, root)
+        db_a = world["db_a"]
+        plans = [r.plan for r in world["records_a"]]
+        config = ServerConfig(result_cache_size=0, max_delay_ms=20.0,
+                              max_batch_size=256)
+        schedule = None
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=2, spill_threshold=10_000,
+                            hang_timeout_ms=300.0, ping_interval_ms=60.0,
+                            hedge_after_ms=None) as probe:
+            target = probe._preferred[db_a.name]
+        schedule = {target: FaultSchedule([
+            FaultSpec("fleet.worker.hang", rate=1.0, max_faults=1,
+                      action="hang"),
+        ], seed=fault_seed)}
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=2, spill_threshold=10_000,
+                            fault_schedule=schedule,
+                            hang_timeout_ms=300.0, ping_interval_ms=60.0,
+                            hedge_after_ms=None) as fleet:
+            handles = fleet.submit_many(plans, db_a.name, block=True)
+            outcomes = []
+            for handle in handles:
+                value = handle.result(60)  # waits; then status is final
+                outcomes.append((handle.status, value))
+            stats = fleet.stats()
+        signature = {key: stats[key] for key in
+                     ("requests", "completed", "failed", "shed",
+                      "hangs", "requeued")}
+        return outcomes, signature, stats
+
+    def test_hang_detected_killed_restarted_and_replayable(self, world,
+                                                           tmp_path):
+        """A worker that hangs forever (gray failure: alive, silent) is
+        detected within the hang timeout, SIGKILLed and restarted; its
+        unanswered requests are re-sent and every value matches the
+        direct call.  The same schedule replayed from scratch produces
+        the identical per-handle outcome and counter signature."""
+        outcomes1, sig1, stats1 = self._run_hang_scenario(
+            world, tmp_path / "run1")
+        outcomes2, sig2, _ = self._run_hang_scenario(
+            world, tmp_path / "run2")
+        expected = world["expected_a"]
+        for (status, value), want in zip(outcomes1, expected):
+            assert status is RequestStatus.DONE
+            assert value == float(want)
+        assert outcomes1 == outcomes2
+        assert sig1 == sig2
+        assert sig1["hangs"] == 1
+        assert sig1["failed"] == 0 and sig1["shed"] == 0
+        assert sig1["requeued"] >= 1
+        assert stats1["worker_restarts"] >= 1
+        assert stats1["unresponsive_workers"] == 0  # restarted healthy
+
+    def test_stats_is_hang_safe(self, world, tmp_path):
+        """stats() on a fleet with a wedged worker returns promptly with
+        an ``unresponsive`` row instead of blocking the caller."""
+        import time as _time
+
+        from repro import perfstats
+        from repro.robustness.faults import FaultSchedule, FaultSpec
+
+        registry = _registry_with(world, tmp_path)
+        config = ServerConfig(result_cache_size=0, max_delay_ms=1.0)
+        schedule = FaultSchedule([
+            # Finite hang: long enough to straddle the stats call, short
+            # enough that the fleet drains cleanly afterwards (hang
+            # detection is off, so nothing kills the worker).
+            FaultSpec("fleet.worker.hang", rate=1.0, max_faults=1,
+                      action="hang", delay_ms=1500.0),
+        ], seed=5)
+        before = perfstats.snapshot(["fleet.stats.unresponsive"])
+        with PredictorFleet(registry, world["dbs"], config, n_workers=1,
+                            fault_schedule=schedule,
+                            hang_timeout_ms=None) as fleet:
+            handle = fleet.submit(world["records_a"][0].plan,
+                                  world["db_a"].name, block=True)
+            _time.sleep(0.2)  # let the worker enter the hang
+            start = _time.perf_counter()
+            stats = fleet.stats(timeout_s=0.3)
+            elapsed = _time.perf_counter() - start
+            assert elapsed < 1.0
+            assert stats["unresponsive_workers"] == 1
+            assert {"unresponsive": True, "worker": 0} in \
+                stats["worker_stats"]
+            assert handle.result(30) == float(world["expected_a"][0])
+        after = perfstats.snapshot(["fleet.stats.unresponsive"])
+        assert (after["fleet.stats.unresponsive"]
+                > before["fleet.stats.unresponsive"])
+
+
+# ----------------------------------------------------------------------
+# Hedged requests: straggler re-sends, raced-result dedup
+# ----------------------------------------------------------------------
+class TestFleetHedging:
+    def test_hedge_dedup_late_loser_cannot_double_complete(self, world,
+                                                           tmp_path):
+        """A hedge fires while the original worker is still coalescing;
+        whichever copy answers second finds the entry already completed.
+        The late duplicate must not double-complete the handle, corrupt
+        the outstanding count, or poison a later round."""
+        import time as _time
+
+        registry = _registry_with(world, tmp_path)
+        db_a = world["db_a"]
+        plans = [r.plan for r in world["records_a"]]
+        expected = world["expected_a"]
+        # 250 ms coalescing delay on a small batch: the original worker
+        # sits on the requests long past the 40 ms hedge threshold, so
+        # every request hedges and both workers eventually answer.
+        config = ServerConfig(result_cache_size=0, max_delay_ms=250.0,
+                              max_batch_size=256)
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=2, spill_threshold=10_000,
+                            hang_timeout_ms=None,
+                            hedge_after_ms=40.0, max_hedges=1) as fleet:
+            handles = fleet.submit_many(plans, db_a.name, block=True)
+            for handle, want in zip(handles, expected):
+                assert handle.result(60) == float(want)
+                assert handle.status is RequestStatus.DONE
+            # Let the losing duplicates arrive and be dropped.
+            deadline = _time.monotonic() + 5.0
+            while _time.monotonic() < deadline:
+                stats = fleet.stats()
+                if (stats["hedge_wins"] + stats["hedge_wasted"] >= 1
+                        and stats["outstanding"] == 0):
+                    break
+                _time.sleep(0.05)
+            assert stats["hedges"] >= 1
+            assert stats["hedge_wins"] + stats["hedge_wasted"] >= 1
+            assert stats["outstanding"] == 0
+            assert stats["completed"] >= len(plans)  # both copies ran
+            # The fleet is not corrupted: a second round still delivers
+            # bit-identical values through the same slots.
+            again = fleet.submit_many(plans, db_a.name, block=True)
+            for handle, want in zip(again, expected):
+                assert handle.result(60) == float(want)
+            final = fleet.stats()
+        assert final["failed"] == 0 and final["shed"] == 0
+        assert final["outstanding"] == 0
+
+    def test_auto_threshold_needs_samples(self, world, tmp_path):
+        registry = _registry_with(world, tmp_path)
+        with PredictorFleet(registry, world["dbs"], n_workers=1,
+                            hedge_after_ms="auto") as fleet:
+            assert fleet.hedge_threshold_ms() is None  # no samples yet
+            fleet.predict([r.plan for r in world["records_a"]],
+                          world["db_a"].name)
+        with PredictorFleet(registry, world["dbs"], n_workers=1,
+                            hedge_after_ms=75.0) as fleet:
+            assert fleet.hedge_threshold_ms() == 75.0
+
+
+# ----------------------------------------------------------------------
+# Priorities: classed admission, brownout, shed concentration
+# ----------------------------------------------------------------------
+class TestFleetPriorities:
+    def test_brownout_and_priority_classed_shedding(self, world, tmp_path):
+        from repro import perfstats
+        from repro.optimizer import AnalyticalCostModel
+        from repro.serving import RequestPriority
+
+        registry = _registry_with(world, tmp_path)
+        db_a = world["db_a"]
+        plans = [r.plan for r in world["records_a"]]
+        # queue_depth=8 with a 25% HIGH reserve: LOW admits under 4,
+        # NORMAL under 6, HIGH under 8.  A 400 ms coalescing delay keeps
+        # everything outstanding while the admission ladder is probed.
+        config = ServerConfig(result_cache_size=0, max_delay_ms=400.0,
+                              max_batch_size=256, queue_depth=8,
+                              high_reserve_fraction=0.25,
+                              brownout_fraction=0.5)
+        before = perfstats.snapshot(
+            ["serve.shed.priority.normal", "serve.shed.priority.high",
+             "serve.shed.priority.low", "fleet.brownout.count"])
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=1) as fleet:
+            normals = [fleet.submit(plans[i], db_a.name,
+                                    priority=RequestPriority.NORMAL)
+                       for i in range(6)]
+            assert all(h.status is RequestStatus.PENDING for h in normals)
+            # LOW over its bound browns out: immediate DEGRADED answer
+            # from the analytical model, flagged as such.
+            low = fleet.submit(plans[6], db_a.name,
+                               priority=RequestPriority.LOW)
+            assert low.status is RequestStatus.DEGRADED
+            assert low.served_by == ("analytical", "brownout")
+            analytical = AnalyticalCostModel(db_a)
+            assert low.value == analytical.predict_plan(plans[6])
+            # NORMAL over its bound sheds...
+            shed_normal = fleet.submit(plans[7], db_a.name,
+                                       priority=RequestPriority.NORMAL)
+            assert shed_normal.status is RequestStatus.SHED
+            # ...while HIGH still has the reserve.
+            high_a = fleet.submit(plans[8], db_a.name,
+                                  priority=RequestPriority.HIGH)
+            high_b = fleet.submit(plans[9], db_a.name,
+                                  priority=RequestPriority.HIGH)
+            assert high_a.status is RequestStatus.PENDING
+            assert high_b.status is RequestStatus.PENDING
+            # The queue is now full even for HIGH.
+            shed_high = fleet.submit(plans[10], db_a.name,
+                                     priority=RequestPriority.HIGH)
+            assert shed_high.status is RequestStatus.SHED
+            stats = fleet.stats()
+        after = perfstats.snapshot(
+            ["serve.shed.priority.normal", "serve.shed.priority.high",
+             "serve.shed.priority.low", "fleet.brownout.count"])
+        delta = {key: after[key] - before[key] for key in after}
+        assert delta["serve.shed.priority.normal"] == 1
+        assert delta["serve.shed.priority.high"] == 1
+        assert delta["serve.shed.priority.low"] == 0  # browned out instead
+        assert delta["fleet.brownout.count"] == 1
+        assert stats["brownouts"] == 1
+        assert stats["shed"] == 2
+        assert stats["degraded"] >= 1  # includes the brownout
+
+    def test_low_sheds_when_brownout_disabled(self, world, tmp_path):
+        from repro import perfstats
+        from repro.serving import RequestPriority
+
+        registry = _registry_with(world, tmp_path)
+        db_a = world["db_a"]
+        plans = [r.plan for r in world["records_a"]]
+        config = ServerConfig(result_cache_size=0, max_delay_ms=400.0,
+                              max_batch_size=256, queue_depth=4,
+                              brownout_fraction=0.5,
+                              brownout_degraded=False)
+        before = perfstats.snapshot(["serve.shed.priority.low"])
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=1) as fleet:
+            for i in range(2):  # LOW bound is int(4 * 0.5) = 2
+                fleet.submit(plans[i], db_a.name,
+                             priority=RequestPriority.LOW)
+            low = fleet.submit(plans[2], db_a.name,
+                               priority=RequestPriority.LOW)
+            assert low.status is RequestStatus.SHED
+        after = perfstats.snapshot(["serve.shed.priority.low"])
+        assert after["serve.shed.priority.low"] == \
+            before["serve.shed.priority.low"] + 1
+
+    def test_deadline_crosses_the_pipe(self, world, tmp_path):
+        """A request whose deadline expires while queued is dropped
+        worker-side before featurization, with the typed error."""
+        from repro.serving import DeadlineExceededError
+
+        registry = _registry_with(world, tmp_path)
+        db_a = world["db_a"]
+        # Coalescing delay far past the request deadline: by the time the
+        # batch forms, the deadline has long expired.
+        config = ServerConfig(result_cache_size=0, max_delay_ms=150.0,
+                              max_batch_size=256)
+        with PredictorFleet(registry, world["dbs"], config,
+                            n_workers=1) as fleet:
+            doomed = fleet.submit(world["records_a"][0].plan, db_a.name,
+                                  deadline_ms=1.0)
+            fine = fleet.submit(world["records_a"][1].plan, db_a.name)
+            doomed.wait(30)
+            assert doomed.status is RequestStatus.FAILED
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(0)
+            assert fine.result(30) == float(world["expected_a"][1])
+            stats = fleet.stats()
+        assert stats["deadline_expired"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Fault-schedule propagation into forked workers
+# ----------------------------------------------------------------------
+class TestFleetFaultPropagation:
+    def test_explicit_schedule_fires_inside_workers(self, world, tmp_path):
+        """A schedule passed to the fleet is installed inside the forked
+        worker at spawn: the injected fault fires in the worker process
+        and shows up in its reported ``fault_injected`` counters."""
+        from repro.robustness.faults import FaultSchedule, FaultSpec
+
+        registry = _registry_with(world, tmp_path)
+        schedule = FaultSchedule([
+            FaultSpec("serve.infer", rate=1.0, max_faults=1,
+                      message="pr9: worker-side inference fault"),
+        ], seed=7)
+        config = ServerConfig(result_cache_size=0, max_retries=3,
+                              retry_backoff_ms=0.5)
+        with PredictorFleet(registry, world["dbs"], config, n_workers=1,
+                            fault_schedule=schedule,
+                            hang_timeout_ms=None) as fleet:
+            got = fleet.predict([r.plan for r in world["records_a"]],
+                                world["db_a"].name)
+            stats = fleet.stats()
+        np.testing.assert_array_equal(got, world["expected_a"])
+        injected = stats["worker_fault_injected"]
+        assert injected.get("fault.injected.serve.infer", 0) >= 1
+        assert stats["retries"] >= 1
+
+    def test_process_wide_schedule_inherited_through_fork(self, world,
+                                                          tmp_path):
+        """A schedule installed process-wide before start() is inherited
+        by the forked workers when no explicit schedule overrides it."""
+        from repro.robustness import faults
+        from repro.robustness.faults import FaultSchedule, FaultSpec
+
+        registry = _registry_with(world, tmp_path)
+        schedule = FaultSchedule([
+            FaultSpec("serve.infer", rate=1.0, max_faults=1,
+                      message="pr9: inherited inference fault"),
+        ], seed=8)
+        config = ServerConfig(result_cache_size=0, max_retries=3,
+                              retry_backoff_ms=0.5)
+        fleet = PredictorFleet(registry, world["dbs"], config, n_workers=1,
+                               hang_timeout_ms=None)
+        faults.install(schedule)
+        try:
+            fleet.start()
+        finally:
+            faults.uninstall()
+        try:
+            got = fleet.predict([r.plan for r in world["records_a"]],
+                                world["db_a"].name)
+            stats = fleet.stats()
+        finally:
+            fleet.close()
+        np.testing.assert_array_equal(got, world["expected_a"])
+        injected = stats["worker_fault_injected"]
+        assert injected.get("fault.injected.serve.infer", 0) >= 1

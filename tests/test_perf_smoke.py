@@ -199,3 +199,33 @@ class TestHarnessSmoke:
         assert counters.get("store.hit.trace", 0) >= 1
         assert counters.get("store.hit.graphs", 0) >= 1
         assert counters.get("store.hit.model", 0) >= 1
+
+
+class TestFleetChaosSmoke:
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="the serving fleet requires the fork start method")
+    def test_fleet_chaos_bench_exercises_liveness_plane(self):
+        """bench_fleet_chaos must drive every PR-9 mechanism: the hang is
+        detected and killed (``fleet.hang.*``), stragglers are hedged
+        (``fleet.hedge.*``), and the priority-classed overload plane
+        sheds or browns out under 2x saturation
+        (``serve.shed.priority.*`` / ``fleet.brownout.count``)."""
+        db, records = harness.build_plan_corpus(n_queries=48, seed=3,
+                                                base_rows=400)
+        perfstats.reset()
+        results = harness.bench_fleet_chaos(db, records, hidden_dim=16,
+                                            rounds=2, seed=3, fault_seed=4)
+        assert results["failures"] == []
+        counters = perfstats.snapshot()
+        assert counters.get("fleet.hang.detected", 0) >= 1
+        assert counters.get("fleet.hang.killed", 0) >= 1
+        assert counters.get("fleet.hedge.sent", 0) >= 1
+        shed_or_brownout = (
+            counters.get("serve.shed.priority.high", 0)
+            + counters.get("serve.shed.priority.normal", 0)
+            + counters.get("serve.shed.priority.low", 0)
+            + counters.get("fleet.brownout.count", 0))
+        assert shed_or_brownout >= 1
+        assert results["chaos"]["availability"] >= 0.99
+        assert results["overload"]["high_availability"] >= 0.99
