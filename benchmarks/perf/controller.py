@@ -45,6 +45,12 @@ DEFAULT_OUTPUT = REPO / "BENCH_controller.json"
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--spans-jsonl", type=Path,
+                        default=REPO / "BENCH_controller_spans.jsonl")
+    parser.add_argument("--perfetto", type=Path,
+                        default=REPO / "BENCH_controller_trace.json")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip span recording and trace artifacts")
     parser.add_argument("--quick", action="store_true",
                         help="bound the daemon graduation pump (the drift "
                              "scenario itself is calibration-pinned and "
@@ -56,8 +62,16 @@ def main(argv=None):
 
     from harness import bench_controller
 
-    results = bench_controller(quick=args.quick)
+    from repro.obs.export import write_chrome_trace, write_spans_jsonl
 
+    results = bench_controller(quick=args.quick, trace=not args.no_trace)
+
+    spans = results.pop("spans")
+    if spans:
+        write_spans_jsonl(spans, args.spans_jsonl)
+        write_chrome_trace(spans, args.perfetto)
+        print(f"trace artifacts: {args.spans_jsonl} / {args.perfetto} "
+              f"({len(spans)} spans)")
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     regression = results["regression"]
     print(f"controller report written to {args.output}")
@@ -101,6 +115,12 @@ def main(argv=None):
     if results["ticks_to_recover"] > args.max_recover_ticks:
         failures.append(f"recovery took {results['ticks_to_recover']} ticks "
                         f"(> {args.max_recover_ticks})")
+    if spans:
+        drift = [e for e in results["events"]
+                 if e["kind"] == "drift-detected"]
+        if drift and not any(e["detail"].get("trace_id") for e in drift):
+            failures.append("traced run produced drift-detected events "
+                            "with no trace_id attribution")
     if failures:
         print("CONTROLLER FAILURE: " + "; ".join(failures))
         return 1

@@ -44,6 +44,12 @@ DEFAULT_OUTPUT = REPO / "BENCH_fleet_chaos.json"
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--spans-jsonl", type=Path,
+                        default=REPO / "BENCH_fleet_chaos_spans.jsonl")
+    parser.add_argument("--perfetto", type=Path,
+                        default=REPO / "BENCH_fleet_chaos_trace.json")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip span recording and trace artifacts")
     parser.add_argument("--quick", action="store_true",
                         help="smaller corpus for CI smoke")
     parser.add_argument("--seed", type=int, default=0, help="corpus/load seed")
@@ -53,12 +59,21 @@ def main(argv=None):
 
     from harness import bench_fleet_chaos, build_plan_corpus
 
+    from repro.obs.export import write_chrome_trace, write_spans_jsonl
+
     n_queries, rounds = (64, 2) if args.quick else (160, 2)
     db, records = build_plan_corpus(n_queries=n_queries, seed=args.seed)
     results = bench_fleet_chaos(db, records, rounds=rounds, seed=args.seed,
-                                fault_seed=args.fault_seed)
+                                fault_seed=args.fault_seed,
+                                trace=not args.no_trace)
     results["n_queries"] = n_queries
 
+    spans = results["chaos"].pop("spans")
+    if spans:
+        write_spans_jsonl(spans, args.spans_jsonl)
+        write_chrome_trace(spans, args.perfetto)
+        print(f"trace artifacts: {args.spans_jsonl} / {args.perfetto} "
+              f"({len(spans)} spans)")
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"fleet chaos report written to {args.output}")
     chaos, overload = results["chaos"], results["overload"]

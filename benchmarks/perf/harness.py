@@ -53,8 +53,8 @@ __all__ = ["build_plan_corpus", "build_corpus", "build_exec_corpus",
            "bench_featurization_cached", "bench_batch_construction",
            "bench_training_step", "bench_train_epoch",
            "bench_experiment_warm_start", "bench_inference", "bench_serving",
-           "bench_chaos", "bench_fleet", "bench_controller", "run_all",
-           "run_pipeline_reference"]
+           "bench_chaos", "bench_fleet", "bench_controller", "bench_obs",
+           "run_all", "run_pipeline_reference"]
 
 
 def build_plan_corpus(n_queries=192, seed=0, max_joins=3, base_rows=1200):
@@ -505,7 +505,8 @@ def bench_serving(db, records, hidden_dim=64, n_clients=4, repeats=3,
 
 
 def bench_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2, seed=0,
-                fault_seed=1, max_batch_size=16, max_delay_ms=1.0):
+                fault_seed=1, max_batch_size=16, max_delay_ms=1.0,
+                trace=False):
     """Availability, correctness and tail latency under injected faults.
 
     Publishes one model, pre-computes the ground-truth predictions with a
@@ -570,9 +571,10 @@ def bench_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2, seed=0,
                           queue_depth=len(requests) + n_clients,
                           result_cache_size=0,
                           max_retries=3, retry_backoff_ms=0.5,
-                          breaker_threshold=3, breaker_reset_ms=20.0)
+                          breaker_threshold=3, breaker_reset_ms=20.0,
+                          trace=trace)
     load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
-                      block=True, faults=schedule)
+                      block=True, faults=schedule, trace=trace)
     with tempfile.TemporaryDirectory() as tmp:
         registry = ModelRegistry(ArtifactStore(tmp))
         registry.publish("chaos-bench", model, dbs=[db], default=True)
@@ -600,6 +602,8 @@ def bench_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2, seed=0,
         "bisects": stats["bisects"],
         "latency_ms": report.latency_ms,
         "fault_stats": report.fault_stats,
+        "latency_attribution": report.latency_attribution,
+        "spans": report.spans,
     }
 
 
@@ -706,7 +710,7 @@ def bench_fleet_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2,
                       n_workers=2, seed=0, fault_seed=1, max_batch_size=16,
                       max_delay_ms=1.0, hang_timeout_ms=500.0,
                       ping_interval_ms=100.0, hedge_after_ms=60.0,
-                      overload_queue_depth=32):
+                      overload_queue_depth=32, trace=False):
     """Fleet liveness and overload control under IPC chaos, fully audited.
 
     Two phases against one published model, both audited against a direct
@@ -794,9 +798,10 @@ def bench_fleet_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2,
         config = ServerConfig(max_batch_size=max_batch_size,
                               max_delay_ms=max_delay_ms,
                               queue_depth=len(requests) + n_clients,
-                              result_cache_size=0)
+                              result_cache_size=0,
+                              trace=trace)
         load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
-                          block=True, faults=router_faults)
+                          block=True, faults=router_faults, trace=trace)
         before = perfstats.snapshot(_FLEET_CHAOS_COUNTERS)
         fleet = PredictorFleet(registry, dbs, config, n_workers=n_workers,
                                fault_schedule=worker_faults,
@@ -887,6 +892,8 @@ def bench_fleet_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2,
             "hedge_wins": stats_a.get("hedge_wins", 0),
             "worker_restarts": stats_a.get("worker_restarts", 0),
             "requeued": stats_a.get("requeued", 0),
+            "latency_attribution": report_a.latency_attribution,
+            "spans": report_a.spans,
         },
         "overload": {
             "capacity_rps": capacity,
@@ -899,7 +906,7 @@ def bench_fleet_chaos(db, records, hidden_dim=64, n_clients=4, rounds=2,
     }
 
 
-def bench_controller(quick=False, pump_rounds=20):
+def bench_controller(quick=False, pump_rounds=20, trace=False):
     """End-to-end drift scenario through the continuous-learning controller.
 
     Builds the calibrated three-database world (a small training database,
@@ -994,7 +1001,8 @@ def bench_controller(quick=False, pump_rounds=20):
         registry.publish("zs", base, dbs=list(dbs.values()), default=True)
         server = PredictorServer(
             registry, dbs, ServerConfig(max_batch_size=8, max_delay_ms=1.0,
-                                        result_cache_size=0)).start()
+                                        result_cache_size=0,
+                                        trace=trace)).start()
         controller = ContinuousLearningController(registry, server,
                                                   ctl_config)
         return registry, server, controller
@@ -1005,7 +1013,7 @@ def bench_controller(quick=False, pump_rounds=20):
 
     def run_scenario(tmp, scenario_phases):
         """Synchronous drain-per-phase run; returns (registry, controller,
-        per-phase Q-error summaries)."""
+        per-phase Q-error summaries, spans)."""
         registry, server, controller = stack(tmp)
         q_by_phase = {}
         try:
@@ -1017,13 +1025,17 @@ def bench_controller(quick=False, pump_rounds=20):
                         truth_for, {name: (0, len(requests))})[name]
         finally:
             server.stop()
-        return registry, controller, q_by_phase
+        # Single client + synchronous drain make the span structure (and
+        # the trace ids that reach ControllerEvents) replay-deterministic,
+        # so the happy-path replay contract holds with tracing on too.
+        spans = server.tracer.drain() if server.tracer is not None else []
+        return registry, controller, q_by_phase, spans
 
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
         # Happy path, twice: the replay contract.
-        _, first, q_by_phase = run_scenario(tmp / "happy1", phases)
-        _, second, _ = run_scenario(tmp / "happy2", phases)
+        _, first, q_by_phase, spans = run_scenario(tmp / "happy1", phases)
+        _, second, _, _ = run_scenario(tmp / "happy2", phases)
         happy = first.journal.events()
         kinds = [e.kind for e in happy]
         expected_kinds = ["drift-detected", "candidate-published",
@@ -1038,8 +1050,8 @@ def bench_controller(quick=False, pump_rounds=20):
         wrong_promotions = len(first.journal.events("rolled-back"))
 
         # Regression: promote, then shift to the heavy database.
-        registry_r, regressed, _ = run_scenario(tmp / "regression",
-                                                regression_phases)
+        registry_r, regressed, _, _ = run_scenario(tmp / "regression",
+                                                   regression_phases)
         rollbacks = regressed.journal.events("rolled-back")
         rollback_detail = dict(rollbacks[0].detail) if rollbacks else {}
 
@@ -1105,6 +1117,91 @@ def bench_controller(quick=False, pump_rounds=20):
             "active_version": registry_d.active("zs").version,
         },
         "events": [e.as_dict() for e in happy],
+        "spans": spans,
+    }
+
+
+def bench_obs(db, records, hidden_dim=64, n_clients=4, repeats=3,
+              max_batch_size=16, max_delay_ms=1.0, seed=0,
+              sample_every=1):
+    """Tracing overhead: saturation throughput with spans off vs on.
+
+    Same shape as :func:`bench_serving` — one published model, open-loop
+    saturating clients, result cache off so every request pays the model
+    path — run ``repeats`` times in *interleaved* off/on pairs so machine
+    drift within the bench hits both arms equally.  The traced arm samples
+    every ``sample_every``-th request (1 = trace everything, the worst
+    case).  Reports the median throughput of each arm, the overhead ratio
+    ``1 - traced/untraced``, and the traced arm's span yield: span count,
+    per-stage latency attribution (with its coverage fraction — the share
+    of end-to-end latency the stages explain) and an SLO report.
+    """
+    import statistics
+
+    from repro.bench import ArtifactStore
+    from repro.core import TrainingConfig, ZeroShotCostModel
+    from repro.obs.export import latency_attribution, slo_report
+    from repro.serving import (LoadConfig, ModelRegistry, PredictorServer,
+                               ServerConfig, run_load)
+
+    dbs = {db.name: db}
+    graphs = featurize_records(records, dbs, cards="exact")
+    runtimes = np.array([r.runtime_ms for r in records])
+    model = ZeroShotCostModel(
+        ZeroShotModel(hidden_dim=hidden_dim, seed=seed).eval(),
+        FeatureScalers().fit(graphs), TargetScaler().fit(runtimes),
+        TrainingConfig(hidden_dim=hidden_dim))
+    requests = [(db.name, record.plan) for record in records]
+    load = LoadConfig(n_clients=n_clients, rate_per_s=None, seed=seed,
+                      block=True)
+
+    def one_pass(traced):
+        config = ServerConfig(max_batch_size=max_batch_size,
+                              max_delay_ms=max_delay_ms,
+                              queue_depth=len(requests) + n_clients,
+                              result_cache_size=0,
+                              trace=traced,
+                              trace_sample_every=sample_every)
+        server = PredictorServer(registry, dbs, config)
+        with _gc_paused(), server:
+            report = run_load(server, requests, load, trace=traced)
+        if report.completed != len(requests):
+            raise RuntimeError(
+                f"obs bench lost requests: {report.as_dict()}")
+        return report
+
+    off_rates, on_rates = [], []
+    spans, traced_report = [], None
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(ArtifactStore(tmp))
+        registry.publish("obs-bench", model, dbs=[db], default=True)
+        one_pass(False)  # warm-up: model mmap + first-touch costs
+        for _ in range(repeats):
+            off_rates.append(one_pass(False).throughput_rps)
+            traced_report = one_pass(True)
+            on_rates.append(traced_report.throughput_rps)
+            spans = traced_report.spans
+    off_med = statistics.median(off_rates)
+    on_med = statistics.median(on_rates)
+    attribution = latency_attribution(spans) if spans else {}
+    coverage = attribution.get("overall", {}).get("coverage", 0.0)
+    p95 = traced_report.latency_ms.get("p95", 0.0)
+    return {
+        "untraced_rps": off_med,
+        "traced_rps": on_med,
+        "overhead_frac": (1.0 - on_med / off_med) if off_med else 0.0,
+        "sample_every": sample_every,
+        "n_spans": len(spans),
+        "attribution_coverage": coverage,
+        "latency_attribution": attribution,
+        "slo": slo_report(
+            delivered=(traced_report.completed + traced_report.cached
+                       + traced_report.degraded),
+            submitted=traced_report.n_requests,
+            availability_floor=0.99,
+            latency_p95_ms=p95,
+            latency_p95_floor_ms=max(p95 * 2.0, 1.0)),
+        "spans": spans,
     }
 
 

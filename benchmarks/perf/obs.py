@@ -1,0 +1,110 @@
+"""Entry point: benchmark tracing overhead and write ``BENCH_obs.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/obs.py           # full corpus
+    PYTHONPATH=src python benchmarks/perf/obs.py --quick   # CI smoke
+
+Drives the predictor server through :func:`harness.bench_obs`: interleaved
+saturation load runs with tracing off and tracing on (sampling every
+request — the worst case), plus the traced arm's span yield.  The run
+**fails** (non-zero exit) when
+
+* the tracing-on overhead exceeds ``--max-overhead`` (default 5% of
+  untraced throughput), or
+* the per-stage latency attribution explains less than ``--min-coverage``
+  (default 95%) of end-to-end latency, or
+* the traced arm produced no spans (a vacuous overhead measurement).
+
+Alongside the JSON report the runner exports the traced arm's spans as
+both JSONL (``--spans-jsonl``) and a Chrome trace-event / Perfetto
+timeline (``--perfetto``) so a regression in the overhead gate ships the
+evidence needed to explain it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(HERE))
+
+DEFAULT_OUTPUT = REPO / "BENCH_obs.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--spans-jsonl", type=Path,
+                        default=REPO / "BENCH_obs_spans.jsonl")
+    parser.add_argument("--perfetto", type=Path,
+                        default=REPO / "BENCH_obs_trace.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus + fewer repeats for a fast signal")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sample-every", type=int, default=1,
+                        help="trace every Nth request (1 = all, worst case)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="tracing-on throughput cost gate (fraction)")
+    parser.add_argument("--min-coverage", type=float, default=0.95,
+                        help="attribution coverage gate (fraction)")
+    args = parser.parse_args(argv)
+
+    from harness import bench_obs, build_plan_corpus
+
+    from repro.obs.export import write_chrome_trace, write_spans_jsonl
+
+    n_queries = 64 if args.quick else 192
+    repeats = 3 if args.quick else 5
+    db, records = build_plan_corpus(n_queries=n_queries, seed=args.seed)
+    results = bench_obs(db, records, repeats=repeats, seed=args.seed,
+                        sample_every=args.sample_every)
+
+    spans = results.pop("spans")
+    write_spans_jsonl(spans, args.spans_jsonl)
+    write_chrome_trace(spans, args.perfetto)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"obs report written to {args.output}")
+    print(f"  spans: {args.spans_jsonl} / perfetto: {args.perfetto}")
+    print(f"  untraced:  {results['untraced_rps']:.1f} rps")
+    print(f"  traced:    {results['traced_rps']:.1f} rps "
+          f"(sampling 1/{results['sample_every']})")
+    print(f"  overhead:  {results['overhead_frac'] * 100.0:.2f}% "
+          f"(gate {args.max_overhead * 100.0:.0f}%)")
+    print(f"  spans recorded: {results['n_spans']}")
+    print(f"  attribution coverage: {results['attribution_coverage']:.4f} "
+          f"(floor {args.min_coverage})")
+    overall = results["latency_attribution"].get("overall", {})
+    for name, stage in sorted(overall.get("stages", {}).items()):
+        print(f"    {name:<12s} p95 {stage['p95']:8.3f} ms  "
+              f"share {stage['share'] * 100.0:5.1f}%")
+    slo = results["slo"]
+    print(f"  availability: {slo['availability']:.4f} "
+          f"(burn {slo['availability_burn']:.2f}x of budget)")
+
+    failures = []
+    if results["n_spans"] == 0:
+        failures.append("traced arm recorded no spans — overhead "
+                        "measurement was vacuous")
+    if results["overhead_frac"] > args.max_overhead:
+        failures.append(
+            f"tracing overhead {results['overhead_frac'] * 100.0:.2f}% "
+            f"exceeds {args.max_overhead * 100.0:.0f}% gate")
+    if results["attribution_coverage"] < args.min_coverage:
+        failures.append(
+            f"attribution coverage {results['attribution_coverage']:.4f} "
+            f"below {args.min_coverage}")
+    if failures:
+        print("OBS FAILURE: " + "; ".join(failures))
+        return 1
+    print("obs run passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 
 from .. import perfstats
+from ..obs.metrics import REGISTRY
 
 __all__ = ["parallel_map", "worker_count", "WorkerProcess"]
 
@@ -75,9 +77,12 @@ def parallel_map(fn, tasks, processes=None):
         return [fn(task) for task in tasks]
     perfstats.increment("parallel.fanout")
     perfstats.increment("parallel.worker_tasks", len(tasks))
+    start = time.perf_counter()
     with context.Pool(processes) as pool:
         # chunksize=1: tasks are few and heavy; order is preserved by map.
-        return pool.map(fn, tasks, chunksize=1)
+        results = pool.map(fn, tasks, chunksize=1)
+    REGISTRY.observe("parallel.map_ms", (time.perf_counter() - start) * 1e3)
+    return results
 
 
 class WorkerProcess:

@@ -256,6 +256,7 @@ class ContinuousLearningController:
         self._shadow_candidate_q = []
         self._promoted_version = None  # version under probation
         self._probation_seen = 0
+        self._last_trace = {}    # version -> trace id of last traced obs
         self._ticks = 0
         self._seq = 0
         self._crashes = 0
@@ -369,6 +370,11 @@ class ContinuousLearningController:
         if name != self.model_name:
             return
         perfstats.increment("controller.observe.count")
+        trace_id = getattr(observation, "trace_id", None)
+        if trace_id is not None:
+            # Remember which traced request most recently fed this
+            # deployment's detector, so a drift verdict can name it.
+            self._last_trace[version] = trace_id
         record = ObservedRecord(observation.db_name, observation.plan, truth)
         detector = self.detector_for(version)
         error = detector.observe(observation.predicted_ms, truth, record)
@@ -384,11 +390,17 @@ class ContinuousLearningController:
                     active.version).drifted:
                 detector = self.detector_for(active.version)
                 perfstats.increment("controller.drift.detected")
+                detail = [("observations", detector.observed_total),
+                          ("rolling_median",
+                           round(detector.rolling_median, 6))]
+                trace_id = self._last_trace.get(active.version)
+                if trace_id is not None:
+                    # Only traced runs carry the key, so untraced event
+                    # streams stay bit-identical to pre-tracing replays.
+                    detail.append(("trace_id", trace_id))
                 self._journal(
                     "drift-detected", version=active.version,
-                    detail=(("observations", detector.observed_total),
-                            ("rolling_median",
-                             round(detector.rolling_median, 6))))
+                    detail=tuple(detail))
                 self._state = "retrain-pending"
         if self._state == "retrain-pending":
             self._retrain()

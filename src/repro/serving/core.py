@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from .. import perfstats
+from ..obs.metrics import REGISTRY
 from ..core.api import EstimatorCache, featurize_records
 from ..core.training import predict_runtimes
 from ..featurization import (BatchCache, FeaturizationCache, database_digest,
@@ -60,8 +61,13 @@ ServingRecord = namedtuple("ServingRecord", ["db_name", "plan"])
 # (digest) and attribute the prediction to a deployment (served_by is the
 # (model name, version) pair).  DEGRADED and FAILED deliveries are never
 # observed — the tap watches the learned model, not the fallback.
+# ``trace_id`` links the observation back to its request span tree when the
+# delivery was traced (None otherwise), so controller decisions downstream
+# can name the requests that fed them.
 Observation = namedtuple(
-    "Observation", ["db_name", "plan", "digest", "predicted_ms", "served_by"])
+    "Observation",
+    ["db_name", "plan", "digest", "predicted_ms", "served_by", "trace_id"],
+    defaults=(None,))
 
 
 class ObservationTap:
@@ -188,7 +194,7 @@ class PredictionRequest:
 
     __slots__ = ("db_name", "plan", "status", "value", "error", "served_by",
                  "submitted_at", "completed_at", "retries", "priority",
-                 "deadline_ms", "_event")
+                 "deadline_ms", "trace", "_event")
 
     def __init__(self, db_name, plan, priority=RequestPriority.NORMAL,
                  deadline_ms=None):
@@ -203,6 +209,7 @@ class PredictionRequest:
         self.submitted_at = time.perf_counter()
         self.completed_at = None
         self.retries = 0
+        self.trace = None  # opt-in obs.trace.TraceContext; None = untraced
         self._event = threading.Event()
 
     # -- completion (server side) --------------------------------------
@@ -212,6 +219,11 @@ class PredictionRequest:
         self.served_by = served_by
         self.completed_at = time.perf_counter()
         self.status = status
+        trace = self.trace
+        if trace is not None and trace._tracer is not None:
+            # Finalize only where a tracer is attached (the client-facing
+            # transport); worker-side contexts just export their stages.
+            trace.finalize(self.completed_at, status=status.value)
         self._event.set()
 
     # -- client side ----------------------------------------------------
@@ -276,6 +288,9 @@ class ServerConfig:
     brownout_fraction: float = 0.5      # LOW admission cap (x queue_depth)
     brownout_degraded: bool = True      # LOW over the cap: analytical answer
     #    (honored by the fleet router; the thread server sheds LOW instead)
+    # -- observability ---------------------------------------------------
+    trace: bool = False          # per-request spans (obs.trace); off = free
+    trace_sample_every: int = 1  # trace every N-th request when tracing
 
 
 class _Route:
@@ -371,6 +386,7 @@ class ServingCore:
         self._analytical = {}   # db_name -> AnalyticalCostModel
         self._seen_generation = None
         self._observer = None   # opt-in ObservationTap (continuous learning)
+        self.proc_label = "server"  # span proc tag; fleet workers relabel
         self.resolve_routes()
 
     # ------------------------------------------------------------------
@@ -409,13 +425,13 @@ class ServingCore:
     def observer(self):
         return self._observer
 
-    def _observe(self, db_name, plan, digest, value, route):
+    def _observe(self, db_name, plan, digest, value, route, trace_id=None):
         """Feed one model-path delivery to the attached tap (if any)."""
         observer = self._observer
         if observer is None:
             return
         observer.record(Observation(db_name, plan, digest, float(value),
-                                    route.served_by))
+                                    route.served_by, trace_id))
 
     # ------------------------------------------------------------------
     # Routing / hot-swap
@@ -508,7 +524,8 @@ class ServingCore:
                 self._digest_memo.popitem(last=False)
         return digest
 
-    def cached_value(self, route, digest, db_name=None, plan=None):
+    def cached_value(self, route, digest, db_name=None, plan=None,
+                     trace_id=None):
         """Result-cache probe; counts the hit and returns the value, or
         ``None`` on a miss (the miss is counted at prediction time).
 
@@ -522,7 +539,7 @@ class ServingCore:
         if value is not None:
             perfstats.increment("serve.cache.hit")
             if plan is not None:
-                self._observe(db_name, plan, digest, value, route)
+                self._observe(db_name, plan, digest, value, route, trace_id)
         return value
 
     def _cache_get_locked(self, key):
@@ -555,11 +572,21 @@ class ServingCore:
         perfstats.increment("serve.batch.requests", len(batch))
         with self._lock:
             self._batch_sizes[len(batch)] += 1
+        started = time.perf_counter()
         by_db = {}
         for request in batch:
             by_db.setdefault(request.db_name, []).append(request)
         for db_name, requests in by_db.items():
             self._process_group(db_name, requests)
+        finished = time.perf_counter()
+        REGISTRY.observe("serve.batch_ms", (finished - started) * 1e3)
+        for request in batch:
+            if request.completed_at is not None and request.status in (
+                    RequestStatus.DONE, RequestStatus.CACHED,
+                    RequestStatus.DEGRADED):
+                REGISTRY.observe(
+                    "serve.latency_ms",
+                    (request.completed_at - request.submitted_at) * 1e3)
 
     def _process_group(self, db_name, requests):
         route = self.route_for(db_name)
@@ -582,6 +609,8 @@ class ServingCore:
                 if value is not None:
                     self._counts["cached"] += 1
                     perfstats.increment("serve.cache.hit")
+                    if request.trace is not None:
+                        request.trace.annotate("cache.hit")
                     request._finish(RequestStatus.CACHED, value=value,
                                     served_by=route.served_by)
                     hits.append((request, digest, value))
@@ -589,7 +618,9 @@ class ServingCore:
                     pending.append(request)
                     keys.append(key)
         for request, digest, value in hits:  # observe outside the lock
-            self._observe(db_name, request.plan, digest, value, route)
+            self._observe(db_name, request.plan, digest, value, route,
+                          trace_id=(request.trace.trace_id
+                                    if request.trace is not None else None))
         if not pending:
             return
         perfstats.increment("serve.cache.miss", len(pending))
@@ -616,9 +647,17 @@ class ServingCore:
                     self._counts["retries"] += 1
                 for request in requests:
                     request.retries += 1
+                    if request.trace is not None:
+                        request.trace.annotate("retry")
                 backoff_s = (self.config.retry_backoff_ms / 1e3
                              * (2 ** (attempt - 1)))
+                backoff_start = time.perf_counter()
                 time.sleep(backoff_s)
+                backoff_end = time.perf_counter()
+                for request in requests:
+                    if request.trace is not None:
+                        request.trace.add_stage("backoff", backoff_start,
+                                                backoff_end, self.proc_label)
                 requests, digests = self._enforce_deadlines(requests,
                                                             digests)
                 if not requests:
@@ -640,7 +679,10 @@ class ServingCore:
                 request._finish(RequestStatus.DONE, value=float(value),
                                 served_by=route.served_by)
                 self._observe(db_name, request.plan, digest, float(value),
-                              route)
+                              route,
+                              trace_id=(request.trace.trace_id
+                                        if request.trace is not None
+                                        else None))
             return
         if len(requests) > 1:
             # Poisoned-batch bisection: the halves retry independently, so
@@ -648,6 +690,9 @@ class ServingCore:
             perfstats.increment("serve.fault.bisect")
             with self._lock:
                 self._counts["bisects"] += 1
+            for request in requests:
+                if request.trace is not None:
+                    request.trace.annotate("bisect")
             mid = len(requests) // 2
             self._predict_group(db_name, route, breaker,
                                 requests[:mid], digests[:mid])
@@ -665,20 +710,42 @@ class ServingCore:
         requests[0]._finish(RequestStatus.FAILED, error=last_error)
 
     def _attempt(self, db_name, requests, digests, model):
-        """One model-path attempt over a group (featurize + predict)."""
+        """One model-path attempt over a group (featurize + predict).
+
+        Traced requests record the group's featurize and infer intervals:
+        a batched request waits through the whole group operation, so the
+        group interval *is* that request's stage time.  Timing is taken
+        only when the group holds at least one traced request, so untraced
+        traffic pays nothing.
+        """
+        traced = [request for request in requests
+                  if request.trace is not None]
         faults.check("serve.featurize", keys=digests)
         records = [ServingRecord(db_name, request.plan)
                    for request in requests]
+        if traced:
+            feat_start = time.perf_counter()
         graphs = featurize_records(
             records, self._dbs, cards=self.config.cards,
             estimator_cache=self._estimator_cache,
             feat_cache=self._feat_cache)
+        if traced:
+            feat_end = time.perf_counter()
+            for request in traced:
+                request.trace.add_stage("featurize", feat_start, feat_end,
+                                        self.proc_label)
         faults.check("serve.infer", keys=digests)
-        return predict_runtimes(
+        values = predict_runtimes(
             model.model, graphs, model.feature_scalers,
             model.target_scaler,
             batch_size=self.config.predict_batch_size,
             batch_cache=self._batch_cache)
+        if traced:
+            infer_end = time.perf_counter()
+            for request in traced:
+                request.trace.add_stage("infer", feat_end, infer_end,
+                                        self.proc_label)
+        return values
 
     def _enforce_deadlines(self, requests, digests):
         """Fail requests whose age exceeds their deadline.
@@ -709,6 +776,8 @@ class ServingCore:
                 self._counts["failed"] += len(expired)
                 self._counts["deadline_expired"] += len(expired)
             for request, timeout_ms in expired:
+                if request.trace is not None:
+                    request.trace.annotate("deadline")
                 request._finish(RequestStatus.FAILED,
                                 error=DeadlineExceededError(
                                     f"request exceeded its "
@@ -740,6 +809,8 @@ class ServingCore:
         with self._lock:
             self._counts["degraded"] += len(requests)
         for request in requests:
+            if request.trace is not None:
+                request.trace.annotate("degraded")
             try:
                 value = analytical.predict_plan(request.plan)
             except Exception as exc:  # noqa: BLE001 — even fallbacks fail

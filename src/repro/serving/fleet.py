@@ -113,6 +113,8 @@ import numpy as np
 from .. import perfstats
 from ..bench.parallel import WorkerProcess
 from ..featurization import database_digest, plan_fingerprint
+from ..obs.metrics import REGISTRY, snapshot_delta
+from ..obs.trace import TraceContext, Tracer
 from ..optimizer.cost_model import AnalyticalCostModel
 from ..robustness import faults
 from .core import (DeadlineExceededError, DegradedResponseError,
@@ -176,9 +178,11 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
         faults.install(fault_schedule)
     registry = ModelRegistry(registry_root)
     core = ServingCore(registry, dbs, config=config, mmap=True)
+    core.proc_label = f"worker-{index}"  # span proc tag
     plans = OrderedDict()          # token -> plan (mirror of router table)
     control = deque()              # control messages pulled mid-drain
     max_delay_s = config.max_delay_ms / 1e3
+    shipped_metrics = [None]       # last snapshot shipped (delta baseline)
 
     def pipe_send(message):
         if faults.check("fleet.pipe.send") == "drop":
@@ -190,10 +194,19 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
         payload["fault_injected"] = {
             name: count for name, count in perfstats.counters.items()
             if name.startswith("fault.injected.")}
+        # Metric deltas ride the control pipe: everything the registry
+        # accumulated since the last shipped snapshot.  The router merges
+        # each delta exactly once, so per-worker histograms fold into the
+        # fleet-wide view without double counting.  (A delta lost to an
+        # injected pipe drop undercounts — counters are best-effort under
+        # chaos, values never are.)
+        current = REGISTRY.snapshot()
+        payload["metrics"] = snapshot_delta(current, shipped_metrics[0])
         try:
             pipe_send(("stats", payload))
         except OSError:
-            pass
+            return
+        shipped_metrics[0] = current
 
     def apply_tokens(message):
         """Mirror the router's plan-table mutation for one req message.
@@ -249,7 +262,8 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
             continue
         # kind == "req": coalesce a micro-batch (deadline/size trigger).
         batch = [message]
-        deadline = time.perf_counter() + max_delay_s
+        recv_times = [time.perf_counter()]
+        deadline = recv_times[0] + max_delay_s
         while len(batch) < config.max_batch_size:
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
@@ -264,6 +278,7 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
                 continue
             if message[0] == "req":
                 batch.append(message)
+                recv_times.append(time.perf_counter())
             else:
                 control.append(message)
                 if message[0] == "stop":
@@ -271,10 +286,11 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
         # The wedged-worker fault point: a "hang" action sleeps here until
         # the router's liveness plane SIGKILLs the process.
         faults.check("fleet.worker.hang")
+        coalesced_at = time.perf_counter()
         requests, req_ids = [], []
-        for message in batch:
+        for message, recv_ts in zip(batch, recv_times):
             (_, req_id, db_name, token, _payload, submitted_at,
-             deadline_ms, priority) = message
+             deadline_ms, priority, trace_send_ts) = message
             apply_tokens(message)
             request = PredictionRequest(db_name, plans[token],
                                         priority=RequestPriority(priority),
@@ -282,6 +298,14 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
             # The router's submit timestamp: deadlines and latency count
             # pipe time (perf_counter is system-wide on this platform).
             request.submitted_at = submitted_at
+            if trace_send_ts is not None:
+                # Traced request: accumulate worker-side stages into a
+                # bare context (no tracer here — the stages ship back
+                # with the result and the router merges them).
+                trace = TraceContext("", req_id)
+                trace.add_stage("worker.recv", trace_send_ts, recv_ts)
+                trace.add_stage("coalesce", recv_ts, coalesced_at)
+                request.trace = trace
             requests.append(request)
             req_ids.append(req_id)
         core.process_batch(requests)
@@ -290,8 +314,11 @@ def _fleet_worker_main(conn, index, registry_root, dbs, config,
             error = None
             if request.error is not None:
                 error = (type(request.error).__name__, str(request.error))
+            trace_payload = (request.trace.export_remote()
+                             if request.trace is not None else None)
             results.append((req_id, request.status.value, request.value,
-                            error, request.served_by, request.retries))
+                            error, request.served_by, request.retries,
+                            trace_payload))
         try:
             pipe_send(("res", results))
         except OSError:
@@ -376,10 +403,20 @@ class _WorkerSlot:
             # registered in `pending`, so hedging or a restart re-sends it.
             return
         token, payload = self.token_for(digest, request.plan)
+        trace = request.trace
+        send_ts = None
+        if trace is not None:
+            # The send timestamp crosses the pipe: the worker opens its
+            # "worker.recv" stage from it (perf_counter is system-wide),
+            # and its presence is the "this request is traced" flag.
+            send_ts = time.perf_counter()
+            trace.add_stage("queue", request.submitted_at, send_ts,
+                            "router")
         try:
             self.wp.conn.send(("req", req_id, request.db_name, token,
                                payload, request.submitted_at,
-                               request.deadline_ms, request.priority.value))
+                               request.deadline_ms, request.priority.value,
+                               send_ts))
         except (OSError, BrokenPipeError):
             # Worker died under us: the request is registered in
             # `pending`, so the supervisor's restart will re-send it.
@@ -549,11 +586,29 @@ class PredictorFleet:
         self._queue_high_water = 0
         self._req_seq = 0
         self._ping_seq = 0
+        # Observability: submit-order seq feeds deterministic trace ids.
+        self._seq_lock = threading.Lock()
+        self._submit_seq = 0
+        self._tracer = (Tracer(sample_every=self.config.trace_sample_every)
+                        if self.config.trace else None)
         self._slots = []
         self._running = False
         self._accepting = False
         self._seen_generation = registry.generation
         self._registry_root = str(registry.store.root)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    def attach_tracer(self, tracer):
+        """Attach (or detach with ``None``) a span sink; overrides the
+        config-driven tracer.  Per-request cost is zero when detached."""
+        self._tracer = tracer
+        return tracer
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -679,6 +734,15 @@ class PredictorFleet:
         request = PredictionRequest(db_name, plan, priority=priority,
                                     deadline_ms=deadline_ms)
         digest = self._plan_digest(db_name, plan)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with self._seq_lock:
+                seq = self._submit_seq
+                self._submit_seq += 1
+            request.trace = tracer.context_for(
+                digest, seq, db_name=db_name,
+                priority=priority.name.lower(),
+                submitted_at=request.submitted_at)
         limit = min(self.config.queue_depth,
                     admission_limit(priority, self.config.queue_depth,
                                     self.config))
@@ -761,6 +825,8 @@ class PredictorFleet:
         stay distinguishable.
         """
         perfstats.increment("fleet.brownout.count")
+        if request.trace is not None:
+            request.trace.annotate("brownout")
         with self._lock:
             self._counts["brownouts"] += 1
             analytical = self._analytical.get(request.db_name)
@@ -954,6 +1020,8 @@ class PredictorFleet:
                 target.pending[entry.req_id] = entry
                 self._counts["hedges"] += 1
                 perfstats.increment("fleet.hedge.sent")
+                if entry.request.trace is not None:
+                    entry.request.trace.annotate("hedge.sent")
                 sends.append((entry, target))
         for entry, target in sends:
             # Best-effort: a send that cannot proceed without blocking is
@@ -995,7 +1063,14 @@ class PredictorFleet:
             if message[0] == "res":
                 self._on_results(slot, message[1])
             elif message[0] == "stats":
-                slot.last_stats = message[1]
+                payload = message[1]
+                delta = payload.get("metrics")
+                if delta:
+                    # Each stats answer carries the worker's metric delta
+                    # since its previous answer; merging every delta once
+                    # yields the exact fleet-wide counters/histograms.
+                    REGISTRY.merge(delta)
+                slot.last_stats = payload
                 slot.stats_event.set()
             # "pong" carries nothing beyond the last_seen refresh above.
         self._on_worker_exit(slot, epoch)
@@ -1023,6 +1098,8 @@ class PredictorFleet:
                     if slot is not entry.slots[0]:
                         self._counts["hedge_wins"] += 1
                         perfstats.increment("fleet.hedge.won")
+                        if entry.request.trace is not None:
+                            entry.request.trace.annotate("hedge.won")
                 finished.append((entry.request, result))
             self._outstanding -= len(finished)
             if finished:
@@ -1031,9 +1108,17 @@ class PredictorFleet:
                     self._all_drained.notify_all()
         now = time.perf_counter()
         for request, result in finished:
-            _, status, value, error, served_by, retries = result
+            (_, status, value, error, served_by, retries,
+             trace_payload) = result
             request.retries = retries
             self._latencies.append(now - request.submitted_at)
+            if request.trace is not None and trace_payload is not None:
+                # Fold the winning worker's stages into the router-side
+                # context before _finish finalizes the trace.  Hang-safe
+                # by construction: span data only rides result messages
+                # that arrived — nothing here waits on a worker.
+                request.trace.merge_remote(trace_payload,
+                                           proc=f"worker-{slot.index}")
             request._finish(RequestStatus(status), value=value,
                             error=_decode_error(error), served_by=served_by)
 
@@ -1068,6 +1153,8 @@ class PredictorFleet:
                 slot.last_ping = 0.0
                 for req_id, entry in resend:
                     entry.last_send = now
+                    if entry.request.trace is not None:
+                        entry.request.trace.annotate("requeued")
                     slot.send_locked(req_id, entry.request, entry.digest)
             self._spawn_collector(slot)
 

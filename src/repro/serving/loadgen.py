@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.export import latency_attribution as _span_attribution
+from ..obs.trace import Tracer
 from ..robustness import faults as fault_plane
 from .server import RequestPriority, RequestStatus
 
@@ -85,6 +87,7 @@ class LoadConfig:
     timeout_s: float = 120.0  # wait bound for stragglers after arrivals end
     block: bool = False       # True: backpressure instead of shedding
     faults: object | None = None  # FaultSchedule to install for the run
+    trace: bool = False       # record per-request spans for the run
 
 
 @dataclass
@@ -108,6 +111,10 @@ class LoadReport:
     fault_stats: dict = field(default_factory=dict)  # per-point inject counts
     by_priority: dict = field(default_factory=dict)  # class -> counts/avail
     q_error_by_phase: dict = field(default_factory=dict)  # drift scenarios
+    # Per-stage share of p50/p95/p99 from spans (traced runs only): the
+    # obs.export.latency_attribution report, keyed "overall"/"by_class".
+    latency_attribution: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list, repr=False)  # traced runs
     handles: list = field(default_factory=list, repr=False)  # per-request
 
     def compute_q_error_phases(self, truth_for, phases):
@@ -165,6 +172,7 @@ class LoadReport:
                             in self.by_priority.items()},
             "q_error_by_phase": {name: dict(summary) for name, summary
                                  in self.q_error_by_phase.items()},
+            "latency_attribution": dict(self.latency_attribution),
         }
 
 
@@ -185,7 +193,7 @@ def _arrival_offsets(n, rate_per_s, rng):
     return np.cumsum(rng.exponential(1.0 / rate_per_s, size=n))
 
 
-def run_load(server, requests, config=None):
+def run_load(server, requests, config=None, trace=None):
     """Fire ``requests`` — ``(db_name, plan)`` pairs — at ``server``.
 
     A request may also be a ``(db_name, plan, priority)`` triple
@@ -199,8 +207,26 @@ def run_load(server, requests, config=None):
     results mid-run.  When ``config.faults`` is set, the schedule is
     installed for the whole run — arrivals *and* drain (chaos mode).
     Returns a :class:`LoadReport`.
+
+    ``trace`` opts the run into per-request spans: pass ``True`` (a
+    :class:`~repro.obs.trace.Tracer` is attached to the server for the
+    run and detached after), or a ``Tracer`` to use.  ``None`` defers to
+    ``config.trace``.  A traced report carries ``spans`` and the
+    per-stage ``latency_attribution`` breakdown.
     """
     config = config or LoadConfig()
+    if trace is None:
+        trace = config.trace
+    tracer = attached = None
+    if trace:
+        tracer = trace if isinstance(trace, Tracer) else None
+        if tracer is None:
+            tracer = getattr(server, "tracer", None)
+        if tracer is None:
+            tracer = Tracer()
+        if getattr(server, "tracer", None) is not tracer:
+            server.attach_tracer(tracer)
+            attached = tracer
     requests = list(requests)
     per_client = [requests[i::config.n_clients]
                   for i in range(config.n_clients)]
@@ -254,6 +280,12 @@ def run_load(server, requests, config=None):
     finally:
         if config.faults is not None:
             fault_plane.uninstall()
+        if attached is not None:
+            server.attach_tracer(None)
+    # Drain (not just read) so a reused tracer never leaks a previous
+    # run's spans into this report's attribution.
+    spans = tracer.drain() if tracer is not None else []
+    attribution = _span_attribution(spans) if spans else {}
 
     by_status = {status: 0 for status in RequestStatus}
     latencies = []
@@ -323,5 +355,7 @@ def run_load(server, requests, config=None):
         server_stats=stats,
         fault_stats=fault_stats,
         by_priority=per_priority,
+        latency_attribution=attribution,
+        spans=spans,
         handles=flat,
     )

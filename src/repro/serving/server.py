@@ -86,6 +86,7 @@ from collections import deque
 import numpy as np
 
 from .. import perfstats
+from ..obs.trace import Tracer
 from ..robustness import faults
 from .core import (DeadlineExceededError, DegradedResponseError,
                    PredictionRequest, RequestPriority, RequestShedError,
@@ -128,6 +129,24 @@ class PredictorServer:
         self._accepting = True  # False only after stop(); start() restores
         self._thread = None
         self._queue_high_water = 0
+        # Observability: submit-order seq feeds deterministic trace ids.
+        self._seq_lock = threading.Lock()
+        self._submit_seq = 0
+        self._tracer = (Tracer(sample_every=self.config.trace_sample_every)
+                        if self.config.trace else None)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self._tracer
+
+    def attach_tracer(self, tracer):
+        """Attach (or detach with ``None``) a span sink; overrides the
+        config-driven tracer.  Per-request cost is zero when detached."""
+        self._tracer = tracer
+        return tracer
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -235,8 +254,24 @@ class PredictorServer:
         # outside the locks so concurrent first-seen submits don't serialize
         # behind each other's O(plan) digest walks.
         digest = core.plan_digest(db_name, plan)
-        value = core.cached_value(route, digest, db_name=db_name, plan=plan)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with self._seq_lock:
+                seq = self._submit_seq
+                self._submit_seq += 1
+            request.trace = tracer.context_for(
+                digest, seq, db_name=db_name,
+                priority=priority.name.lower(),
+                submitted_at=request.submitted_at)
+        value = core.cached_value(
+            route, digest, db_name=db_name, plan=plan,
+            trace_id=(request.trace.trace_id
+                      if request.trace is not None else None))
         if value is not None:
+            if request.trace is not None:
+                request.trace.annotate("cache.hit")
+                request.trace.add_stage("cache", request.submitted_at,
+                                        time.perf_counter(), "server")
             request._finish(RequestStatus.CACHED, value=value,
                             served_by=route.served_by)
             return request
@@ -320,6 +355,8 @@ class PredictorServer:
                 pending = [r for r in self._inflight if not r.done()]
                 self._inflight = []
                 for request in reversed(pending):
+                    if request.trace is not None:
+                        request.trace.annotate("requeued")
                     self._queue.appendleft(request)
                 perfstats.increment("serve.fault.requeued", len(pending))
                 replacement = threading.Thread(target=self._batcher_main,
@@ -353,6 +390,12 @@ class PredictorServer:
                 batch = [self._queue.popleft() for _ in range(count)]
                 self._inflight = batch
                 self._not_full.notify_all()
+            if self._tracer is not None:
+                dispatched = time.perf_counter()
+                for request in batch:
+                    if request.trace is not None:
+                        request.trace.add_stage("queue", request.submitted_at,
+                                                dispatched, "server")
             # The batcher-loop injection point: a raise here unwinds into
             # _batcher_main's crash handler with the batch still in-flight
             # — exactly the torn state the supervisor must recover.
